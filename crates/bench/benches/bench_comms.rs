@@ -1,0 +1,44 @@
+//! Performance of the communication substrate (AllReduce group, ledger).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetgmp_comms::{AllReduceGroup, TrafficClass, TrafficLedger};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comms");
+    group.sample_size(20);
+
+    group.bench_function("allreduce_4_threads_64k_floats", |b| {
+        b.iter(|| {
+            let g = Arc::new(AllReduceGroup::new(4));
+            let handles: Vec<_> = (0..4)
+                .map(|k| {
+                    let g = Arc::clone(&g);
+                    std::thread::spawn(move || {
+                        let mut v = vec![k as f32; 65_536];
+                        for _ in 0..4 {
+                            g.allreduce_sum(&mut v);
+                        }
+                        v[0]
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<f32>()
+        });
+    });
+
+    group.bench_function("ledger_record", |b| {
+        let ledger = TrafficLedger::new(8);
+        let mut w = 0usize;
+        b.iter(|| {
+            w = (w + 1) % 8;
+            ledger.record(w, TrafficClass::EmbedData, 64, 1);
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

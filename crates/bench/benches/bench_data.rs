@@ -1,0 +1,38 @@
+//! Performance of data generation and graph construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetgmp_bigraph::{CooccurrenceConfig, CooccurrenceGraph};
+use hetgmp_data::{generate, DatasetSpec, Zipf};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("data");
+    group.sample_size(10);
+
+    group.bench_function("zipf_sample", |b| {
+        let z = Zipf::new(100_000, 1.05);
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| z.sample(&mut rng));
+    });
+
+    group.bench_function("generate_avazu_like_0.1", |b| {
+        let spec = DatasetSpec::avazu_like(0.1);
+        b.iter(|| generate(&spec));
+    });
+
+    let data = generate(&DatasetSpec::avazu_like(0.1));
+    group.bench_function("to_bigraph", |b| {
+        b.iter(|| data.to_bigraph());
+    });
+
+    let graph = data.to_bigraph();
+    group.bench_function("cooccurrence_build", |b| {
+        b.iter(|| CooccurrenceGraph::build(&graph, &CooccurrenceConfig::default()));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Performance of the distributed embedding table: bounded-async reads,
+//! gradient write-back, and the underlying sharded store.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetgmp_embedding::{ShardedTable, SparseOpt, StalenessBound, WorkerEmbedding};
+use hetgmp_partition::Partition;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ROWS: usize = 20_000;
+const DIM: usize = 16;
+const FIELDS: usize = 26;
+const BATCH: usize = 256;
+
+fn setup() -> (ShardedTable, Partition, Vec<u64>, Vec<Vec<u32>>) {
+    let table = ShardedTable::new(ROWS, DIM, 0.05, 1);
+    let mut rng = StdRng::seed_from_u64(9);
+    let emb_primary: Vec<u32> = (0..ROWS).map(|_| rng.gen_range(0..4)).collect();
+    let mut part = Partition::new(4, vec![0; 1], emb_primary);
+    // Replicate the 200 hottest rows on worker 0.
+    for e in 0..200u32 {
+        part.add_replica(e, 0);
+    }
+    // Zipf-ish access pattern.
+    let freq: Vec<u64> = (0..ROWS).map(|i| (ROWS / (i + 1)) as u64).collect();
+    let samples: Vec<Vec<u32>> = (0..BATCH)
+        .map(|_| {
+            (0..FIELDS)
+                .map(|_| {
+                    let r: f64 = rng.gen::<f64>();
+                    ((r * r * ROWS as f64) as u32).min(ROWS as u32 - 1)
+                })
+                .collect()
+        })
+        .collect();
+    (table, part, freq, samples)
+}
+
+fn bench(c: &mut Criterion) {
+    let (table, part, freq, samples) = setup();
+    let sample_refs: Vec<&[u32]> = samples.iter().map(Vec::as_slice).collect();
+    let total: usize = sample_refs.iter().map(|s| s.len()).sum();
+    let mut group = c.benchmark_group("embedding");
+    group.sample_size(20);
+
+    group.bench_function("table_read_row", |b| {
+        let mut buf = vec![0.0f32; DIM];
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % ROWS as u32;
+            table.read_row(i, &mut buf)
+        });
+    });
+
+    group.bench_function("table_apply_grad", |b| {
+        let grad = vec![0.01f32; DIM];
+        let opt = SparseOpt::adagrad(0.05);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % ROWS as u32;
+            table.apply_grad(i, &grad, &opt)
+        });
+    });
+
+    group.bench_function("read_batch_s100", |b| {
+        let mut w = WorkerEmbedding::new(0, &table, &part, &freq, StalenessBound::Bounded(100));
+        let mut out = vec![0.0f32; total * DIM];
+        b.iter(|| w.read_batch(&sample_refs, &mut out));
+    });
+
+    group.bench_function("read_batch_s0", |b| {
+        let mut w = WorkerEmbedding::new(0, &table, &part, &freq, StalenessBound::Bounded(0));
+        let mut out = vec![0.0f32; total * DIM];
+        b.iter(|| w.read_batch(&sample_refs, &mut out));
+    });
+
+    group.bench_function("apply_gradients", |b| {
+        let mut w = WorkerEmbedding::new(0, &table, &part, &freq, StalenessBound::Bounded(100));
+        let grads = vec![0.001f32; total * DIM];
+        let opt = SparseOpt::adagrad(0.05);
+        b.iter(|| w.apply_gradients(&sample_refs, &grads, &opt));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Performance of the partitioning algorithms (the kernels behind Table 3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetgmp_bigraph::Bigraph;
+use hetgmp_data::{generate, DatasetSpec};
+use hetgmp_partition::{
+    bicut_partition, random_partition, HybridConfig, HybridPartitioner,
+    OneDeeConfig, PartitionMetrics, ReplicationBudget,
+};
+use hetgmp_partition::onedee::OneDeeState;
+use hetgmp_partition::vertexcut::replicate_hot_embeddings;
+
+fn graph() -> Bigraph {
+    generate(&DatasetSpec::criteo_like(0.1)).to_bigraph()
+}
+
+fn bench(c: &mut Criterion) {
+    let g = graph();
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(10);
+
+    group.bench_function("random", |b| {
+        b.iter(|| random_partition(&g, 8, 7));
+    });
+
+    group.bench_function("bicut", |b| {
+        b.iter(|| bicut_partition(&g, 8));
+    });
+
+    group.bench_function("onedee_sweep", |b| {
+        let part0 = random_partition(&g, 8, 7);
+        b.iter(|| {
+            let mut part = part0.clone();
+            let mut state = OneDeeState::new(&g, &part, OneDeeConfig::default());
+            state.sweep(&g, &mut part);
+            part
+        });
+    });
+
+    group.bench_function("vertexcut_top1pct", |b| {
+        let part0 = random_partition(&g, 8, 7);
+        b.iter(|| {
+            let mut part = part0.clone();
+            replicate_hot_embeddings(
+                &g,
+                &mut part,
+                ReplicationBudget::FractionOfEmbeddings(0.01),
+            )
+        });
+    });
+
+    group.bench_function("hybrid_3_rounds", |b| {
+        b.iter(|| HybridPartitioner::new(HybridConfig::default()).partition(&g, 8));
+    });
+
+    group.bench_function("metrics", |b| {
+        let part = random_partition(&g, 8, 7);
+        b.iter(|| PartitionMetrics::compute(&g, &part, None));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

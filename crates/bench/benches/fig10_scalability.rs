@@ -1,0 +1,30 @@
+//! Figure 10 kernel bench: one epoch at 16 workers on the cluster-B ladder
+//! for both systems. Regenerate with `--bin expt_fig10`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetgmp_cluster::Topology;
+use hetgmp_core::strategy::StrategyConfig;
+use hetgmp_core::trainer::{Trainer, TrainerConfig};
+use hetgmp_data::{generate, DatasetSpec};
+
+fn bench(c: &mut Criterion) {
+    let data = generate(&DatasetSpec::criteo_like(0.05));
+    let topo = Topology::cluster_b_scaled(16);
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    for strat in [
+        StrategyConfig::hugectr(),
+        StrategyConfig::het_gmp(100).with_weight_matrix(Some(topo.weight_matrix())),
+    ] {
+        group.bench_function(format!("epoch16_{}", strat.name), |b| {
+            b.iter(|| {
+                Trainer::new(&data, topo.clone(), strat.clone(),
+                    TrainerConfig { epochs: 1, ..Default::default() }).run().throughput
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 1 kernel bench: one HugeCTR-style training epoch per topology —
+//! the measurement behind the communication-share bars. Regenerate the
+//! actual figure with `cargo run --release -p hetgmp-bench --bin expt_fig1`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetgmp_cluster::Topology;
+use hetgmp_core::strategy::StrategyConfig;
+use hetgmp_core::trainer::{Trainer, TrainerConfig};
+use hetgmp_data::{generate, DatasetSpec};
+
+fn bench(c: &mut Criterion) {
+    let data = generate(&DatasetSpec::avazu_like(0.03));
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(10);
+    for topo in [Topology::nvlink_island(4), Topology::pcie_island(4), Topology::qpi_dual_socket(8)] {
+        group.bench_function(format!("epoch_{}", topo.name), |b| {
+            b.iter(|| {
+                Trainer::new(
+                    &data,
+                    topo.clone(),
+                    StrategyConfig::hugectr(),
+                    TrainerConfig { epochs: 1, ..Default::default() },
+                )
+                .run()
+                .breakdown
+                .comm_fraction()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

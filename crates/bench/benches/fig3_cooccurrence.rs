@@ -1,0 +1,22 @@
+//! Figure 3 kernel bench: co-occurrence graph construction + clustering.
+//! Regenerate the figure with `--bin expt_fig3`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetgmp_bigraph::{CooccurrenceConfig, CooccurrenceGraph};
+use hetgmp_data::{generate, DatasetSpec};
+use hetgmp_partition::cluster_cooccurrence;
+
+fn bench(c: &mut Criterion) {
+    let data = generate(&DatasetSpec::avazu_like(0.05));
+    let graph = data.to_bigraph();
+    let co = CooccurrenceGraph::build(&graph, &CooccurrenceConfig::default());
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.bench_function("cluster_8way", |b| {
+        b.iter(|| cluster_cooccurrence(&co, 8, 5));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

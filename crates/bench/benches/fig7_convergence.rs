@@ -1,0 +1,27 @@
+//! Figure 7 kernel bench: one HET-GMP training epoch (the unit the
+//! convergence curves are built from). Regenerate with `--bin expt_fig7`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetgmp_cluster::Topology;
+use hetgmp_core::strategy::StrategyConfig;
+use hetgmp_core::trainer::{Trainer, TrainerConfig};
+use hetgmp_data::{generate, DatasetSpec};
+
+fn bench(c: &mut Criterion) {
+    let data = generate(&DatasetSpec::avazu_like(0.03));
+    let topo = Topology::pcie_island(8);
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    for strat in [StrategyConfig::het_mp(), StrategyConfig::het_gmp(100)] {
+        group.bench_function(format!("epoch_{}", strat.name), |b| {
+            b.iter(|| {
+                Trainer::new(&data, topo.clone(), strat.clone(),
+                    TrainerConfig { epochs: 1, ..Default::default() }).run().final_auc
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

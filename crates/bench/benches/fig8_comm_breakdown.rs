@@ -1,0 +1,25 @@
+//! Figure 8 kernel bench: one epoch with full traffic accounting under the
+//! 2-D(s=100) setting. Regenerate with `--bin expt_fig8`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetgmp_cluster::Topology;
+use hetgmp_core::strategy::StrategyConfig;
+use hetgmp_core::trainer::{Trainer, TrainerConfig};
+use hetgmp_data::{generate, DatasetSpec};
+
+fn bench(c: &mut Criterion) {
+    let data = generate(&DatasetSpec::avazu_like(0.03));
+    let topo = Topology::pcie_island(8);
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.bench_function("epoch_with_traffic_accounting", |b| {
+        b.iter(|| {
+            Trainer::new(&data, topo.clone(), StrategyConfig::het_gmp(100),
+                TrainerConfig { epochs: 1, ..Default::default() }).run().traffic_bytes
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 9 kernel bench: the weighted (hierarchy-aware) 1-D sweep on a
+//! 2-machine weight matrix. Regenerate with `--bin expt_fig9`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetgmp_cluster::Topology;
+use hetgmp_data::{generate, DatasetSpec};
+use hetgmp_partition::onedee::{OneDeeConfig, OneDeeState};
+use hetgmp_partition::random_partition;
+
+fn bench(c: &mut Criterion) {
+    let data = generate(&DatasetSpec::avazu_like(0.05));
+    let graph = data.to_bigraph();
+    let topo = Topology::cluster_b(2);
+    let w = topo.weight_matrix();
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    group.bench_function("weighted_sweep_16_workers", |b| {
+        let part0 = random_partition(&graph, 16, 7);
+        b.iter(|| {
+            let mut part = part0.clone();
+            let cfg = OneDeeConfig { weights: Some(w.clone()), ..Default::default() };
+            let mut state = OneDeeState::new(&graph, &part, cfg);
+            state.sweep(&graph, &mut part);
+            part
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Table 2 kernel bench: bounded-async batch reads at each staleness
+//! setting (the protocol cost the AUC table trades against). Regenerate the
+//! table with `--bin expt_table2`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetgmp_embedding::{ShardedTable, SparseOpt, StalenessBound, WorkerEmbedding};
+use hetgmp_partition::Partition;
+
+fn bench(c: &mut Criterion) {
+    let rows = 10_000usize;
+    let dim = 16usize;
+    let table = ShardedTable::new(rows, dim, 0.05, 1);
+    let emb_primary: Vec<u32> = (0..rows as u32).map(|e| e % 4).collect();
+    let mut part = Partition::new(4, vec![0], emb_primary);
+    for e in 0..100u32 {
+        part.add_replica(e * 4 + 1, 0); // some remote-primary rows cached
+    }
+    let freq: Vec<u64> = (0..rows).map(|i| (rows / (i + 1)) as u64).collect();
+    let samples: Vec<Vec<u32>> = (0..256)
+        .map(|i| (0..26u32).map(|f| (i * 37 + f * 131) % rows as u32).collect())
+        .collect();
+    let refs: Vec<&[u32]> = samples.iter().map(Vec::as_slice).collect();
+    let total: usize = refs.iter().map(|s| s.len()).sum();
+
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(20);
+    for (label, bound) in [
+        ("s0", StalenessBound::Bounded(0)),
+        ("s100", StalenessBound::Bounded(100)),
+        ("sinf", StalenessBound::Infinite),
+    ] {
+        group.bench_function(format!("read_batch_{label}"), |b| {
+            let mut w = WorkerEmbedding::new(0, &table, &part, &freq, bound);
+            let mut out = vec![0.0f32; total * dim];
+            let opt = SparseOpt::sgd(0.05);
+            let grads = vec![0.001f32; total * dim];
+            b.iter(|| {
+                let r = w.read_batch(&refs, &mut out);
+                w.apply_gradients(&refs, &grads, &opt);
+                r.remote_total()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

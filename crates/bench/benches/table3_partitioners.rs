@@ -1,0 +1,22 @@
+//! Table 3 kernel bench: full Algorithm 1 (3 rounds + vertex-cut) vs BiCut
+//! on a paper-shaped bigraph. Regenerate the table with `--bin expt_table3`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetgmp_data::{generate, DatasetSpec};
+use hetgmp_partition::{bicut_partition, HybridConfig, HybridPartitioner};
+
+fn bench(c: &mut Criterion) {
+    let graph = generate(&DatasetSpec::company_like(0.05)).to_bigraph();
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    group.bench_function("bicut_8", |b| {
+        b.iter(|| bicut_partition(&graph, 8));
+    });
+    group.bench_function("ours_3_rounds_8", |b| {
+        b.iter(|| HybridPartitioner::new(HybridConfig::default()).partition(&graph, 8));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

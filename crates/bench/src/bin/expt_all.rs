@@ -1,0 +1,32 @@
+//! Runs every experiment at a common scale (one-stop regeneration of all
+//! tables and figures; see EXPERIMENTS.md).
+fn main() {
+    let scale = hetgmp_bench::scale_arg(0.15);
+    println!("=== Figure 1 ===");
+    println!("{}", hetgmp_core::experiments::overhead::run(scale));
+    println!("=== Figure 3 ===");
+    for r in hetgmp_core::experiments::cooccurrence::run(scale) {
+        println!("{r}\n");
+    }
+    println!("=== Table 3 ===");
+    for r in hetgmp_core::experiments::partitioners::run(scale) {
+        println!("{r}\n");
+    }
+    println!("=== Figure 7 ===");
+    println!("{}", hetgmp_core::experiments::convergence::run(scale, 3));
+    println!("=== Figure 8 ===");
+    println!("{}", hetgmp_core::experiments::comm_breakdown::run(scale));
+    println!("=== Table 2 ===");
+    println!("{}", hetgmp_core::experiments::staleness::run(scale, 3));
+    println!("=== Figure 9 ===");
+    for r in hetgmp_core::experiments::hierarchy::run(scale) {
+        println!("{r}\n");
+    }
+    println!("=== Figure 10 ===");
+    for r in hetgmp_core::experiments::scalability::run(scale) {
+        println!("{r}\n");
+    }
+    println!("=== Ablations ===");
+    let (st, rep, bal) = hetgmp_core::experiments::ablation::run(scale);
+    println!("{st}\n\n{rep}\n\n{bal}");
+}

@@ -1,0 +1,6 @@
+//! Figure 1 — communication share of epoch time for WDL on a HugeCTR-style
+//! model-parallel system under NVLink / PCIe / QPI interconnects.
+fn main() {
+    let scale = hetgmp_bench::scale_arg(0.2);
+    println!("{}", hetgmp_core::experiments::overhead::run(scale));
+}

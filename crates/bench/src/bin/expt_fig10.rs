@@ -1,0 +1,8 @@
+//! Figure 10 — scalability: total throughput vs #GPUs for HET-GMP and
+//! HugeCTR on cluster B (NVLink -> QPI -> Ethernet ladder).
+fn main() {
+    let scale = hetgmp_bench::scale_arg(0.3);
+    for report in hetgmp_core::experiments::scalability::run(scale) {
+        println!("{report}\n");
+    }
+}

@@ -1,0 +1,7 @@
+//! Figure 3 — co-occurrence graph clustering into dense diagonal blocks.
+fn main() {
+    let scale = hetgmp_bench::scale_arg(0.2);
+    for report in hetgmp_core::experiments::cooccurrence::run(scale) {
+        println!("{report}\n");
+    }
+}

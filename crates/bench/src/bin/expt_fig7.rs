@@ -1,0 +1,7 @@
+//! Figure 7 — convergence (test AUC vs simulated time) for all systems on
+//! WDL/DCN x the three datasets.
+fn main() {
+    let scale = hetgmp_bench::scale_arg(0.15);
+    let epochs = hetgmp_bench::second_arg(4);
+    println!("{}", hetgmp_core::experiments::convergence::run(scale, epochs));
+}

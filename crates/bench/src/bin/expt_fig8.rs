@@ -1,0 +1,6 @@
+//! Figure 8 — per-iteration communication breakdown (embeds+grads /
+//! keys+clocks / AllReduce) under random, 1-D, 2-D(s=10), 2-D(s=100).
+fn main() {
+    let scale = hetgmp_bench::scale_arg(0.15);
+    println!("{}", hetgmp_core::experiments::comm_breakdown::run(scale));
+}

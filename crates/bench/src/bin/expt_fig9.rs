@@ -1,0 +1,8 @@
+//! Figure 9 — hierarchical (topology-aware) partitioning: throughput and
+//! the worker-pair embedding-fetch heatmap on 16 workers / 2 machines.
+fn main() {
+    let scale = hetgmp_bench::scale_arg(0.15);
+    for report in hetgmp_core::experiments::hierarchy::run(scale) {
+        println!("{report}\n");
+    }
+}

@@ -1,0 +1,49 @@
+//! Extension experiment (paper §3's "could be naturally applied to KG
+//! training systems"): TransE knowledge-graph embedding on the HET-GMP
+//! substrate — random vs hybrid partitioning, bounded staleness.
+use hetgmp_cluster::Topology;
+use hetgmp_core::kg::{KgTrainer, KgTrainerConfig};
+use hetgmp_core::strategy::StrategyConfig;
+use hetgmp_data::{generate_kg, KgSpec};
+
+fn main() {
+    let scale = hetgmp_bench::scale_arg(1.0);
+    let mut spec = KgSpec::small();
+    spec.num_entities = ((spec.num_entities as f64 * scale) as usize).max(200);
+    spec.num_triples = ((spec.num_triples as f64 * scale) as usize).max(2000);
+    let kg = generate_kg(&spec);
+    println!(
+        "TransE on synthetic KG: {} entities, {} relations, {} triples, 8 workers\n",
+        kg.num_entities, kg.num_relations, kg.len()
+    );
+    println!(
+        "{:<18} {:>8} {:>9} {:>14} {:>14} {:>12}",
+        "system", "MRR", "hits@10", "triples/s", "embed bytes", "remote/epoch"
+    );
+    for strat in [
+        StrategyConfig::het_mp(),
+        StrategyConfig::het_gmp(0),
+        StrategyConfig::het_gmp(100),
+    ] {
+        let r = KgTrainer::new(
+            &kg,
+            Topology::pcie_island(8),
+            strat,
+            KgTrainerConfig::default(),
+        )
+        .run();
+        println!(
+            "{:<18} {:>8.3} {:>9.3} {:>14.0} {:>14} {:>12}",
+            r.strategy,
+            r.mrr,
+            r.hits_at_10,
+            r.throughput,
+            r.embed_bytes,
+            r.partition_metrics.remote_fetches
+        );
+    }
+    println!(
+        "\nKG samples touch only 2 embeddings (vs tens in CTR), so locality\n\
+         partitioning alone removes most traffic — the paper's §2 contrast."
+    );
+}

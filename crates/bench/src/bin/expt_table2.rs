@@ -1,0 +1,6 @@
+//! Table 2 — final test AUC vs staleness bound s in {0, 100, 10k, inf}.
+fn main() {
+    let scale = hetgmp_bench::scale_arg(0.15);
+    let epochs = hetgmp_bench::second_arg(3);
+    println!("{}", hetgmp_core::experiments::staleness::run(scale, epochs));
+}

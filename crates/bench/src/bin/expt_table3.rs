@@ -1,0 +1,7 @@
+//! Table 3 — partitioning algorithms: Random / BiCut / Ours(1,3,5 rounds).
+fn main() {
+    let scale = hetgmp_bench::scale_arg(0.3);
+    for report in hetgmp_core::experiments::partitioners::run(scale) {
+        println!("{report}\n");
+    }
+}

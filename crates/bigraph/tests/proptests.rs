@@ -1,0 +1,115 @@
+//! Property-based tests for the bigraph substrate.
+
+use hetgmp_bigraph::{Bigraph, CooccurrenceConfig, CooccurrenceGraph, Csr, DegreeStats};
+use proptest::prelude::*;
+
+/// Strategy: a random edge list over `rows × cols`.
+fn edges(rows: u32, cols: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..rows, 0..cols), 0..max_edges)
+}
+
+proptest! {
+    #[test]
+    fn csr_from_edges_preserves_edge_multiset(es in edges(20, 30, 200)) {
+        let csr = Csr::from_edges(20, &es);
+        prop_assert_eq!(csr.num_edges(), es.len());
+        let mut expected = es.clone();
+        expected.sort_unstable();
+        let mut actual: Vec<(u32, u32)> = Vec::with_capacity(es.len());
+        for (r, nbrs) in csr.iter_rows() {
+            for &c in nbrs {
+                actual.push((r as u32, c));
+            }
+        }
+        actual.sort_unstable();
+        prop_assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn csr_double_transpose_is_identity(es in edges(15, 25, 150)) {
+        let csr = Csr::from_edges(15, &es);
+        let back = csr.transpose(25).transpose(15);
+        prop_assert_eq!(back, csr);
+    }
+
+    #[test]
+    fn transpose_preserves_degree_sum(es in edges(10, 10, 100)) {
+        let csr = Csr::from_edges(10, &es);
+        let t = csr.transpose(10);
+        prop_assert_eq!(csr.num_edges(), t.num_edges());
+        let row_sum: usize = (0..csr.num_rows()).map(|r| csr.degree(r)).sum();
+        let col_sum: usize = (0..t.num_rows()).map(|r| t.degree(r)).sum();
+        prop_assert_eq!(row_sum, col_sum);
+    }
+
+    #[test]
+    fn bigraph_directions_agree(es in edges(12, 18, 120)) {
+        let g = Bigraph::from_edges(12, 18, &es);
+        // Every forward edge appears in the transpose and vice versa.
+        for s in 0..g.num_samples() as u32 {
+            for &e in g.embeddings_of(s) {
+                prop_assert!(g.samples_of(e).contains(&s));
+            }
+        }
+        for e in 0..g.num_embeddings() as u32 {
+            for &s in g.samples_of(e) {
+                prop_assert!(g.embeddings_of(s).contains(&e));
+            }
+        }
+    }
+
+    #[test]
+    fn frequency_sums_to_edges(es in edges(12, 18, 120)) {
+        let g = Bigraph::from_edges(12, 18, &es);
+        let total: usize = (0..18u32).map(|e| g.emb_frequency(e)).sum();
+        prop_assert_eq!(total, g.num_edges());
+    }
+
+    #[test]
+    fn hotness_is_sorted_descending(es in edges(12, 18, 120)) {
+        let g = Bigraph::from_edges(12, 18, &es);
+        let hot = g.embeddings_by_hotness();
+        prop_assert_eq!(hot.len(), 18);
+        for w in hot.windows(2) {
+            prop_assert!(g.emb_frequency(w[0]) >= g.emb_frequency(w[1]));
+        }
+    }
+
+    #[test]
+    fn gini_bounded(degrees in prop::collection::vec(0usize..1000, 1..200)) {
+        let s = DegreeStats::from_degrees(&degrees);
+        prop_assert!(s.gini >= -1e-9 && s.gini <= 1.0, "gini = {}", s.gini);
+        prop_assert!(s.top1pct_mass >= 0.0 && s.top1pct_mass <= 1.0 + 1e-9);
+        prop_assert!(s.top10pct_mass + 1e-9 >= s.top1pct_mass);
+    }
+
+    #[test]
+    fn cooccurrence_symmetric(es in edges(10, 15, 80)) {
+        let g = Bigraph::from_edges(10, 15, &es);
+        let co = CooccurrenceGraph::build(&g, &CooccurrenceConfig {
+            hot_exclude_fraction: 1.0,
+            ..Default::default()
+        });
+        for u in 0..co.num_nodes() as u32 {
+            let (nbrs, ws) = co.neighbors(u);
+            for (&v, &w) in nbrs.iter().zip(ws) {
+                let (vn, vw) = co.neighbors(v);
+                let pos = vn.iter().position(|&x| x == u);
+                prop_assert!(pos.is_some(), "edge {u}->{v} missing reverse");
+                prop_assert_eq!(vw[pos.unwrap()], w);
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_density_bounded(es in edges(10, 15, 80), k in 1usize..4) {
+        let g = Bigraph::from_edges(10, 15, &es);
+        let co = CooccurrenceGraph::build(&g, &CooccurrenceConfig {
+            hot_exclude_fraction: 1.0,
+            ..Default::default()
+        });
+        let assignment: Vec<u32> = (0..15u32).map(|i| i % k as u32).collect();
+        let d = co.diagonal_density(&assignment, k);
+        prop_assert!((0.0..=1.0).contains(&d), "density = {d}");
+    }
+}

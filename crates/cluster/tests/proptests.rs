@@ -1,0 +1,103 @@
+//! Property tests for the cluster cost model.
+
+use hetgmp_cluster::{CostModel, SimClock, TimeCategory, Topology};
+use proptest::prelude::*;
+
+fn topologies() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        (1usize..25).prop_map(Topology::cluster_b_scaled),
+        (2usize..9).prop_map(Topology::nvlink_island),
+        (2usize..9).prop_map(Topology::pcie_island),
+        (1usize..4).prop_map(Topology::cluster_a),
+        (1usize..4).prop_map(Topology::cluster_b),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn links_are_symmetric_and_local_diagonal(topo in topologies()) {
+        let n = topo.num_workers();
+        for a in 0..n {
+            prop_assert_eq!(topo.link(a, a), hetgmp_cluster::LinkClass::Local);
+            for b in 0..n {
+                prop_assert_eq!(topo.link(a, b), topo.link(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn weight_matrix_well_formed(topo in topologies()) {
+        let w = topo.weight_matrix();
+        let n = topo.num_workers();
+        prop_assert_eq!(w.len(), n);
+        let mut min_off = f64::INFINITY;
+        for a in 0..n {
+            prop_assert_eq!(w[a][a], 0.0);
+            for b in 0..n {
+                prop_assert!(w[a][b] >= 0.0);
+                prop_assert!((w[a][b] - w[b][a]).abs() < 1e-12);
+                if a != b {
+                    min_off = min_off.min(w[a][b]);
+                }
+            }
+        }
+        if n > 1 {
+            // Normalised: the fastest non-local link has weight exactly 1.
+            prop_assert!((min_off - 1.0).abs() < 1e-9, "min weight {min_off}");
+        }
+    }
+
+    #[test]
+    fn transfer_time_monotone_in_bytes(topo in topologies(), bytes in 1u64..1_000_000) {
+        let m = CostModel::new(topo);
+        let n = m.topology.num_workers();
+        for a in 0..n.min(4) {
+            for b in 0..n.min(4) {
+                let t1 = m.transfer_time(a, b, bytes);
+                let t2 = m.transfer_time(a, b, bytes * 2);
+                prop_assert!(t2 >= t1);
+                prop_assert!(t1 >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_time_monotone_in_bytes(topo in topologies(), bytes in 1u64..10_000_000) {
+        let m = CostModel::new(topo);
+        prop_assert!(m.allreduce_time(2 * bytes) >= m.allreduce_time(bytes));
+        prop_assert!(m.allreduce_time(bytes) >= 0.0);
+    }
+
+    #[test]
+    fn simclock_never_decreases(charges in prop::collection::vec((0u8..5, 0.0f64..2.0), 1..50)) {
+        let mut clock = SimClock::new();
+        let mut last = 0.0;
+        for (cat, seconds) in charges {
+            let category = match cat {
+                0 => TimeCategory::Compute,
+                1 => TimeCategory::EmbedComm,
+                2 => TimeCategory::MetaComm,
+                3 => TimeCategory::AllReduceComm,
+                _ => TimeCategory::HostIo,
+            };
+            clock.advance(category, seconds);
+            prop_assert!(clock.now() >= last);
+            last = clock.now();
+        }
+        // Breakdown totals equal the clock.
+        prop_assert!((clock.breakdown().total() - clock.now()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_never_exceeds_plain_charge(seconds in 0.0f64..3.0, window in 0.0f64..3.0) {
+        let mut plain = SimClock::new();
+        plain.advance(TimeCategory::EmbedComm, seconds);
+        let mut overlapped = SimClock::new();
+        overlapped.advance_overlapped(TimeCategory::EmbedComm, seconds, window);
+        prop_assert!(overlapped.now() <= plain.now() + 1e-12);
+        // Attribution identical either way.
+        prop_assert!(
+            (overlapped.breakdown().embed_comm - plain.breakdown().embed_comm).abs() < 1e-12
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! A reusable sum-AllReduce across worker threads.
+//!
+//! Semantics match one NCCL `ncclAllReduce(sum)` call: every participant
+//! contributes a same-length f32 vector and receives the element-wise sum.
+//! Implementation is a two-phase generation barrier (contribute → collect)
+//! so the group can be reused every iteration without re-allocation races.
+
+use parking_lot::{Condvar, Mutex};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    Sum,
+    Max,
+}
+
+struct State {
+    /// Element-wise combine op for the current round (all participants of a
+    /// round must use the same op).
+    op: Op,
+    /// Accumulated sum for the current generation.
+    sum: Vec<f32>,
+    /// Number of contributions received this generation.
+    arrived: usize,
+    /// Number of participants that have collected the result.
+    collected: usize,
+    /// Generation counter (bumped when a round completes collection).
+    generation: u64,
+}
+
+/// A sum-AllReduce group over `n` participants.
+pub struct AllReduceGroup {
+    n: usize,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl AllReduceGroup {
+    /// Creates a group for `n` participants.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "group must have at least one participant");
+        Self {
+            n,
+            state: Mutex::new(State {
+                op: Op::Sum,
+                sum: Vec::new(),
+                arrived: 0,
+                collected: 0,
+                generation: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Number of participants.
+    pub fn num_participants(&self) -> usize {
+        self.n
+    }
+
+    /// Contributes `data` and blocks until all `n` participants have
+    /// contributed; `data` is overwritten with the element-wise sum.
+    ///
+    /// Every participant must pass the same length each round.
+    ///
+    /// # Panics
+    /// Panics on length disagreement within a round.
+    pub fn allreduce_sum(&self, data: &mut [f32]) {
+        self.allreduce(data, Op::Sum);
+    }
+
+    /// Element-wise max AllReduce (used e.g. to implement simulated-clock
+    /// barriers: everyone leaves with the latest clock).
+    pub fn allreduce_max(&self, data: &mut [f32]) {
+        self.allreduce(data, Op::Max);
+    }
+
+    fn allreduce(&self, data: &mut [f32], op: Op) {
+        let mut st = self.state.lock();
+
+        // A fast participant may re-enter for the next round while the
+        // previous round is still in its collection phase (`arrived == n`);
+        // it must wait for the round to drain (generation bump resets
+        // `arrived` to 0) or it would pollute the previous round's sum.
+        while st.arrived == self.n {
+            self.cv.wait(&mut st);
+        }
+        let my_generation = st.generation;
+
+        if st.arrived == 0 {
+            st.op = op;
+            st.sum.clear();
+            st.sum.extend_from_slice(data);
+        } else {
+            assert_eq!(st.sum.len(), data.len(), "allreduce length mismatch");
+            assert_eq!(st.op, op, "mixed ops within one allreduce round");
+            match op {
+                Op::Sum => {
+                    for (s, &x) in st.sum.iter_mut().zip(data.iter()) {
+                        *s += x;
+                    }
+                }
+                Op::Max => {
+                    for (s, &x) in st.sum.iter_mut().zip(data.iter()) {
+                        if x > *s {
+                            *s = x;
+                        }
+                    }
+                }
+            }
+        }
+        st.arrived += 1;
+
+        if st.arrived == self.n {
+            // Round complete: open the collection phase.
+            self.cv.notify_all();
+        } else {
+            while st.arrived != self.n && st.generation == my_generation {
+                self.cv.wait(&mut st);
+            }
+            // Exiting via a generation bump is impossible for a contributor
+            // of this round (the bump requires this thread's collection),
+            // so `st.sum` below is this round's sum.
+        }
+
+        data.copy_from_slice(&st.sum);
+        st.collected += 1;
+        if st.collected == self.n {
+            st.arrived = 0;
+            st.collected = 0;
+            st.generation += 1;
+            self.cv.notify_all();
+        }
+    }
+
+    /// AllReduce followed by division by `n` (mean of the contributions).
+    pub fn allreduce_mean(&self, data: &mut [f32]) {
+        self.allreduce_sum(data);
+        let inv = 1.0 / self.n as f32;
+        for x in data {
+            *x *= inv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_participant_identity() {
+        let g = AllReduceGroup::new(1);
+        let mut v = vec![1.0, 2.0, 3.0];
+        g.allreduce_sum(&mut v);
+        assert_eq!(v, vec![1.0, 2.0, 3.0]);
+        g.allreduce_mean(&mut v);
+        assert_eq!(v, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn sums_across_threads() {
+        let g = Arc::new(AllReduceGroup::new(4));
+        let handles: Vec<_> = (0..4)
+            .map(|k| {
+                let g = Arc::clone(&g);
+                std::thread::spawn(move || {
+                    let mut v = vec![k as f32; 8];
+                    g.allreduce_sum(&mut v);
+                    v
+                })
+            })
+            .collect();
+        for h in handles {
+            let v = h.join().unwrap();
+            assert_eq!(v, vec![6.0; 8]); // 0+1+2+3
+        }
+    }
+
+    #[test]
+    fn mean_across_threads() {
+        let g = Arc::new(AllReduceGroup::new(2));
+        let handles: Vec<_> = [1.0f32, 3.0]
+            .into_iter()
+            .map(|x| {
+                let g = Arc::clone(&g);
+                std::thread::spawn(move || {
+                    let mut v = vec![x; 4];
+                    g.allreduce_mean(&mut v);
+                    v
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), vec![2.0; 4]);
+        }
+    }
+
+    #[test]
+    fn reusable_across_rounds() {
+        let g = Arc::new(AllReduceGroup::new(3));
+        let handles: Vec<_> = (0..3)
+            .map(|k| {
+                let g = Arc::clone(&g);
+                std::thread::spawn(move || {
+                    let mut results = Vec::new();
+                    for round in 0..50u32 {
+                        let mut v = vec![(k + round) as f32];
+                        g.allreduce_sum(&mut v);
+                        results.push(v[0]);
+                    }
+                    results
+                })
+            })
+            .collect();
+        for h in handles {
+            let results = h.join().unwrap();
+            for (round, &r) in results.iter().enumerate() {
+                // Σ_k (k + round) = 3 + 3·round
+                assert_eq!(r, (3 + 3 * round) as f32);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn zero_participants_panics() {
+        AllReduceGroup::new(0);
+    }
+}

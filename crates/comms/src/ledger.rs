@@ -1,0 +1,167 @@
+//! Global traffic ledger: per-worker, per-class byte and message counters.
+//!
+//! The paper's Figure 8 breaks one iteration's communication into
+//! "embeds & grads", "keys & clocks" and "All-Reduce"; Figure 1 reports the
+//! communication share of epoch time. Workers record into this ledger from
+//! their own threads (relaxed atomics — totals are read after joins).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Traffic classes matching the paper's Figure 8 legend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficClass {
+    /// Embedding vectors and their gradients.
+    EmbedData,
+    /// Sparse indices and clock metadata.
+    KeysClocks,
+    /// Dense-parameter AllReduce payload.
+    AllReduce,
+}
+
+const NUM_CLASSES: usize = 3;
+
+impl TrafficClass {
+    fn index(self) -> usize {
+        match self {
+            TrafficClass::EmbedData => 0,
+            TrafficClass::KeysClocks => 1,
+            TrafficClass::AllReduce => 2,
+        }
+    }
+
+    /// All classes in display order.
+    pub fn all() -> [TrafficClass; NUM_CLASSES] {
+        [
+            TrafficClass::EmbedData,
+            TrafficClass::KeysClocks,
+            TrafficClass::AllReduce,
+        ]
+    }
+
+    /// Display label matching the paper's legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            TrafficClass::EmbedData => "embeds & grads",
+            TrafficClass::KeysClocks => "keys & clocks",
+            TrafficClass::AllReduce => "all-reduce",
+        }
+    }
+}
+
+/// Concurrent per-worker, per-class counters.
+pub struct TrafficLedger {
+    num_workers: usize,
+    /// `bytes[worker * NUM_CLASSES + class]`.
+    bytes: Vec<AtomicU64>,
+    messages: Vec<AtomicU64>,
+}
+
+impl TrafficLedger {
+    /// Creates a ledger for `num_workers` workers.
+    pub fn new(num_workers: usize) -> Self {
+        let len = num_workers * NUM_CLASSES;
+        Self {
+            num_workers,
+            bytes: (0..len).map(|_| AtomicU64::new(0)).collect(),
+            messages: (0..len).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Number of workers tracked.
+    pub fn num_workers(&self) -> usize {
+        self.num_workers
+    }
+
+    /// Records `bytes` (and one message per `messages`) for a worker/class.
+    pub fn record(&self, worker: usize, class: TrafficClass, bytes: u64, messages: u64) {
+        let i = worker * NUM_CLASSES + class.index();
+        self.bytes[i].fetch_add(bytes, Ordering::Relaxed);
+        self.messages[i].fetch_add(messages, Ordering::Relaxed);
+    }
+
+    /// Bytes recorded for one worker/class.
+    pub fn bytes(&self, worker: usize, class: TrafficClass) -> u64 {
+        self.bytes[worker * NUM_CLASSES + class.index()].load(Ordering::Relaxed)
+    }
+
+    /// Messages recorded for one worker/class.
+    pub fn messages(&self, worker: usize, class: TrafficClass) -> u64 {
+        self.messages[worker * NUM_CLASSES + class.index()].load(Ordering::Relaxed)
+    }
+
+    /// Total bytes of one class across all workers.
+    pub fn total_bytes(&self, class: TrafficClass) -> u64 {
+        (0..self.num_workers).map(|w| self.bytes(w, class)).sum()
+    }
+
+    /// Grand total bytes across classes and workers.
+    pub fn grand_total_bytes(&self) -> u64 {
+        TrafficClass::all()
+            .iter()
+            .map(|&c| self.total_bytes(c))
+            .sum()
+    }
+
+    /// Resets every counter (between measured iterations).
+    pub fn reset(&self) {
+        for b in &self.bytes {
+            b.store(0, Ordering::Relaxed);
+        }
+        for m in &self.messages {
+            m.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn record_and_read() {
+        let l = TrafficLedger::new(2);
+        l.record(0, TrafficClass::EmbedData, 100, 2);
+        l.record(1, TrafficClass::EmbedData, 50, 1);
+        l.record(0, TrafficClass::AllReduce, 30, 1);
+        assert_eq!(l.bytes(0, TrafficClass::EmbedData), 100);
+        assert_eq!(l.messages(0, TrafficClass::EmbedData), 2);
+        assert_eq!(l.total_bytes(TrafficClass::EmbedData), 150);
+        assert_eq!(l.grand_total_bytes(), 180);
+        assert_eq!(l.bytes(1, TrafficClass::KeysClocks), 0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let l = TrafficLedger::new(1);
+        l.record(0, TrafficClass::KeysClocks, 10, 1);
+        l.reset();
+        assert_eq!(l.grand_total_bytes(), 0);
+        assert_eq!(l.messages(0, TrafficClass::KeysClocks), 0);
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let l = Arc::new(TrafficLedger::new(4));
+        let handles: Vec<_> = (0..4)
+            .map(|w| {
+                let l = Arc::clone(&l);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        l.record(w, TrafficClass::EmbedData, 3, 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(l.total_bytes(TrafficClass::EmbedData), 12_000);
+    }
+
+    #[test]
+    fn labels_stable() {
+        assert_eq!(TrafficClass::EmbedData.label(), "embeds & grads");
+        assert_eq!(TrafficClass::all().len(), 3);
+    }
+}

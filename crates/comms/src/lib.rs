@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! # hetgmp-comms
+//!
+//! Thread-based communication substrate standing in for NCCL (paper §6).
+//!
+//! HET-GMP's real implementation exchanges embeddings over NCCL p2p and
+//! synchronises dense parameters with ring AllReduce. Here workers are OS
+//! threads in one process, so "communication" is shared-memory hand-off —
+//! but the *pattern* and the *byte accounting* are faithful:
+//!
+//! * [`AllReduceGroup`] — a reusable sum-AllReduce across `n` worker
+//!   threads (barrier semantics identical to NCCL's collective call); the
+//!   cost model in `hetgmp-cluster` charges it with the standard ring bound
+//!   `2·(N−1)/N · bytes` over the bottleneck link;
+//! * [`Mailbox`] / [`P2pNetwork`] — typed point-to-point channels between
+//!   workers (crossbeam), used by the decentralized embedding exchange;
+//! * [`TrafficLedger`] — global per-worker, per-class byte/message counters
+//!   from which the Figure 1/8 communication breakdowns are read.
+
+pub mod allreduce;
+pub mod ledger;
+pub mod mailbox;
+
+pub use allreduce::AllReduceGroup;
+pub use ledger::{TrafficClass, TrafficLedger};
+pub use mailbox::{Mailbox, P2pNetwork};

@@ -1,0 +1,132 @@
+//! Point-to-point typed channels between workers.
+//!
+//! Models NCCL's p2p send/recv: every ordered pair of workers gets an
+//! unbounded channel. The embedding exchange in this reproduction mostly
+//! goes through the shared `hetgmp-embedding` table (with byte
+//! accounting), but the mailbox network is used by protocols that need
+//! actual message passing — e.g. the decentralized index/clock gossip in the
+//! examples and failure-injection tests.
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+
+/// One worker's endpoint: senders to every peer + its own receiver.
+pub struct Mailbox<T> {
+    worker: usize,
+    senders: Vec<Sender<(usize, T)>>,
+    receiver: Receiver<(usize, T)>,
+}
+
+impl<T> Mailbox<T> {
+    /// This endpoint's worker id.
+    pub fn worker(&self) -> usize {
+        self.worker
+    }
+
+    /// Number of workers in the network.
+    pub fn num_workers(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Sends `msg` to `dst` (tagged with this worker as the source).
+    ///
+    /// # Panics
+    /// Panics if `dst` is out of range or the network is shut down.
+    pub fn send(&self, dst: usize, msg: T) {
+        self.senders[dst]
+            .send((self.worker, msg))
+            .expect("peer mailbox dropped");
+    }
+
+    /// Blocking receive; returns `(source_worker, message)`.
+    pub fn recv(&self) -> (usize, T) {
+        self.receiver.recv().expect("all senders dropped")
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<(usize, T)> {
+        match self.receiver.try_recv() {
+            Ok(m) => Some(m),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => None,
+        }
+    }
+}
+
+/// Builder for a fully-connected p2p network of `n` workers.
+pub struct P2pNetwork;
+
+impl P2pNetwork {
+    /// Creates `n` mailboxes; mailbox `k` belongs to worker `k`.
+    pub fn create<T>(n: usize) -> Vec<Mailbox<T>> {
+        assert!(n > 0, "network must have at least one worker");
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(worker, receiver)| Mailbox {
+                worker,
+                senders: senders.clone(),
+                receiver,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_and_receive() {
+        let mut boxes = P2pNetwork::create::<u32>(3);
+        let b2 = boxes.remove(2);
+        let b0 = boxes.remove(0);
+        b0.send(2, 42);
+        let (src, msg) = b2.recv();
+        assert_eq!(src, 0);
+        assert_eq!(msg, 42);
+    }
+
+    #[test]
+    fn self_send_allowed() {
+        let boxes = P2pNetwork::create::<&'static str>(1);
+        boxes[0].send(0, "loopback");
+        assert_eq!(boxes[0].recv(), (0, "loopback"));
+    }
+
+    #[test]
+    fn try_recv_empty() {
+        let boxes = P2pNetwork::create::<u8>(2);
+        assert!(boxes[0].try_recv().is_none());
+        boxes[1].send(0, 7);
+        assert_eq!(boxes[0].try_recv(), Some((1, 7)));
+    }
+
+    #[test]
+    fn cross_thread_exchange() {
+        let mut boxes = P2pNetwork::create::<Vec<f32>>(2);
+        let b1 = boxes.remove(1);
+        let b0 = boxes.remove(0);
+        let t = std::thread::spawn(move || {
+            let (src, v) = b1.recv();
+            assert_eq!(src, 0);
+            b1.send(0, v.iter().map(|x| x * 2.0).collect());
+        });
+        b0.send(1, vec![1.0, 2.0]);
+        let (_, doubled) = b0.recv();
+        assert_eq!(doubled, vec![2.0, 4.0]);
+        t.join().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn empty_network_panics() {
+        P2pNetwork::create::<()>(0);
+    }
+}

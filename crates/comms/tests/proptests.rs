@@ -1,0 +1,101 @@
+//! Property tests for the communication substrate.
+
+use std::sync::Arc;
+
+use hetgmp_comms::{AllReduceGroup, P2pNetwork, TrafficClass, TrafficLedger};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn allreduce_equals_serial_sum(
+        vectors in prop::collection::vec(
+            prop::collection::vec(-100.0f32..100.0, 8..=8),
+            2..5
+        )
+    ) {
+        let n = vectors.len();
+        let expected: Vec<f32> = (0..8)
+            .map(|i| vectors.iter().map(|v| v[i]).sum())
+            .collect();
+        let group = Arc::new(AllReduceGroup::new(n));
+        let handles: Vec<_> = vectors
+            .into_iter()
+            .map(|mut v| {
+                let group = Arc::clone(&group);
+                std::thread::spawn(move || {
+                    group.allreduce_sum(&mut v);
+                    v
+                })
+            })
+            .collect();
+        for h in handles {
+            let got = h.join().unwrap();
+            for (g, e) in got.iter().zip(&expected) {
+                prop_assert!((g - e).abs() < 1e-3, "{g} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_max_equals_serial_max(
+        values in prop::collection::vec(-100.0f32..100.0, 2..6)
+    ) {
+        let n = values.len();
+        let expected = values.iter().cloned().fold(f32::MIN, f32::max);
+        let group = Arc::new(AllReduceGroup::new(n));
+        let handles: Vec<_> = values
+            .into_iter()
+            .map(|x| {
+                let group = Arc::clone(&group);
+                std::thread::spawn(move || {
+                    let mut v = [x];
+                    group.allreduce_max(&mut v);
+                    v[0]
+                })
+            })
+            .collect();
+        for h in handles {
+            prop_assert_eq!(h.join().unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn ledger_totals_add_up(
+        records in prop::collection::vec((0usize..4, 0u8..3, 0u64..1000), 0..60)
+    ) {
+        let ledger = TrafficLedger::new(4);
+        let mut expected = [0u64; 3];
+        for &(w, c, bytes) in &records {
+            let class = match c {
+                0 => TrafficClass::EmbedData,
+                1 => TrafficClass::KeysClocks,
+                _ => TrafficClass::AllReduce,
+            };
+            ledger.record(w, class, bytes, 1);
+            expected[c as usize] += bytes;
+        }
+        prop_assert_eq!(ledger.total_bytes(TrafficClass::EmbedData), expected[0]);
+        prop_assert_eq!(ledger.total_bytes(TrafficClass::KeysClocks), expected[1]);
+        prop_assert_eq!(ledger.total_bytes(TrafficClass::AllReduce), expected[2]);
+        prop_assert_eq!(ledger.grand_total_bytes(), expected.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn mailboxes_deliver_everything(msgs in prop::collection::vec((0usize..3, 0usize..3, 0u32..1000), 0..40)) {
+        let boxes = P2pNetwork::create::<u32>(3);
+        let mut expected_per_dst = [0usize; 3];
+        for &(src, dst, value) in &msgs {
+            boxes[src].send(dst, value);
+            expected_per_dst[dst] += 1;
+        }
+        for (dst, mailbox) in boxes.iter().enumerate() {
+            let mut received = 0;
+            while mailbox.try_recv().is_some() {
+                received += 1;
+            }
+            prop_assert_eq!(received, expected_per_dst[dst]);
+        }
+    }
+}

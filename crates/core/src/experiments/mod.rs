@@ -1,0 +1,27 @@
+//! Experiment runners — one module per table/figure of the paper's §7
+//! (plus the motivating Figures 1 and 3 and extra ablations).
+//!
+//! Every module exposes a `run(...)` returning a plain data struct that
+//! implements `Display` (the text rendering the `hetgmp-bench` binaries
+//! print), so results are equally consumable programmatically (tests,
+//! `EXPERIMENTS.md` generation) and on stdout.
+//!
+//! All experiments take a `scale` parameter: 1.0 reproduces the default
+//! scaled-down datasets (see DESIGN.md's substitutions), smaller values give
+//! quick smoke runs. Shapes — orderings, crossovers, reduction factors —
+//! are stable across scales; absolute numbers are not comparable with the
+//! paper's testbed (see EXPERIMENTS.md).
+
+pub mod ablation;
+pub mod comm_breakdown;
+pub mod convergence;
+pub mod cooccurrence;
+pub mod hierarchy;
+pub mod overhead;
+pub mod partitioners;
+pub mod scalability;
+pub mod staleness;
+
+mod fmt;
+
+pub use fmt::render_table;

@@ -1,0 +1,177 @@
+//! **Table 3** — partitioning-algorithm comparison: per-epoch remote
+//! embedding communication, reduction vs. random, and partitioning time for
+//! Random / BiCut / Ours (1, 3, 5 rounds), 8 partitions, all datasets.
+//!
+//! Paper shape (Company): BiCut −13.5 %; Ours −37.3 % (1 round), −59.7 %
+//! (3), −63.8 % (5); partitioning time grows with rounds but stays
+//! negligible (< 2 %) next to training time.
+
+use std::fmt;
+use std::time::Instant;
+
+use hetgmp_bigraph::Bigraph;
+use hetgmp_data::{generate, DatasetSpec};
+use hetgmp_partition::{
+    bicut_partition, random_partition, HybridConfig, HybridPartitioner, PartitionMetrics,
+};
+
+use crate::experiments::render_table;
+
+/// One algorithm's row for one dataset.
+#[derive(Debug, Clone)]
+pub struct PartitionerRow {
+    /// Algorithm label.
+    pub algorithm: String,
+    /// Remote embedding fetches per epoch (Table 3 "Communication").
+    pub communication: u64,
+    /// Reduction vs. the random baseline.
+    pub reduction: f64,
+    /// Partitioning wall-clock seconds (real, not simulated — this is CPU
+    /// work the paper also measures in real seconds).
+    pub time_secs: f64,
+}
+
+/// Table 3 for one dataset.
+#[derive(Debug, Clone)]
+pub struct PartitionerReport {
+    /// Dataset label.
+    pub dataset: String,
+    /// Rows in the paper's order.
+    pub rows: Vec<PartitionerRow>,
+}
+
+/// Runs Table 3 on one bigraph with 8 partitions.
+pub fn run_graph(graph: &Bigraph, dataset: &str) -> PartitionerReport {
+    let n = 8;
+    let mut rows = Vec::new();
+
+    let t0 = Instant::now();
+    let random = random_partition(graph, n, 7);
+    let random_time = t0.elapsed().as_secs_f64();
+    let random_metrics = PartitionMetrics::compute(graph, &random, None);
+    rows.push(PartitionerRow {
+        algorithm: "Random".into(),
+        communication: random_metrics.remote_fetches,
+        reduction: 0.0,
+        time_secs: random_time,
+    });
+
+    let t0 = Instant::now();
+    let bicut = bicut_partition(graph, n);
+    let bicut_time = t0.elapsed().as_secs_f64();
+    let m = PartitionMetrics::compute(graph, &bicut, None);
+    rows.push(PartitionerRow {
+        algorithm: "BiCut".into(),
+        communication: m.remote_fetches,
+        reduction: m.reduction_vs(&random_metrics),
+        time_secs: bicut_time,
+    });
+
+    for rounds in [1usize, 3, 5] {
+        let cfg = HybridConfig {
+            rounds,
+            replication: None, // Table 3 measures pure partitioning quality
+            ..Default::default()
+        };
+        let t0 = Instant::now();
+        let (part, _) = HybridPartitioner::new(cfg).partition(graph, n);
+        let time = t0.elapsed().as_secs_f64();
+        let m = PartitionMetrics::compute(graph, &part, None);
+        rows.push(PartitionerRow {
+            algorithm: format!("Ours ({rounds} round{})", if rounds > 1 { "s" } else { "" }),
+            communication: m.remote_fetches,
+            reduction: m.reduction_vs(&random_metrics),
+            time_secs: time,
+        });
+    }
+
+    PartitionerReport {
+        dataset: dataset.to_string(),
+        rows,
+    }
+}
+
+/// Runs Table 3 over all three datasets at the given scale.
+pub fn run(scale: f64) -> Vec<PartitionerReport> {
+    DatasetSpec::paper_presets(scale)
+        .iter()
+        .map(|spec| {
+            let data = generate(spec);
+            let graph = data.to_bigraph();
+            run_graph(&graph, &spec.name)
+        })
+        .collect()
+}
+
+impl fmt::Display for PartitionerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 3 — partitioning algorithms ({})", self.dataset)?;
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.algorithm.clone(),
+                    r.communication.to_string(),
+                    format!("{:.1}%", r.reduction * 100.0),
+                    format!("{:.3}", r.time_secs),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "{}",
+            render_table(&["algorithm", "communication", "reduction", "time (s)"], &rows)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_paper() {
+        let mut spec = DatasetSpec::avazu_like(0.05);
+        spec.cluster_affinity = 0.9;
+        let data = generate(&spec);
+        let graph = data.to_bigraph();
+        let report = run_graph(&graph, "avazu-like");
+        assert_eq!(report.rows.len(), 5);
+        let comm = |name: &str| {
+            report
+                .rows
+                .iter()
+                .find(|r| r.algorithm.starts_with(name))
+                .map(|r| r.communication)
+                .expect("row")
+        };
+        // Paper ordering: Random > BiCut > Ours(1) ≥ Ours(3) ≥ Ours(5).
+        assert!(comm("BiCut") < comm("Random"));
+        assert!(comm("Ours (1") < comm("BiCut"));
+        assert!(comm("Ours (3") <= comm("Ours (1"));
+        assert!(comm("Ours (5") <= comm("Ours (3"));
+        // Reduction at 5 rounds is substantial (paper: 63-68 %).
+        let r5 = report
+            .rows
+            .iter()
+            .find(|r| r.algorithm.starts_with("Ours (5"))
+            .unwrap();
+        // The scaled-down synthetic data is denser per feature than the
+        // real datasets (tiny fields are unsplittable without replication),
+        // so the bar is slightly below the paper's 63-68 %; the orderings
+        // above are the reproduced shape.
+        assert!(r5.reduction > 0.3, "reduction {:.2}", r5.reduction);
+        // Time grows with rounds.
+        let t = |name: &str| {
+            report
+                .rows
+                .iter()
+                .find(|r| r.algorithm.starts_with(name))
+                .map(|r| r.time_secs)
+                .unwrap()
+        };
+        assert!(t("Ours (5") >= t("Ours (1"));
+        assert!(report.to_string().contains("Table 3"));
+    }
+}

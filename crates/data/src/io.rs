@@ -1,0 +1,265 @@
+//! Dataset import/export: libsvm-style sparse lines and CSV with the
+//! hashing trick.
+//!
+//! The paper's public datasets (Avazu, Criteo) are distributed as CSV/TSV of
+//! categorical fields; the common interchange for one-hot CTR data is the
+//! libsvm format. These readers let a downstream user run the real datasets
+//! through this system instead of the synthetic generators (the experiments
+//! only require a [`CtrDataset`]).
+
+use std::io::{BufRead, Write};
+
+use crate::dataset::CtrDataset;
+
+/// Errors raised while parsing a dataset file.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line (1-based line number + description).
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseError::Malformed { line, reason } => {
+                write!(f, "line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Reads libsvm-style lines: `label idx[:val] idx[:val] …` where `idx` is a
+/// global feature id (values, if present, are ignored — CTR features are
+/// one-hot). Lines are padded/truncated to exactly `num_fields` features;
+/// padding uses a dedicated feature id appended to the vocabulary.
+///
+/// Returns a dataset whose `num_features` covers the maximum id seen plus
+/// the padding id.
+pub fn read_libsvm<R: BufRead>(reader: R, num_fields: usize) -> Result<CtrDataset, ParseError> {
+    assert!(num_fields > 0, "num_fields must be positive");
+    let mut features: Vec<u32> = Vec::new();
+    let mut labels: Vec<f32> = Vec::new();
+    let mut max_id = 0u32;
+    let mut row = Vec::with_capacity(num_fields);
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let label_tok = parts.next().ok_or_else(|| ParseError::Malformed {
+            line: lineno + 1,
+            reason: "missing label".into(),
+        })?;
+        let label: f32 = label_tok.parse().map_err(|_| ParseError::Malformed {
+            line: lineno + 1,
+            reason: format!("bad label {label_tok:?}"),
+        })?;
+        row.clear();
+        for tok in parts.take(num_fields) {
+            let idx_str = tok.split(':').next().unwrap_or(tok);
+            let idx: u32 = idx_str.parse().map_err(|_| ParseError::Malformed {
+                line: lineno + 1,
+                reason: format!("bad feature index {idx_str:?}"),
+            })?;
+            max_id = max_id.max(idx);
+            row.push(idx);
+        }
+        // Padding slot decided after the scan; mark with sentinel for now.
+        while row.len() < num_fields {
+            row.push(u32::MAX);
+        }
+        features.extend_from_slice(&row);
+        labels.push(if label > 0.5 { 1.0 } else { 0.0 });
+    }
+    let pad_id = max_id + 1;
+    for f in &mut features {
+        if *f == u32::MAX {
+            *f = pad_id;
+        }
+    }
+    Ok(CtrDataset {
+        name: "libsvm".into(),
+        num_fields,
+        num_features: pad_id as usize + 1,
+        clusters: vec![0; labels.len()],
+        features,
+        labels,
+    })
+}
+
+/// Writes a dataset in the libsvm-style format accepted by
+/// [`read_libsvm`] (`label idx:1 …`).
+pub fn write_libsvm<W: Write>(dataset: &CtrDataset, mut writer: W) -> std::io::Result<()> {
+    for i in 0..dataset.num_samples() {
+        let label = if dataset.label(i) > 0.5 { 1 } else { 0 };
+        write!(writer, "{label}")?;
+        for &f in dataset.sample(i) {
+            write!(writer, " {f}:1")?;
+        }
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+/// Reads CSV lines `label,cat1,cat2,…` of categorical strings, mapping each
+/// field's values into its own hash space of `buckets_per_field` ids (the
+/// hashing trick — how production CTR pipelines ingest raw categorical
+/// data). Empty fields hash like any other value (the empty string).
+pub fn read_csv_hashed<R: BufRead>(
+    reader: R,
+    num_fields: usize,
+    buckets_per_field: usize,
+) -> Result<CtrDataset, ParseError> {
+    assert!(num_fields > 0 && buckets_per_field > 0);
+    let mut features: Vec<u32> = Vec::new();
+    let mut labels: Vec<f32> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut cols = line.split(',');
+        let label_tok = cols.next().ok_or_else(|| ParseError::Malformed {
+            line: lineno + 1,
+            reason: "missing label column".into(),
+        })?;
+        let label: f32 = label_tok.trim().parse().map_err(|_| ParseError::Malformed {
+            line: lineno + 1,
+            reason: format!("bad label {label_tok:?}"),
+        })?;
+        let mut count = 0usize;
+        for f in 0..num_fields {
+            let value = cols.next().unwrap_or("");
+            let bucket = fnv1a(value.as_bytes()) as usize % buckets_per_field;
+            features.push((f * buckets_per_field + bucket) as u32);
+            count += 1;
+        }
+        debug_assert_eq!(count, num_fields);
+        labels.push(if label > 0.5 { 1.0 } else { 0.0 });
+    }
+    Ok(CtrDataset {
+        name: "csv".into(),
+        num_fields,
+        num_features: num_fields * buckets_per_field,
+        clusters: vec![0; labels.len()],
+        features,
+        labels,
+    })
+}
+
+/// FNV-1a 64-bit (stable across runs and platforms — hashed feature ids
+/// must be reproducible).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn libsvm_roundtrip() {
+        let text = "1 3:1 7:1\n0 2:1 9:1\n# comment\n\n1 5:1 1:1\n";
+        let d = read_libsvm(Cursor::new(text), 2).unwrap();
+        assert_eq!(d.num_samples(), 3);
+        assert_eq!(d.sample(0), &[3, 7]);
+        assert_eq!(d.sample(2), &[5, 1]);
+        assert_eq!(d.labels, vec![1.0, 0.0, 1.0]);
+        assert_eq!(d.num_features, 11); // max id 9 + pad id 10 + 1
+
+        let mut out = Vec::new();
+        write_libsvm(&d, &mut out).unwrap();
+        let d2 = read_libsvm(Cursor::new(out), 2).unwrap();
+        assert_eq!(d2.features, d.features);
+        assert_eq!(d2.labels, d.labels);
+    }
+
+    #[test]
+    fn libsvm_pads_short_lines() {
+        let text = "1 3:1\n0 2:1 4:1 6:1\n";
+        let d = read_libsvm(Cursor::new(text), 3).unwrap();
+        // Line 1 padded with pad id (7), line 2 truncated to 3 features.
+        assert_eq!(d.sample(0), &[3, 7, 7]);
+        assert_eq!(d.sample(1), &[2, 4, 6]);
+    }
+
+    #[test]
+    fn libsvm_rejects_garbage() {
+        let err = read_libsvm(Cursor::new("not-a-label 1:1\n"), 2).unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+        let err = read_libsvm(Cursor::new("1 x:1\n"), 2).unwrap_err();
+        assert!(err.to_string().contains("feature index"));
+    }
+
+    #[test]
+    fn csv_hashing_is_stable_and_field_scoped() {
+        let text = "1,appA,deviceX\n0,appB,deviceX\n1,appA,deviceY\n";
+        let d = read_csv_hashed(Cursor::new(text), 2, 100).unwrap();
+        assert_eq!(d.num_samples(), 3);
+        assert_eq!(d.num_features, 200);
+        // Same value in the same field hashes identically.
+        assert_eq!(d.sample(0)[0], d.sample(2)[0]);
+        // Field 0 ids live in [0,100), field 1 in [100,200).
+        for i in 0..3 {
+            assert!(d.sample(i)[0] < 100);
+            assert!((100..200).contains(&d.sample(i)[1]));
+        }
+        // Same string in *different* fields gets different ids.
+        let text2 = "1,same,same\n";
+        let d2 = read_csv_hashed(Cursor::new(text2), 2, 100).unwrap();
+        assert_ne!(d2.sample(0)[0], d2.sample(0)[1]);
+    }
+
+    #[test]
+    fn csv_missing_trailing_fields_hash_empty() {
+        let text = "0,onlyfirst\n";
+        let d = read_csv_hashed(Cursor::new(text), 3, 50).unwrap();
+        assert_eq!(d.sample(0).len(), 3);
+        // Fields 1 and 2 both hashed "" but in their own spaces.
+        assert_ne!(d.sample(0)[1], d.sample(0)[2]);
+    }
+
+    #[test]
+    fn imported_dataset_feeds_the_pipeline() {
+        let text = (0..50)
+            .map(|i| format!("{},{},{}", i % 2, i % 5, (i * 3) % 7))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let d = read_csv_hashed(Cursor::new(text), 2, 32).unwrap();
+        let g = d.to_bigraph();
+        assert_eq!(g.num_samples(), 50);
+        assert_eq!(g.num_edges(), 100);
+    }
+
+    #[test]
+    fn fnv_known_value() {
+        // FNV-1a("") is the offset basis.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+}

@@ -1,0 +1,181 @@
+//! Dataset specifications and paper-matched presets.
+
+/// Parameters of a synthetic CTR dataset.
+///
+/// A dataset has `num_fields` categorical fields; field `f` has its own
+/// vocabulary of `field_vocab[f]` features, and the global feature (=
+/// embedding row) id space is the concatenation of the field vocabularies.
+/// Each sample carries exactly one feature per field (standard CTR layout,
+/// matching the paper's Table 1 datasets).
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// Human-readable name, e.g. `"avazu-like"`.
+    pub name: String,
+    /// Number of samples to generate.
+    pub num_samples: usize,
+    /// Per-field vocabulary sizes. `sum` = total number of features =
+    /// number of embedding-table rows.
+    pub field_vocab: Vec<usize>,
+    /// Zipf exponent of within-field feature popularity (skewness knob).
+    pub zipf_exponent: f64,
+    /// Number of latent sample clusters (locality structure).
+    pub num_clusters: usize,
+    /// Probability that a field value is drawn from the sample's cluster
+    /// slice rather than the global field vocabulary (locality knob, `q`).
+    pub cluster_affinity: f64,
+    /// Standard deviation of planted per-feature logit weights.
+    pub weight_std: f64,
+    /// RNG seed; everything derived from the spec is deterministic in it.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// Splits `total_features` across `num_fields` with a geometric decay so
+    /// a few "ID-like" fields hold most of the vocabulary (as in real CTR
+    /// data, where device/ad IDs dwarf categorical fields like day-of-week).
+    fn geometric_vocab(total_features: usize, num_fields: usize, decay: f64) -> Vec<usize> {
+        assert!(num_fields > 0);
+        let weights: Vec<f64> = (0..num_fields).map(|i| decay.powi(i as i32)).collect();
+        let wsum: f64 = weights.iter().sum();
+        let mut vocab: Vec<usize> = weights
+            .iter()
+            .map(|w| ((w / wsum) * total_features as f64).round().max(4.0) as usize)
+            .collect();
+        // Adjust the largest field so the total matches exactly.
+        let diff = total_features as i64 - vocab.iter().sum::<usize>() as i64;
+        vocab[0] = (vocab[0] as i64 + diff).max(4) as usize;
+        vocab
+    }
+
+    fn preset(
+        name: &str,
+        base_samples: usize,
+        base_features: usize,
+        num_fields: usize,
+        scale: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        let num_samples = ((base_samples as f64 * scale) as usize).max(64);
+        let total_features = ((base_features as f64 * scale) as usize).max(num_fields * 4);
+        Self {
+            name: name.to_string(),
+            num_samples,
+            field_vocab: Self::geometric_vocab(total_features, num_fields, 0.55),
+            zipf_exponent: 1.05,
+            num_clusters: 8,
+            cluster_affinity: 0.85,
+            weight_std: 1.6,
+            seed,
+        }
+    }
+
+    /// Avazu-shaped: 22 fields, features ≈ 0.23 × samples (paper Table 1:
+    /// 40.4M samples, 9.4M features). `scale = 1.0` gives 60 000 samples.
+    pub fn avazu_like(scale: f64) -> Self {
+        Self::preset("avazu-like", 60_000, 14_000, 22, scale, 0xA7A2)
+    }
+
+    /// Criteo-shaped: 26 fields, features ≈ 0.74 × samples (45.8M / 33.8M).
+    pub fn criteo_like(scale: f64) -> Self {
+        Self::preset("criteo-like", 60_000, 44_000, 26, scale, 0xC217E0)
+    }
+
+    /// Company-shaped (Tencent production): 43 fields, features ≈ 1.85 ×
+    /// samples (35.7M / 66.1M) — the most feature-heavy, communication-bound
+    /// of the three.
+    pub fn company_like(scale: f64) -> Self {
+        Self::preset("company-like", 50_000, 92_000, 43, scale, 0xC0409)
+    }
+
+    /// A tiny dataset for unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            name: "tiny".to_string(),
+            num_samples: 256,
+            field_vocab: vec![64, 32, 16, 8],
+            zipf_exponent: 1.0,
+            num_clusters: 4,
+            cluster_affinity: 0.8,
+            weight_std: 1.5,
+            seed: 1,
+        }
+    }
+
+    /// All three paper-shaped presets at the given scale.
+    pub fn paper_presets(scale: f64) -> Vec<Self> {
+        vec![
+            Self::avazu_like(scale),
+            Self::criteo_like(scale),
+            Self::company_like(scale),
+        ]
+    }
+
+    /// Number of fields.
+    pub fn num_fields(&self) -> usize {
+        self.field_vocab.len()
+    }
+
+    /// Total number of features (embedding-table rows).
+    pub fn total_features(&self) -> usize {
+        self.field_vocab.iter().sum()
+    }
+
+    /// Global id of the first feature of field `f`.
+    pub fn field_offset(&self, f: usize) -> usize {
+        self.field_vocab[..f].iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_shapes() {
+        let a = DatasetSpec::avazu_like(1.0);
+        assert_eq!(a.num_fields(), 22);
+        let c = DatasetSpec::criteo_like(1.0);
+        assert_eq!(c.num_fields(), 26);
+        let t = DatasetSpec::company_like(1.0);
+        assert_eq!(t.num_fields(), 43);
+        // Feature/sample ratios ordered as in the paper:
+        let ratio = |s: &DatasetSpec| s.total_features() as f64 / s.num_samples as f64;
+        assert!(ratio(&a) < ratio(&c));
+        assert!(ratio(&c) < ratio(&t));
+    }
+
+    #[test]
+    fn scale_changes_size() {
+        let small = DatasetSpec::avazu_like(0.1);
+        let big = DatasetSpec::avazu_like(1.0);
+        assert!(small.num_samples < big.num_samples);
+        assert!(small.total_features() < big.total_features());
+    }
+
+    #[test]
+    fn geometric_vocab_sums_exactly() {
+        let v = DatasetSpec::geometric_vocab(10_000, 10, 0.5);
+        assert_eq!(v.iter().sum::<usize>(), 10_000);
+        assert!(v[0] > v[5]);
+        assert!(v.iter().all(|&x| x >= 4));
+    }
+
+    #[test]
+    fn field_offsets_partition_id_space() {
+        let s = DatasetSpec::tiny();
+        assert_eq!(s.field_offset(0), 0);
+        assert_eq!(s.field_offset(1), 64);
+        assert_eq!(s.field_offset(2), 96);
+        assert_eq!(s.field_offset(3), 112);
+        assert_eq!(s.total_features(), 120);
+    }
+
+    #[test]
+    fn tiny_vocab_minimums() {
+        // Every field must be able to hold at least num_clusters slices of
+        // one feature; tiny() uses 4 clusters with min field size 8.
+        let s = DatasetSpec::tiny();
+        assert!(s.field_vocab.iter().all(|&v| v >= s.num_clusters));
+    }
+}

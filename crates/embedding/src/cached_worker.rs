@@ -1,0 +1,277 @@
+//! A HET-style worker view: dynamic LFU caching instead of static
+//! vertex-cut replicas.
+//!
+//! This is the predecessor architecture the paper compares against in
+//! spirit (§3: HET's "embedding-cache-enabled architecture with
+//! fine-grained consistency"): rows are cached on first use by observed
+//! frequency, consistency is per-embedding clock-bounded (*intra* only — the
+//! graph-based *inter*-embedding synchronisation is exactly what HET-GMP
+//! adds on top). Sharing `ReadReport`/`UpdateReport` with
+//! [`crate::WorkerEmbedding`] makes the two designs directly comparable on
+//! one substrate (see the `cache_comparison` ablation in `hetgmp-core`).
+
+use std::collections::HashMap;
+
+use hetgmp_partition::Partition;
+
+use crate::lfu::LfuCache;
+use crate::report::{ReadReport, UpdateReport, META_ENTRY_BYTES};
+use crate::sparse_optim::SparseOpt;
+use crate::table::ShardedTable;
+use crate::worker::StalenessBound;
+
+/// One worker's dynamically-cached embedding interface.
+pub struct CachedWorkerEmbedding<'a> {
+    worker: u32,
+    table: &'a ShardedTable,
+    part: &'a Partition,
+    bound: StalenessBound,
+    cache: LfuCache,
+    scratch_ids: HashMap<u32, usize>,
+    scratch_rows: Vec<f32>,
+}
+
+impl<'a> CachedWorkerEmbedding<'a> {
+    /// Creates the view with an empty cache of `capacity` rows.
+    pub fn new(
+        worker: u32,
+        table: &'a ShardedTable,
+        part: &'a Partition,
+        capacity: usize,
+        bound: StalenessBound,
+    ) -> Self {
+        assert_eq!(
+            part.num_embeddings(),
+            table.num_rows(),
+            "partition/table mismatch"
+        );
+        Self {
+            worker,
+            table,
+            part,
+            bound,
+            cache: LfuCache::new(table.dim(), capacity),
+            scratch_ids: HashMap::new(),
+            scratch_rows: Vec::new(),
+        }
+    }
+
+    /// Rows currently cached.
+    pub fn cached_rows(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Reads a batch under intra-embedding bounded staleness with dynamic
+    /// admission.
+    pub fn read_batch(&mut self, samples: &[&[u32]], out: &mut [f32]) -> ReadReport {
+        let dim = self.table.dim();
+        let total: usize = samples.iter().map(|s| s.len()).sum();
+        assert_eq!(out.len(), total * dim, "output buffer size mismatch");
+        let mut report = ReadReport::default();
+        self.scratch_ids.clear();
+        self.scratch_rows.clear();
+
+        for sample in samples {
+            for &e in *sample {
+                if self.scratch_ids.contains_key(&e) {
+                    continue;
+                }
+                let slot = self.scratch_rows.len();
+                self.scratch_rows.resize(slot + dim, 0.0);
+                self.cache.touch(e);
+                if self.part.primary_of(e) == self.worker {
+                    self.table
+                        .read_row(e, &mut self.scratch_rows[slot..slot + dim]);
+                    report.local_primary += 1;
+                } else if self.cache.contains(e) {
+                    let fresh = match self.bound {
+                        StalenessBound::Infinite => true,
+                        StalenessBound::Bounded(_) => {
+                            report.meta_bytes += META_ENTRY_BYTES;
+                            let gap = self
+                                .table
+                                .clock(e)
+                                .saturating_sub(self.cache.effective_clock(e).expect("cached"));
+                            matches!(self.bound, StalenessBound::Bounded(s) if gap <= s)
+                        }
+                    };
+                    if fresh {
+                        self.cache
+                            .read(e, &mut self.scratch_rows[slot..slot + dim]);
+                        report.local_fresh += 1;
+                    } else {
+                        let buf = &mut self.scratch_rows[slot..slot + dim];
+                        let clock = self.table.read_row(e, buf);
+                        self.cache.refresh(e, buf, clock);
+                        report.intra_syncs += 1;
+                        report.data_bytes += (dim * 4) as u64;
+                        report.add_src_bytes(
+                            self.part.primary_of(e),
+                            (dim * 4) as u64,
+                            self.part.num_partitions(),
+                        );
+                        report.messages += 1;
+                    }
+                } else {
+                    let buf = &mut self.scratch_rows[slot..slot + dim];
+                    let clock = self.table.read_row(e, buf);
+                    report.remote_fetches += 1;
+                    report.data_bytes += (dim * 4) as u64;
+                    report.add_src_bytes(
+                        self.part.primary_of(e),
+                        (dim * 4) as u64,
+                        self.part.num_partitions(),
+                    );
+                    report.meta_bytes += META_ENTRY_BYTES;
+                    report.messages += 1;
+                    // Dynamic admission: the fetch already paid the traffic.
+                    let values = buf.to_vec();
+                    self.cache.admit(e, &values, clock);
+                }
+                self.scratch_ids.insert(e, slot);
+            }
+        }
+
+        let mut cursor = 0usize;
+        for sample in samples {
+            for &e in *sample {
+                let slot = self.scratch_ids[&e];
+                out[cursor..cursor + dim]
+                    .copy_from_slice(&self.scratch_rows[slot..slot + dim]);
+                cursor += dim;
+            }
+        }
+        report
+    }
+
+    /// Applies per-lookup gradients (local reduction, immediate write-back —
+    /// HET pushes updates eagerly; deferred stale-gradient buffers are the
+    /// HET-GMP refinement).
+    pub fn apply_gradients(
+        &mut self,
+        samples: &[&[u32]],
+        grads: &[f32],
+        opt: &SparseOpt,
+    ) -> UpdateReport {
+        let dim = self.table.dim();
+        let total: usize = samples.iter().map(|s| s.len()).sum();
+        assert_eq!(grads.len(), total * dim, "gradient buffer size mismatch");
+
+        let mut reduced: HashMap<u32, Vec<f32>> = HashMap::new();
+        let mut cursor = 0usize;
+        for sample in samples {
+            for &e in *sample {
+                let g = &grads[cursor..cursor + dim];
+                match reduced.get_mut(&e) {
+                    Some(acc) => {
+                        for (a, &x) in acc.iter_mut().zip(g) {
+                            *a += x;
+                        }
+                    }
+                    None => {
+                        reduced.insert(e, g.to_vec());
+                    }
+                }
+                cursor += dim;
+            }
+        }
+
+        let mut report = UpdateReport::default();
+        let mut ids: Vec<u32> = reduced.keys().copied().collect();
+        ids.sort_unstable();
+        let lr = opt.learning_rate();
+        let mut delta = vec![0.0f32; dim];
+        for e in ids {
+            let g = &reduced[&e];
+            self.table.apply_grad(e, g, opt);
+            if self.part.primary_of(e) == self.worker {
+                report.local_updates += 1;
+            } else {
+                report.remote_writebacks += 1;
+                report.data_bytes += (dim * 4) as u64;
+                report.add_dst_bytes(
+                    self.part.primary_of(e),
+                    (dim * 4) as u64,
+                    self.part.num_partitions(),
+                );
+                report.meta_bytes += META_ENTRY_BYTES;
+                report.messages += 1;
+            }
+            if self.cache.contains(e) {
+                for (d, &x) in delta.iter_mut().zip(g) {
+                    *d = -lr * x;
+                }
+                self.cache.apply_local_delta(e, &delta);
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(_table: &ShardedTable) -> Partition {
+        Partition::new(2, vec![0, 1], vec![1, 1, 1, 1])
+    }
+
+    #[test]
+    fn caches_after_first_fetch() {
+        let table = ShardedTable::new(4, 2, 0.0, 1);
+        let part = setup(&table);
+        let mut w = CachedWorkerEmbedding::new(0, &table, &part, 2, StalenessBound::Bounded(10));
+        let samples: Vec<&[u32]> = vec![&[0]];
+        let mut out = vec![0.0; 2];
+        let r1 = w.read_batch(&samples, &mut out);
+        assert_eq!(r1.remote_fetches, 1);
+        assert_eq!(w.cached_rows(), 1);
+        let r2 = w.read_batch(&samples, &mut out);
+        assert_eq!(r2.remote_fetches, 0);
+        assert_eq!(r2.local_fresh, 1);
+    }
+
+    #[test]
+    fn staleness_forces_refresh() {
+        let table = ShardedTable::new(4, 2, 0.0, 1);
+        let part = setup(&table);
+        let mut w = CachedWorkerEmbedding::new(0, &table, &part, 2, StalenessBound::Bounded(1));
+        let samples: Vec<&[u32]> = vec![&[0]];
+        let mut out = vec![0.0; 2];
+        w.read_batch(&samples, &mut out);
+        for _ in 0..3 {
+            table.apply_grad(0, &[1.0, 0.0], &SparseOpt::sgd(0.1));
+        }
+        let r = w.read_batch(&samples, &mut out);
+        assert_eq!(r.intra_syncs, 1);
+        assert!((out[0] + 0.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn capacity_bounds_cache() {
+        let table = ShardedTable::new(4, 2, 0.0, 1);
+        let part = setup(&table);
+        let mut w = CachedWorkerEmbedding::new(0, &table, &part, 1, StalenessBound::Bounded(10));
+        let samples: Vec<&[u32]> = vec![&[0, 1, 2, 3]];
+        let mut out = vec![0.0; 8];
+        w.read_batch(&samples, &mut out);
+        assert_eq!(w.cached_rows(), 1);
+    }
+
+    #[test]
+    fn updates_route_and_mirror() {
+        let table = ShardedTable::new(4, 2, 0.0, 1);
+        let part = setup(&table);
+        let mut w = CachedWorkerEmbedding::new(0, &table, &part, 4, StalenessBound::Bounded(10));
+        let samples: Vec<&[u32]> = vec![&[0]];
+        let mut out = vec![0.0; 2];
+        w.read_batch(&samples, &mut out); // admit
+        let r = w.apply_gradients(&samples, &[1.0, 0.0], &SparseOpt::sgd(0.1));
+        assert_eq!(r.remote_writebacks, 1);
+        // Cached mirror matches primary.
+        w.read_batch(&samples, &mut out);
+        let mut primary = vec![0.0; 2];
+        table.read_row(0, &mut primary);
+        assert_eq!(out, primary);
+    }
+}

@@ -1,0 +1,167 @@
+//! Embedding-table checkpointing: a simple, versioned little-endian binary
+//! format (`HGMP` magic) for saving and restoring the primary store,
+//! including row clocks — enough to pause/resume training or export a
+//! trained table for serving.
+
+use std::io::{self, Read, Write};
+
+use crate::table::ShardedTable;
+
+const MAGIC: &[u8; 4] = b"HGMP";
+const VERSION: u32 = 1;
+
+/// Checkpoint I/O failures.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not a checkpoint file / wrong version.
+    BadHeader(String),
+    /// Shape mismatch on restore.
+    ShapeMismatch {
+        /// Rows/dim in the file.
+        file: (usize, usize),
+        /// Rows/dim of the target table.
+        table: (usize, usize),
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "i/o error: {e}"),
+            CheckpointError::BadHeader(msg) => write!(f, "bad checkpoint header: {msg}"),
+            CheckpointError::ShapeMismatch { file, table } => write!(
+                f,
+                "shape mismatch: file {}x{}, table {}x{}",
+                file.0, file.1, table.0, table.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Writes the table (values + clocks) to `writer`.
+pub fn save_table<W: Write>(table: &ShardedTable, mut writer: W) -> Result<(), CheckpointError> {
+    writer.write_all(MAGIC)?;
+    writer.write_all(&VERSION.to_le_bytes())?;
+    writer.write_all(&(table.num_rows() as u64).to_le_bytes())?;
+    writer.write_all(&(table.dim() as u64).to_le_bytes())?;
+    let mut row = vec![0.0f32; table.dim()];
+    for r in 0..table.num_rows() as u32 {
+        let clock = table.read_row(r, &mut row);
+        writer.write_all(&clock.to_le_bytes())?;
+        for &x in &row {
+            writer.write_all(&x.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Restores values into an existing table of matching shape.
+///
+/// Clocks in the file are informational on restore (the in-memory clocks are
+/// atomic counters starting from the restored values would require interior
+/// mutation; instead the restored table starts with fresh clocks, which is
+/// sound: staleness bounds are *relative* gaps).
+pub fn load_table<R: Read>(table: &ShardedTable, mut reader: R) -> Result<(), CheckpointError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadHeader(format!(
+            "magic {magic:?} != {MAGIC:?}"
+        )));
+    }
+    let mut u32buf = [0u8; 4];
+    reader.read_exact(&mut u32buf)?;
+    let version = u32::from_le_bytes(u32buf);
+    if version != VERSION {
+        return Err(CheckpointError::BadHeader(format!(
+            "version {version} unsupported"
+        )));
+    }
+    let mut u64buf = [0u8; 8];
+    reader.read_exact(&mut u64buf)?;
+    let rows = u64::from_le_bytes(u64buf) as usize;
+    reader.read_exact(&mut u64buf)?;
+    let dim = u64::from_le_bytes(u64buf) as usize;
+    if rows != table.num_rows() || dim != table.dim() {
+        return Err(CheckpointError::ShapeMismatch {
+            file: (rows, dim),
+            table: (table.num_rows(), table.dim()),
+        });
+    }
+    let mut row = vec![0.0f32; dim];
+    let mut f32buf = [0u8; 4];
+    for r in 0..rows as u32 {
+        reader.read_exact(&mut u64buf)?; // stored clock (see docs)
+        for x in &mut row {
+            reader.read_exact(&mut f32buf)?;
+            *x = f32::from_le_bytes(f32buf);
+        }
+        table.write_row(r, &row);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse_optim::SparseOpt;
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let t = ShardedTable::new(32, 4, 0.1, 7);
+        t.apply_grad(3, &[1.0, 2.0, 3.0, 4.0], &SparseOpt::sgd(0.1));
+        let mut buf = Vec::new();
+        save_table(&t, &mut buf).unwrap();
+
+        let restored = ShardedTable::new(32, 4, 0.0, 99); // different init
+        load_table(&restored, buf.as_slice()).unwrap();
+        let mut a = vec![0.0; 4];
+        let mut b = vec![0.0; 4];
+        for r in 0..32u32 {
+            t.read_row(r, &mut a);
+            restored.read_row(r, &mut b);
+            assert_eq!(a, b, "row {r}");
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let t = ShardedTable::new(4, 2, 0.0, 1);
+        let err = load_table(&t, &b"NOPE\x01\x00\x00\x00"[..]).unwrap_err();
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let t = ShardedTable::new(8, 2, 0.1, 1);
+        let mut buf = Vec::new();
+        save_table(&t, &mut buf).unwrap();
+        let small = ShardedTable::new(4, 2, 0.0, 1);
+        match load_table(&small, buf.as_slice()).unwrap_err() {
+            CheckpointError::ShapeMismatch { file, table } => {
+                assert_eq!(file, (8, 2));
+                assert_eq!(table, (4, 2));
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn truncated_file_errors() {
+        let t = ShardedTable::new(8, 2, 0.1, 1);
+        let mut buf = Vec::new();
+        save_table(&t, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(load_table(&t, buf.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,259 @@
+//! A dynamic LFU embedding cache — the design of HET (Miao et al., VLDB
+//! 2022), the predecessor system the paper builds on ("HET proposes an
+//! embedding-cache-enabled architecture with fine-grained consistency").
+//!
+//! Where HET-GMP decides replicas *statically* from the bigraph (2D
+//! vertex-cut), HET caches rows *dynamically* by observed access frequency.
+//! This module provides the cache so the two designs can be compared on the
+//! same substrate (see the `cache_comparison` ablation).
+
+use std::collections::HashMap;
+
+/// A fixed-capacity least-frequently-used cache of embedding rows with
+/// staleness bookkeeping compatible with the bounded-asynchrony protocol.
+#[derive(Debug)]
+pub struct LfuCache {
+    dim: usize,
+    capacity: usize,
+    /// id → slot index.
+    slots: HashMap<u32, usize>,
+    /// Reverse map: slot → id (u32::MAX = free).
+    ids: Vec<u32>,
+    data: Vec<f32>,
+    base_clock: Vec<u64>,
+    local_updates: Vec<u64>,
+    /// In-cache access frequency per slot.
+    slot_freq: Vec<u64>,
+    /// Global access counts (admission decisions need frequency estimates
+    /// for *uncached* rows too).
+    counts: HashMap<u32, u64>,
+}
+
+impl LfuCache {
+    /// Creates an empty cache for rows of `dim` floats with `capacity`
+    /// slots.
+    pub fn new(dim: usize, capacity: usize) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        Self {
+            dim,
+            capacity,
+            slots: HashMap::with_capacity(capacity),
+            ids: vec![u32::MAX; capacity],
+            data: vec![0.0; capacity * dim],
+            base_clock: vec![0; capacity],
+            local_updates: vec![0; capacity],
+            slot_freq: vec![0; capacity],
+            counts: HashMap::new(),
+        }
+    }
+
+    /// Capacity in rows.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Rows currently cached.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// True when `row` is cached.
+    pub fn contains(&self, row: u32) -> bool {
+        self.slots.contains_key(&row)
+    }
+
+    /// Records an access to `row` (for admission statistics) and bumps its
+    /// in-cache frequency if cached. Returns the updated global count.
+    pub fn touch(&mut self, row: u32) -> u64 {
+        let c = self.counts.entry(row).or_insert(0);
+        *c += 1;
+        let count = *c;
+        if let Some(&slot) = self.slots.get(&row) {
+            self.slot_freq[slot] = count;
+        }
+        count
+    }
+
+    /// Effective clock of a cached row.
+    pub fn effective_clock(&self, row: u32) -> Option<u64> {
+        self.slots
+            .get(&row)
+            .map(|&s| self.base_clock[s] + self.local_updates[s])
+    }
+
+    /// Reads a cached row into `out`; false when absent.
+    pub fn read(&self, row: u32, out: &mut [f32]) -> bool {
+        assert_eq!(out.len(), self.dim, "buffer length != dim");
+        match self.slots.get(&row) {
+            Some(&s) => {
+                out.copy_from_slice(&self.data[s * self.dim..(s + 1) * self.dim]);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Applies a delta to a cached row, advancing its effective clock.
+    pub fn apply_local_delta(&mut self, row: u32, delta: &[f32]) -> bool {
+        assert_eq!(delta.len(), self.dim, "delta length != dim");
+        match self.slots.get(&row) {
+            Some(&s) => {
+                for (d, &x) in self.data[s * self.dim..(s + 1) * self.dim]
+                    .iter_mut()
+                    .zip(delta)
+                {
+                    *d += x;
+                }
+                self.local_updates[s] += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Offers a freshly-fetched row for admission. Admits when a slot is
+    /// free or when `row`'s observed frequency exceeds the coldest cached
+    /// row's (LFU displacement). Returns true if the row is now cached.
+    pub fn admit(&mut self, row: u32, values: &[f32], primary_clock: u64) -> bool {
+        assert_eq!(values.len(), self.dim, "values length != dim");
+        if self.capacity == 0 {
+            return false;
+        }
+        if let Some(&s) = self.slots.get(&row) {
+            // Refresh in place.
+            self.install_at(s, row, values, primary_clock);
+            return true;
+        }
+        let freq = self.counts.get(&row).copied().unwrap_or(0);
+        if self.slots.len() < self.capacity {
+            let s = self.ids.iter().position(|&i| i == u32::MAX).expect("free slot");
+            self.slots.insert(row, s);
+            self.install_at(s, row, values, primary_clock);
+            self.slot_freq[s] = freq;
+            return true;
+        }
+        // Find the coldest victim.
+        let (victim_slot, &victim_freq) = self
+            .slot_freq
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, f)| *f)
+            .expect("non-empty cache");
+        if freq <= victim_freq {
+            return false;
+        }
+        let victim_id = self.ids[victim_slot];
+        self.slots.remove(&victim_id);
+        self.slots.insert(row, victim_slot);
+        self.install_at(victim_slot, row, values, primary_clock);
+        self.slot_freq[victim_slot] = freq;
+        true
+    }
+
+    fn install_at(&mut self, slot: usize, row: u32, values: &[f32], primary_clock: u64) {
+        self.ids[slot] = row;
+        self.data[slot * self.dim..(slot + 1) * self.dim].copy_from_slice(values);
+        self.base_clock[slot] = primary_clock;
+        self.local_updates[slot] = 0;
+    }
+
+    /// Refreshes a cached row after a staleness sync.
+    ///
+    /// # Panics
+    /// Panics if the row is not cached.
+    pub fn refresh(&mut self, row: u32, values: &[f32], primary_clock: u64) {
+        let &s = self.slots.get(&row).expect("row not cached");
+        self.install_at(s, row, values, primary_clock);
+    }
+
+    /// Currently cached row ids (sorted).
+    pub fn cached_ids(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.slots.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_free_slots_first() {
+        let mut c = LfuCache::new(2, 2);
+        assert!(c.is_empty());
+        assert!(c.admit(5, &[1.0, 2.0], 0));
+        assert!(c.admit(9, &[3.0, 4.0], 0));
+        assert_eq!(c.len(), 2);
+        let mut buf = [0.0; 2];
+        assert!(c.read(5, &mut buf));
+        assert_eq!(buf, [1.0, 2.0]);
+    }
+
+    #[test]
+    fn lfu_displacement() {
+        let mut c = LfuCache::new(1, 2);
+        c.admit(1, &[1.0], 0);
+        c.admit(2, &[2.0], 0);
+        // Row 3 has frequency 0 — not admitted over rows with equal freq.
+        assert!(!c.admit(3, &[3.0], 0));
+        // Make row 3 hot: 5 accesses; rows 1/2 get 1 each.
+        c.touch(1);
+        c.touch(2);
+        for _ in 0..5 {
+            c.touch(3);
+        }
+        assert!(c.admit(3, &[3.0], 0));
+        assert!(c.contains(3));
+        // One of 1/2 was evicted.
+        assert_eq!(c.len(), 2);
+        assert!(!(c.contains(1) && c.contains(2)));
+    }
+
+    #[test]
+    fn clock_and_delta_tracking() {
+        let mut c = LfuCache::new(2, 1);
+        c.admit(4, &[0.0, 0.0], 10);
+        assert_eq!(c.effective_clock(4), Some(10));
+        c.apply_local_delta(4, &[1.0, -1.0]);
+        assert_eq!(c.effective_clock(4), Some(11));
+        let mut buf = [0.0; 2];
+        c.read(4, &mut buf);
+        assert_eq!(buf, [1.0, -1.0]);
+        c.refresh(4, &[9.0, 9.0], 20);
+        assert_eq!(c.effective_clock(4), Some(20));
+    }
+
+    #[test]
+    fn zero_capacity_never_caches() {
+        let mut c = LfuCache::new(2, 0);
+        c.touch(1);
+        assert!(!c.admit(1, &[0.0, 0.0], 0));
+        assert!(!c.contains(1));
+    }
+
+    #[test]
+    fn readmission_refreshes() {
+        let mut c = LfuCache::new(1, 1);
+        c.admit(7, &[1.0], 3);
+        c.apply_local_delta(7, &[0.5]);
+        assert!(c.admit(7, &[2.0], 8)); // refresh path
+        assert_eq!(c.effective_clock(7), Some(8));
+        let mut buf = [0.0];
+        c.read(7, &mut buf);
+        assert_eq!(buf, [2.0]);
+    }
+
+    #[test]
+    fn cached_ids_sorted() {
+        let mut c = LfuCache::new(1, 3);
+        c.admit(9, &[0.0], 0);
+        c.admit(2, &[0.0], 0);
+        assert_eq!(c.cached_ids(), vec![2, 9]);
+    }
+}

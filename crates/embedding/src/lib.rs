@@ -1,0 +1,107 @@
+#![warn(missing_docs)]
+
+//! # hetgmp-embedding
+//!
+//! The distributed embedding table of HET-GMP (paper §5.2–5.3, §6).
+//!
+//! Layout follows Figure 6: every embedding row has exactly one **primary**
+//! replica (authoritative, "always up-to-date": every update is written back
+//! to it) on the partition chosen by the 1D edge-cut, and may have
+//! **secondary** replicas (created by 2D vertex-cut) that are allowed to go
+//! stale within the bounded-asynchrony protocol:
+//!
+//! * **intra-embedding synchronisation** — before a worker reads its
+//!   secondary copy of `x`, the copy must be within `s` updates of the
+//!   primary (missed *other-worker* updates), else it is re-fetched;
+//! * **inter-embedding synchronisation** — the embeddings co-accessed by one
+//!   sample must be mutually fresh: for a pair `(x_i, x_j)` with access
+//!   frequencies `p_i ≥ p_j`, the *normalised* clock gap
+//!   `|c_i · p_j/p_i − c_j|` must not exceed `s` (clock normalisation
+//!   eliminates the bias from uneven access frequencies, §5.3), else the
+//!   staler secondary is synchronised.
+//!
+//! Components:
+//! * [`ShardedTable`] — the global primary store: lock-striped rows +
+//!   per-row atomic update clocks; safe for concurrent worker threads
+//!   (stands in for the paper's CUDA embedding tables + NCCL p2p);
+//! * [`SecondaryCache`] — one worker's secondary replicas with base-clock /
+//!   local-update bookkeeping ("extra space for stale gradients", §6);
+//! * [`WorkerEmbedding`] — a worker's view combining both plus the
+//!   [`Partition`](hetgmp_partition::Partition): `read` with staleness
+//!   checks, `apply_gradients` with local reduction and primary write-back,
+//!   returning a [`ReadReport`]/[`UpdateReport`] of every byte that would
+//!   have crossed the interconnect;
+//! * [`SparseOpt`] — per-row SGD / Adagrad applied at the primary.
+
+pub mod cache;
+pub mod cached_worker;
+pub mod capacity;
+pub mod checkpoint;
+pub mod lfu;
+pub mod report;
+pub mod sparse_optim;
+pub mod table;
+pub mod worker;
+
+pub use cache::SecondaryCache;
+pub use cached_worker::CachedWorkerEmbedding;
+pub use capacity::CapacityPlan;
+pub use checkpoint::{load_table, save_table, CheckpointError};
+pub use lfu::LfuCache;
+pub use report::{ReadReport, UpdateReport};
+pub use sparse_optim::SparseOpt;
+pub use table::ShardedTable;
+pub use worker::{StalenessBound, WorkerEmbedding};
+
+/// A worker-side embedding interface: batch reads under some consistency
+/// discipline plus gradient application. Implemented by the statically
+/// replicated [`WorkerEmbedding`] (HET-GMP) and the dynamically cached
+/// [`CachedWorkerEmbedding`] (HET-style), so trainers can swap designs.
+pub trait EmbeddingWorker: Send {
+    /// Reads a batch of samples' rows into `out` (sample-major).
+    fn read_batch(&mut self, samples: &[&[u32]], out: &mut [f32]) -> ReadReport;
+    /// Applies per-lookup gradients aligned with the previous read.
+    fn apply_gradients(
+        &mut self,
+        samples: &[&[u32]],
+        grads: &[f32],
+        opt: &SparseOpt,
+    ) -> UpdateReport;
+    /// Flushes any deferred state (epoch/evaluation barriers).
+    fn flush_all(&mut self, opt: &SparseOpt) -> UpdateReport;
+}
+
+impl EmbeddingWorker for WorkerEmbedding<'_> {
+    fn read_batch(&mut self, samples: &[&[u32]], out: &mut [f32]) -> ReadReport {
+        WorkerEmbedding::read_batch(self, samples, out)
+    }
+    fn apply_gradients(
+        &mut self,
+        samples: &[&[u32]],
+        grads: &[f32],
+        opt: &SparseOpt,
+    ) -> UpdateReport {
+        WorkerEmbedding::apply_gradients(self, samples, grads, opt)
+    }
+    fn flush_all(&mut self, opt: &SparseOpt) -> UpdateReport {
+        WorkerEmbedding::flush_all(self, opt)
+    }
+}
+
+impl EmbeddingWorker for CachedWorkerEmbedding<'_> {
+    fn read_batch(&mut self, samples: &[&[u32]], out: &mut [f32]) -> ReadReport {
+        CachedWorkerEmbedding::read_batch(self, samples, out)
+    }
+    fn apply_gradients(
+        &mut self,
+        samples: &[&[u32]],
+        grads: &[f32],
+        opt: &SparseOpt,
+    ) -> UpdateReport {
+        CachedWorkerEmbedding::apply_gradients(self, samples, grads, opt)
+    }
+    fn flush_all(&mut self, _opt: &SparseOpt) -> UpdateReport {
+        // Dynamic caching writes back eagerly; nothing is deferred.
+        UpdateReport::default()
+    }
+}

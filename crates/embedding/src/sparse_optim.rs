@@ -1,0 +1,60 @@
+//! Sparse (per-row) optimizers applied at the primary replica.
+//!
+//! Unlike the dense optimizers in `hetgmp-tensor`, sparse optimizer state
+//! lives *with the table* (see [`crate::ShardedTable`]): a row's Adagrad
+//! accumulator must follow the row's primary, exactly as in the paper's
+//! system where the optimizer runs where the parameter lives.
+
+/// Per-row optimizer rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SparseOpt {
+    /// Plain SGD: `x ← x − lr·g`.
+    Sgd {
+        /// Learning rate.
+        lr: f32,
+    },
+    /// Adagrad: `a ← a + g²; x ← x − lr·g/(√a + eps)` — the de-facto
+    /// standard for CTR embedding tables.
+    Adagrad {
+        /// Learning rate.
+        lr: f32,
+        /// Denominator floor.
+        eps: f32,
+    },
+}
+
+impl SparseOpt {
+    /// Standard Adagrad with `eps = 1e-8`.
+    pub fn adagrad(lr: f32) -> Self {
+        SparseOpt::Adagrad { lr, eps: 1e-8 }
+    }
+
+    /// Plain SGD.
+    pub fn sgd(lr: f32) -> Self {
+        SparseOpt::Sgd { lr }
+    }
+
+    /// The configured learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        match *self {
+            SparseOpt::Sgd { lr } => lr,
+            SparseOpt::Adagrad { lr, .. } => lr,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(SparseOpt::sgd(0.1).learning_rate(), 0.1);
+        let a = SparseOpt::adagrad(0.05);
+        assert_eq!(a.learning_rate(), 0.05);
+        match a {
+            SparseOpt::Adagrad { eps, .. } => assert!(eps > 0.0),
+            _ => panic!("expected adagrad"),
+        }
+    }
+}

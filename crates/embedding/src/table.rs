@@ -1,0 +1,290 @@
+//! The global primary store: lock-striped embedding rows + atomic clocks.
+//!
+//! This is the simulation substitute for the paper's per-GPU CUDA embedding
+//! tables connected by NCCL p2p: primaries live in one shared, thread-safe
+//! structure, and *who pays for an access* is decided by the caller (the
+//! [`crate::WorkerEmbedding`] view consults the partition and reports bytes
+//! that would have crossed the interconnect).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::sparse_optim::SparseOpt;
+
+/// Number of lock stripes. Rows are distributed round-robin (`row % SHARDS`)
+/// so hot rows spread across stripes.
+const SHARDS: usize = 256;
+
+struct Shard {
+    /// Rows assigned to this shard, each `dim` floats, indexed by
+    /// `row / SHARDS`.
+    data: Vec<f32>,
+    /// Adagrad accumulators (same layout), allocated lazily on first
+    /// Adagrad update.
+    accum: Option<Vec<f32>>,
+}
+
+/// The authoritative embedding table: `num_rows × dim` f32, with a per-row
+/// update clock counting applied gradient updates (the `c_i` of §5.3).
+pub struct ShardedTable {
+    dim: usize,
+    num_rows: usize,
+    shards: Vec<RwLock<Shard>>,
+    clocks: Vec<AtomicU64>,
+}
+
+impl ShardedTable {
+    /// Creates a table initialised uniformly in `[-init_scale, init_scale]`,
+    /// deterministic in `seed`.
+    pub fn new(num_rows: usize, dim: usize, init_scale: f32, seed: u64) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        let rows_per_shard = num_rows.div_ceil(SHARDS);
+        let mut shards = Vec::with_capacity(SHARDS);
+        for s in 0..SHARDS {
+            let mut rng = StdRng::seed_from_u64(seed ^ (s as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            let data: Vec<f32> = (0..rows_per_shard * dim)
+                .map(|_| rng.gen_range(-init_scale..=init_scale))
+                .collect();
+            shards.push(RwLock::new(Shard { data, accum: None }));
+        }
+        let clocks = (0..num_rows).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            dim,
+            num_rows,
+            shards,
+            clocks,
+        }
+    }
+
+    /// Embedding dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    #[inline]
+    fn locate(&self, row: u32) -> (usize, usize) {
+        let shard = row as usize % SHARDS;
+        let slot = (row as usize / SHARDS) * self.dim;
+        (shard, slot)
+    }
+
+    /// Current update clock of `row`.
+    #[inline]
+    pub fn clock(&self, row: u32) -> u64 {
+        self.clocks[row as usize].load(Ordering::Acquire)
+    }
+
+    /// Reads `row` into `out`; returns the row's clock observed *before* the
+    /// read (a consistent-enough snapshot for staleness bookkeeping).
+    ///
+    /// # Panics
+    /// Panics if `out.len() != dim` or `row` out of range.
+    pub fn read_row(&self, row: u32, out: &mut [f32]) -> u64 {
+        assert_eq!(out.len(), self.dim, "output buffer length != dim");
+        assert!((row as usize) < self.num_rows, "row {row} out of range");
+        let clock = self.clock(row);
+        let (shard, slot) = self.locate(row);
+        let guard = self.shards[shard].read();
+        out.copy_from_slice(&guard.data[slot..slot + self.dim]);
+        clock
+    }
+
+    /// Applies one gradient `grad` to `row` under `opt`, increments the
+    /// row's clock, and returns the new clock value.
+    pub fn apply_grad(&self, row: u32, grad: &[f32], opt: &SparseOpt) -> u64 {
+        assert_eq!(grad.len(), self.dim, "gradient length != dim");
+        assert!((row as usize) < self.num_rows, "row {row} out of range");
+        let (shard, slot) = self.locate(row);
+        {
+            let mut guard = self.shards[shard].write();
+            match *opt {
+                SparseOpt::Sgd { lr } => {
+                    let data = &mut guard.data[slot..slot + self.dim];
+                    for (p, &g) in data.iter_mut().zip(grad) {
+                        *p -= lr * g;
+                    }
+                }
+                SparseOpt::Adagrad { lr, eps } => {
+                    if guard.accum.is_none() {
+                        guard.accum = Some(vec![0.0; guard.data.len()]);
+                    }
+                    let shard_mut = &mut *guard;
+                    let accum = shard_mut
+                        .accum
+                        .as_mut()
+                        .expect("accumulator allocated above");
+                    let data = &mut shard_mut.data[slot..slot + self.dim];
+                    let acc = &mut accum[slot..slot + self.dim];
+                    for ((p, &g), a) in data.iter_mut().zip(grad).zip(acc.iter_mut()) {
+                        *a += g * g;
+                        *p -= lr * g / (a.sqrt() + eps);
+                    }
+                }
+            }
+        }
+        self.clocks[row as usize].fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Overwrites `row` with explicit values (used by tests and by model
+    /// checkpoint restore). Does not advance the clock.
+    pub fn write_row(&self, row: u32, values: &[f32]) {
+        assert_eq!(values.len(), self.dim, "values length != dim");
+        let (shard, slot) = self.locate(row);
+        let mut guard = self.shards[shard].write();
+        guard.data[slot..slot + self.dim].copy_from_slice(values);
+    }
+
+    /// Sum of all clocks — total updates applied to the table.
+    pub fn total_updates(&self) -> u64 {
+        self.clocks
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Approximate heap footprint, bytes.
+    pub fn heap_bytes(&self) -> usize {
+        let data: usize = self
+            .shards
+            .iter()
+            .map(|s| {
+                let g = s.read();
+                (g.data.len() + g.accum.as_ref().map_or(0, Vec::len)) * 4
+            })
+            .sum();
+        data + self.clocks.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn init_deterministic_and_bounded() {
+        let t1 = ShardedTable::new(100, 8, 0.1, 42);
+        let t2 = ShardedTable::new(100, 8, 0.1, 42);
+        let mut a = vec![0.0; 8];
+        let mut b = vec![0.0; 8];
+        for row in [0u32, 57, 99] {
+            t1.read_row(row, &mut a);
+            t2.read_row(row, &mut b);
+            assert_eq!(a, b);
+            assert!(a.iter().all(|&x| x.abs() <= 0.1));
+        }
+    }
+
+    #[test]
+    fn sgd_update_moves_row() {
+        let t = ShardedTable::new(10, 4, 0.0, 1);
+        let grad = vec![1.0, -1.0, 0.5, 0.0];
+        assert_eq!(t.clock(3), 0);
+        let c = t.apply_grad(3, &grad, &SparseOpt::Sgd { lr: 0.1 });
+        assert_eq!(c, 1);
+        let mut row = vec![0.0; 4];
+        let seen = t.read_row(3, &mut row);
+        assert_eq!(seen, 1);
+        assert_eq!(row, vec![-0.1, 0.1, -0.05, 0.0]);
+        // Other rows untouched.
+        t.read_row(2, &mut row);
+        assert_eq!(row, vec![0.0; 4]);
+        assert_eq!(t.clock(2), 0);
+    }
+
+    #[test]
+    fn adagrad_adapts_step() {
+        let t = ShardedTable::new(4, 2, 0.0, 1);
+        let opt = SparseOpt::Adagrad { lr: 1.0, eps: 1e-8 };
+        t.apply_grad(0, &[1.0, 0.0], &opt);
+        let mut row = vec![0.0; 2];
+        t.read_row(0, &mut row);
+        let first_step = -row[0];
+        assert!((first_step - 1.0).abs() < 1e-4); // 1/sqrt(1)
+        t.apply_grad(0, &[1.0, 0.0], &opt);
+        t.read_row(0, &mut row);
+        let second_step = -row[0] - first_step;
+        assert!(second_step < first_step); // accumulated curvature shrinks steps
+    }
+
+    #[test]
+    fn write_row_does_not_tick_clock() {
+        let t = ShardedTable::new(4, 2, 0.5, 9);
+        t.write_row(1, &[7.0, 8.0]);
+        let mut row = vec![0.0; 2];
+        assert_eq!(t.read_row(1, &mut row), 0);
+        assert_eq!(row, vec![7.0, 8.0]);
+    }
+
+    #[test]
+    fn total_updates_counts_all() {
+        let t = ShardedTable::new(8, 2, 0.0, 1);
+        let opt = SparseOpt::Sgd { lr: 0.1 };
+        t.apply_grad(0, &[1.0, 1.0], &opt);
+        t.apply_grad(0, &[1.0, 1.0], &opt);
+        t.apply_grad(5, &[1.0, 1.0], &opt);
+        assert_eq!(t.total_updates(), 3);
+    }
+
+    #[test]
+    fn concurrent_updates_all_applied() {
+        let t = Arc::new(ShardedTable::new(64, 4, 0.0, 3));
+        let opt = SparseOpt::Sgd { lr: 1.0 };
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                let opt = opt.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000u32 {
+                        t.apply_grad(i % 64, &[1.0, 0.0, 0.0, 0.0], &opt);
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert_eq!(t.total_updates(), 4000);
+        // Per thread, rows 0..40 receive 16 updates and rows 40..64 receive
+        // 15 (1000 = 15×64 + 40); each update moves coord 0 by −1.
+        let mut row = vec![0.0; 4];
+        for r in 0..64u32 {
+            t.read_row(r, &mut row);
+            let expected = if r < 40 { -64.0 } else { -60.0 };
+            assert!((row[0] - expected).abs() < 1e-3, "row {r}: {}", row[0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn read_out_of_range_panics() {
+        let t = ShardedTable::new(4, 2, 0.0, 1);
+        let mut row = vec![0.0; 2];
+        t.read_row(4, &mut row);
+    }
+
+    #[test]
+    #[should_panic(expected = "dim")]
+    fn wrong_buffer_length_panics() {
+        let t = ShardedTable::new(4, 2, 0.0, 1);
+        let mut row = vec![0.0; 3];
+        t.read_row(0, &mut row);
+    }
+
+    #[test]
+    fn heap_bytes_reasonable() {
+        let t = ShardedTable::new(1000, 16, 0.1, 1);
+        // Shard padding rounds up; at least rows*dim*4 bytes.
+        assert!(t.heap_bytes() >= 1000 * 16 * 4);
+    }
+}

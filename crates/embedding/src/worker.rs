@@ -1,0 +1,758 @@
+//! A worker's view of the distributed embedding table: reads with bounded
+//! asynchrony (intra- and inter-embedding synchronisation, §5.3) and
+//! gradient write-back (§6 "Decentralized Communication").
+
+use std::collections::HashMap;
+
+use hetgmp_partition::Partition;
+
+use crate::cache::SecondaryCache;
+use crate::report::{ReadReport, UpdateReport, META_ENTRY_BYTES};
+use crate::sparse_optim::SparseOpt;
+use crate::table::ShardedTable;
+
+/// The staleness bound `s`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StalenessBound {
+    /// Tolerate clock gaps up to `s` updates; `Bounded(0)` degenerates to
+    /// fully-synchronous reads (always re-fetch secondaries).
+    Bounded(u64),
+    /// Never synchronise secondaries on read (ASP, the `s = ∞` column of
+    /// Table 2) — replicas drift until explicitly re-synced.
+    Infinite,
+}
+
+impl StalenessBound {
+    fn tolerates(&self, gap: u64) -> bool {
+        match *self {
+            StalenessBound::Bounded(s) => gap <= s,
+            StalenessBound::Infinite => true,
+        }
+    }
+
+    fn tolerates_f(&self, gap: f64) -> bool {
+        match *self {
+            StalenessBound::Bounded(s) => gap <= s as f64,
+            StalenessBound::Infinite => true,
+        }
+    }
+}
+
+/// One worker's embedding-table interface.
+///
+/// Owns the worker's [`SecondaryCache`]; shares the global
+/// [`ShardedTable`] (primaries) with all other workers. Every operation
+/// reports the bytes/messages that would have crossed the interconnect so
+/// the trainer can charge simulated time and reproduce the paper's traffic
+/// breakdowns.
+pub struct WorkerEmbedding<'a> {
+    worker: u32,
+    table: &'a ShardedTable,
+    part: &'a Partition,
+    /// Per-embedding access frequency `p_i` (bigraph degree) for clock
+    /// normalisation; zero frequencies are treated as one.
+    freq: &'a [u64],
+    bound: StalenessBound,
+    cache: SecondaryCache,
+    /// The optimizer last used by `apply_gradients`; read-path flushes of
+    /// deferred gradients apply the same rule.
+    flush_opt: SparseOpt,
+    /// Scratch: unique-id → slot in `scratch_rows`.
+    scratch_ids: HashMap<u32, usize>,
+    scratch_rows: Vec<f32>,
+}
+
+impl<'a> WorkerEmbedding<'a> {
+    /// Creates the worker view and warm-loads its secondary replicas from
+    /// the primaries (initial placement traffic is not charged, matching the
+    /// paper's measurement of steady-state iterations).
+    pub fn new(
+        worker: u32,
+        table: &'a ShardedTable,
+        part: &'a Partition,
+        freq: &'a [u64],
+        bound: StalenessBound,
+    ) -> Self {
+        assert_eq!(
+            freq.len(),
+            table.num_rows(),
+            "frequency table length mismatch"
+        );
+        assert_eq!(
+            part.num_embeddings(),
+            table.num_rows(),
+            "partition/table mismatch"
+        );
+        let secondaries: Vec<u32> = (0..table.num_rows() as u32)
+            .filter(|&e| part.is_secondary(e, worker))
+            .collect();
+        let mut cache = SecondaryCache::new(table.dim(), &secondaries);
+        let mut buf = vec![0.0f32; table.dim()];
+        for &e in &secondaries {
+            let clock = table.read_row(e, &mut buf);
+            cache.install(e, &buf, clock);
+        }
+        Self {
+            worker,
+            table,
+            part,
+            freq,
+            bound,
+            cache,
+            flush_opt: SparseOpt::sgd(0.01),
+            scratch_ids: HashMap::new(),
+            scratch_rows: Vec::new(),
+        }
+    }
+
+    /// This worker's id.
+    pub fn worker(&self) -> u32 {
+        self.worker
+    }
+
+    /// Number of secondary replicas held.
+    pub fn num_secondaries(&self) -> usize {
+        self.cache.len()
+    }
+
+    #[inline]
+    fn freq_of(&self, e: u32) -> u64 {
+        self.freq[e as usize].max(1)
+    }
+
+    /// Reads the embeddings for a batch of samples under the bounded-
+    /// asynchrony protocol. `samples` gives each sample's embedding ids;
+    /// `out` receives the rows concatenated in sample-major order
+    /// (`Σ len(sample) × dim` floats).
+    pub fn read_batch(&mut self, samples: &[&[u32]], out: &mut [f32]) -> ReadReport {
+        let dim = self.table.dim();
+        let total: usize = samples.iter().map(|s| s.len()).sum();
+        assert_eq!(out.len(), total * dim, "output buffer size mismatch");
+
+        let mut report = ReadReport::default();
+        self.scratch_ids.clear();
+        self.scratch_rows.clear();
+
+        // Pass 1 — resolve each unique id once: local primary, cached
+        // secondary (with intra-embedding staleness check), or remote fetch.
+        for sample in samples {
+            for &e in *sample {
+                if self.scratch_ids.contains_key(&e) {
+                    continue;
+                }
+                let slot = self.scratch_rows.len();
+                self.scratch_rows.resize(slot + dim, 0.0);
+                if self.part.primary_of(e) == self.worker {
+                    self.table
+                        .read_row(e, &mut self.scratch_rows[slot..slot + dim]);
+                    report.local_primary += 1;
+                } else if self.cache.contains(e) {
+                    match self.bound {
+                        StalenessBound::Infinite => {
+                            // ASP: never check, never sync.
+                            self.cache
+                                .read(e, &mut self.scratch_rows[slot..slot + dim]);
+                            report.local_fresh += 1;
+                        }
+                        StalenessBound::Bounded(_) => {
+                            // Clock exchange (paper: "send sparse indexes and
+                            // clocks ... small compared with the embedding").
+                            report.meta_bytes += META_ENTRY_BYTES;
+                            let primary_clock = self.table.clock(e);
+                            let local_clock =
+                                self.cache.effective_clock(e).expect("cached row");
+                            let gap = primary_clock.saturating_sub(local_clock);
+                            if self.bound.tolerates(gap) {
+                                self.cache
+                                    .read(e, &mut self.scratch_rows[slot..slot + dim]);
+                                report.local_fresh += 1;
+                            } else {
+                                // Push any deferred gradients first so the
+                                // fetched value includes our own updates.
+                                self.flush_pending_into_read(e, &mut report);
+                                let buf = &mut self.scratch_rows[slot..slot + dim];
+                                let clock = self.table.read_row(e, buf);
+                                self.cache.install(e, buf, clock);
+                                report.intra_syncs += 1;
+                                report.data_bytes += (dim * 4) as u64;
+                                report.add_src_bytes(
+                                    self.part.primary_of(e),
+                                    (dim * 4) as u64,
+                                    self.part.num_partitions(),
+                                );
+                                report.messages += 1;
+                            }
+                        }
+                    }
+                } else {
+                    // No local replica: model-parallel remote read.
+                    self.table
+                        .read_row(e, &mut self.scratch_rows[slot..slot + dim]);
+                    report.remote_fetches += 1;
+                    report.data_bytes += (dim * 4) as u64;
+                    report.add_src_bytes(
+                        self.part.primary_of(e),
+                        (dim * 4) as u64,
+                        self.part.num_partitions(),
+                    );
+                    report.meta_bytes += META_ENTRY_BYTES;
+                    report.messages += 1;
+                }
+                self.scratch_ids.insert(e, slot);
+            }
+        }
+
+        // Pass 2 — inter-embedding synchronisation: within each sample, all
+        // pairs of *secondary* replicas must be mutually fresh under the
+        // normalised clock (primaries and just-fetched rows are fresh by
+        // construction).
+        if !matches!(self.bound, StalenessBound::Infinite) {
+            for sample in samples {
+                for (ai, &a) in sample.iter().enumerate() {
+                    for &b in &sample[ai + 1..] {
+                        if a == b {
+                            continue;
+                        }
+                        let (Some(ca), Some(cb)) = (
+                            self.cache.effective_clock(a),
+                            self.cache.effective_clock(b),
+                        ) else {
+                            continue; // at least one side is not a secondary
+                        };
+                        // Orient so p_hot ≥ p_cold (paper: assume p_i ≥ p_j).
+                        let (hot, cold, c_hot, c_cold) = if self.freq_of(a) >= self.freq_of(b)
+                        {
+                            (a, b, ca, cb)
+                        } else {
+                            (b, a, cb, ca)
+                        };
+                        let p_hot = self.freq_of(hot) as f64;
+                        let p_cold = self.freq_of(cold) as f64;
+                        let gap = (c_hot as f64 * (p_cold / p_hot) - c_cold as f64).abs();
+                        if !self.bound.tolerates_f(gap) {
+                            // Sync whichever replica lags its own primary
+                            // more. If neither lags, the normalised gap is a
+                            // property of the *global* update counts (the
+                            // primaries themselves differ in progress) — no
+                            // replica sync can shrink it, so fetching would
+                            // be a pure no-op cost.
+                            let lag_hot = self.table.clock(hot).saturating_sub(c_hot);
+                            let lag_cold = self.table.clock(cold).saturating_sub(c_cold);
+                            if lag_hot == 0 && lag_cold == 0 {
+                                continue;
+                            }
+                            let victim = if lag_hot >= lag_cold { hot } else { cold };
+                            self.flush_pending_into_read(victim, &mut report);
+                            let slot = self.scratch_ids[&victim];
+                            let buf = &mut self.scratch_rows[slot..slot + dim];
+                            let clock = self.table.read_row(victim, buf);
+                            self.cache.install(victim, buf, clock);
+                            report.inter_syncs += 1;
+                            report.data_bytes += (dim * 4) as u64;
+                            report.add_src_bytes(
+                                self.part.primary_of(victim),
+                                (dim * 4) as u64,
+                                self.part.num_partitions(),
+                            );
+                            report.meta_bytes += META_ENTRY_BYTES;
+                            report.messages += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Pass 3 — scatter resolved rows into the caller's buffer.
+        let mut cursor = 0usize;
+        for sample in samples {
+            for &e in *sample {
+                let slot = self.scratch_ids[&e];
+                out[cursor..cursor + dim]
+                    .copy_from_slice(&self.scratch_rows[slot..slot + dim]);
+                cursor += dim;
+            }
+        }
+        report
+    }
+
+    /// Applies per-lookup gradients for a batch. `samples` and `grads` are
+    /// aligned with the corresponding [`WorkerEmbedding::read_batch`] call
+    /// (`grads` is sample-major, `Σ len(sample) × dim` floats).
+    ///
+    /// Performs the paper's local reduction first (summing duplicate rows in
+    /// the batch), then writes every reduced gradient to the row's primary;
+    /// local secondary mirrors receive the same SGD-style delta and count a
+    /// local update (their "stale gradient" copy).
+    pub fn apply_gradients(
+        &mut self,
+        samples: &[&[u32]],
+        grads: &[f32],
+        opt: &SparseOpt,
+    ) -> UpdateReport {
+        let dim = self.table.dim();
+        let total: usize = samples.iter().map(|s| s.len()).sum();
+        assert_eq!(grads.len(), total * dim, "gradient buffer size mismatch");
+
+        // Local reduction: sum gradients per unique row.
+        let mut reduced: HashMap<u32, Vec<f32>> = HashMap::new();
+        let mut cursor = 0usize;
+        for sample in samples {
+            for &e in *sample {
+                let g = &grads[cursor..cursor + dim];
+                match reduced.get_mut(&e) {
+                    Some(acc) => {
+                        for (a, &x) in acc.iter_mut().zip(g) {
+                            *a += x;
+                        }
+                    }
+                    None => {
+                        reduced.insert(e, g.to_vec());
+                    }
+                }
+                cursor += dim;
+            }
+        }
+
+        let mut report = UpdateReport::default();
+        self.flush_opt = *opt;
+        // Deterministic application order.
+        let mut ids: Vec<u32> = reduced.keys().copied().collect();
+        ids.sort_unstable();
+        let lr = opt.learning_rate();
+        let mut delta = vec![0.0f32; dim];
+        // Deferral budget: with a positive staleness bound, gradients for
+        // locally-replicated rows are *accumulated* in the secondary's
+        // stale-gradient buffer (paper §6) and flushed as one merged
+        // write-back — this is what shrinks write traffic as `s` grows
+        // (Figure 8's 2-D columns). The budget honours the bound: a worker
+        // deferring `k` updates makes every *other* replica miss up to `k`
+        // updates, and with `N−1` peers deferring symmetrically a replica
+        // can miss `(N−1)·k`; keeping that within `s` gives
+        // `k ≤ max(1, s/N)`.
+        let n = self.part.num_partitions() as u64;
+        let defer_threshold: Option<u64> = match self.bound {
+            StalenessBound::Bounded(s) if s > 0 => Some((s / n).max(1)),
+            StalenessBound::Infinite => Some(u64::MAX),
+            _ => None,
+        };
+        for e in ids {
+            let g = &reduced[&e];
+            let primary_local = self.part.primary_of(e) == self.worker;
+            if primary_local {
+                self.table.apply_grad(e, g, opt);
+                report.local_updates += 1;
+                continue;
+            }
+            if let (Some(threshold), true) = (defer_threshold, self.cache.contains(e)) {
+                // Mirror locally (uncounted — the clock advances at flush),
+                // defer the primary write-back.
+                for (d, &x) in delta.iter_mut().zip(g) {
+                    *d = -lr * x;
+                }
+                self.cache.apply_local_delta_uncounted(e, &delta);
+                let pending = self.cache.accumulate_pending(e, g) as u64;
+                report.deferred += 1;
+                if pending >= threshold {
+                    self.flush_row(e, opt, &mut report);
+                }
+                continue;
+            }
+            // Immediate write-back (no replica, or s = 0).
+            self.table.apply_grad(e, g, opt);
+            report.remote_writebacks += 1;
+            report.data_bytes += (dim * 4) as u64;
+            report.add_dst_bytes(
+                self.part.primary_of(e),
+                (dim * 4) as u64,
+                self.part.num_partitions(),
+            );
+            report.meta_bytes += META_ENTRY_BYTES;
+            report.messages += 1;
+            if self.cache.contains(e) {
+                for (d, &x) in delta.iter_mut().zip(g) {
+                    *d = -lr * x;
+                }
+                self.cache.apply_local_delta(e, &delta);
+            }
+        }
+        report
+    }
+
+    /// Flushes one row's pending gradient to its primary; accounts the
+    /// write-back into `report`.
+    fn flush_row(&mut self, e: u32, opt: &SparseOpt, report: &mut UpdateReport) {
+        let dim = self.table.dim();
+        let mut buf = vec![0.0f32; dim];
+        if self.cache.take_pending(e, &mut buf) {
+            self.table.apply_grad(e, &buf, opt);
+            self.cache.note_flush(e);
+            report.remote_writebacks += 1;
+            report.data_bytes += (dim * 4) as u64;
+            report.add_dst_bytes(
+                self.part.primary_of(e),
+                (dim * 4) as u64,
+                self.part.num_partitions(),
+            );
+            report.meta_bytes += META_ENTRY_BYTES;
+            report.messages += 1;
+        }
+    }
+
+    /// Flushes a row's pending gradient during a read-path sync; bytes are
+    /// accounted into the read report. Returns true if anything was flushed.
+    fn flush_pending_into_read(&mut self, e: u32, report: &mut ReadReport) -> bool {
+        let dim = self.table.dim();
+        let mut buf = vec![0.0f32; dim];
+        if self.cache.take_pending(e, &mut buf) {
+            let opt = self.flush_opt;
+            self.table.apply_grad(e, &buf, &opt);
+            self.cache.note_flush(e);
+            report.data_bytes += (dim * 4) as u64;
+            report.add_src_bytes(
+                self.part.primary_of(e),
+                (dim * 4) as u64,
+                self.part.num_partitions(),
+            );
+            report.meta_bytes += META_ENTRY_BYTES;
+            report.messages += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Flushes every pending deferred gradient (epoch boundaries,
+    /// evaluation barriers). Returns the accounting for the write-backs.
+    pub fn flush_all(&mut self, opt: &SparseOpt) -> UpdateReport {
+        let mut report = UpdateReport::default();
+        for e in self.cache.rows_with_pending() {
+            self.flush_row(e, opt, &mut report);
+        }
+        report
+    }
+
+    /// Forces a full refresh of every secondary replica (used at evaluation
+    /// barriers). Returns the number of rows synced.
+    pub fn sync_all(&mut self) -> usize {
+        let dim = self.table.dim();
+        let mut buf = vec![0.0f32; dim];
+        let ids: Vec<u32> = (0..self.table.num_rows() as u32)
+            .filter(|&e| self.cache.contains(e))
+            .collect();
+        for &e in &ids {
+            let clock = self.table.read_row(e, &mut buf);
+            self.cache.install(e, &buf, clock);
+        }
+        ids.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 2 workers, 4 embeddings (dim 2). Primaries: 0,1 on worker 0; 2,3 on
+    /// worker 1. Worker 0 holds a secondary of 2; worker 1 a secondary of 0.
+    fn setup(_table: &ShardedTable) -> Partition {
+        let mut p = Partition::new(2, vec![0, 1], vec![0, 0, 1, 1]);
+        p.add_replica(2, 0);
+        p.add_replica(0, 1);
+        p
+    }
+
+    fn freq4() -> Vec<u64> {
+        vec![10, 5, 10, 5]
+    }
+
+    #[test]
+    fn local_primary_reads_free() {
+        let table = ShardedTable::new(4, 2, 0.0, 1);
+        let part = setup(&table);
+        let freq = freq4();
+        let mut w0 = WorkerEmbedding::new(0, &table, &part, &freq, StalenessBound::Bounded(10));
+        let samples: Vec<&[u32]> = vec![&[0, 1]];
+        let mut out = vec![0.0; 4];
+        let r = w0.read_batch(&samples, &mut out);
+        assert_eq!(r.local_primary, 2);
+        assert_eq!(r.remote_total(), 0);
+        assert_eq!(r.data_bytes, 0);
+    }
+
+    #[test]
+    fn secondary_fresh_within_bound() {
+        let table = ShardedTable::new(4, 2, 0.0, 1);
+        let part = setup(&table);
+        let freq = freq4();
+        let mut w0 = WorkerEmbedding::new(0, &table, &part, &freq, StalenessBound::Bounded(5));
+        assert_eq!(w0.num_secondaries(), 1);
+        // Another worker updates embedding 2 three times (gap 3 ≤ 5).
+        for _ in 0..3 {
+            table.apply_grad(2, &[1.0, 0.0], &SparseOpt::sgd(0.1));
+        }
+        let samples: Vec<&[u32]> = vec![&[2]];
+        let mut out = vec![0.0; 2];
+        let r = w0.read_batch(&samples, &mut out);
+        assert_eq!(r.local_fresh, 1);
+        assert_eq!(r.intra_syncs, 0);
+        assert!(r.meta_bytes > 0); // clock check still exchanged metadata
+        // Cache value is the stale (pre-update) one: 0.0.
+        assert_eq!(out, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn intra_sync_fires_beyond_bound() {
+        let table = ShardedTable::new(4, 2, 0.0, 1);
+        let part = setup(&table);
+        let freq = freq4();
+        let mut w0 = WorkerEmbedding::new(0, &table, &part, &freq, StalenessBound::Bounded(2));
+        for _ in 0..3 {
+            table.apply_grad(2, &[1.0, 0.0], &SparseOpt::sgd(0.1));
+        }
+        let samples: Vec<&[u32]> = vec![&[2]];
+        let mut out = vec![0.0; 2];
+        let r = w0.read_batch(&samples, &mut out);
+        assert_eq!(r.intra_syncs, 1);
+        assert!(r.data_bytes > 0);
+        assert!((out[0] + 0.3).abs() < 1e-6); // fresh value −3·0.1
+        // Second read is fresh again.
+        let r2 = w0.read_batch(&samples, &mut out);
+        assert_eq!(r2.local_fresh, 1);
+        assert_eq!(r2.intra_syncs, 0);
+    }
+
+    #[test]
+    fn s_zero_always_syncs() {
+        let table = ShardedTable::new(4, 2, 0.0, 1);
+        let part = setup(&table);
+        let freq = freq4();
+        let mut w0 = WorkerEmbedding::new(0, &table, &part, &freq, StalenessBound::Bounded(0));
+        table.apply_grad(2, &[1.0, 0.0], &SparseOpt::sgd(0.1));
+        let samples: Vec<&[u32]> = vec![&[2]];
+        let mut out = vec![0.0; 2];
+        let r = w0.read_batch(&samples, &mut out);
+        assert_eq!(r.intra_syncs, 1);
+    }
+
+    #[test]
+    fn infinite_never_syncs() {
+        let table = ShardedTable::new(4, 2, 0.0, 1);
+        let part = setup(&table);
+        let freq = freq4();
+        let mut w0 = WorkerEmbedding::new(0, &table, &part, &freq, StalenessBound::Infinite);
+        for _ in 0..1000 {
+            table.apply_grad(2, &[1.0, 0.0], &SparseOpt::sgd(0.1));
+        }
+        let samples: Vec<&[u32]> = vec![&[2]];
+        let mut out = vec![0.0; 2];
+        let r = w0.read_batch(&samples, &mut out);
+        assert_eq!(r.local_fresh, 1);
+        assert_eq!(r.remote_total(), 0);
+        assert_eq!(r.meta_bytes, 0);
+        assert_eq!(out, vec![0.0, 0.0]); // arbitrarily stale
+    }
+
+    #[test]
+    fn remote_fetch_when_no_replica() {
+        let table = ShardedTable::new(4, 2, 0.0, 1);
+        let part = setup(&table);
+        let freq = freq4();
+        // Worker 0 has no replica of embedding 3.
+        let mut w0 = WorkerEmbedding::new(0, &table, &part, &freq, StalenessBound::Bounded(10));
+        let samples: Vec<&[u32]> = vec![&[3]];
+        let mut out = vec![0.0; 2];
+        let r = w0.read_batch(&samples, &mut out);
+        assert_eq!(r.remote_fetches, 1);
+        assert_eq!(r.data_bytes, 8);
+    }
+
+    #[test]
+    fn duplicate_ids_resolved_once() {
+        let table = ShardedTable::new(4, 2, 0.0, 1);
+        let part = setup(&table);
+        let freq = freq4();
+        let mut w0 = WorkerEmbedding::new(0, &table, &part, &freq, StalenessBound::Bounded(10));
+        let samples: Vec<&[u32]> = vec![&[3, 3], &[3]];
+        let mut out = vec![0.0; 6];
+        let r = w0.read_batch(&samples, &mut out);
+        assert_eq!(r.remote_fetches, 1, "batch dedup failed");
+        assert_eq!(r.lookups(), 1);
+    }
+
+    #[test]
+    fn inter_sync_on_divergent_replicas() {
+        let table = ShardedTable::new(4, 2, 0.0, 1);
+        let mut part = Partition::new(2, vec![0, 1], vec![1, 1, 1, 1]);
+        part.add_replica(0, 0);
+        part.add_replica(2, 0);
+        // freq: emb0 hot (100), emb2 cold (1).
+        let freq = vec![100, 1, 1, 1];
+        let mut w0 = WorkerEmbedding::new(0, &table, &part, &freq, StalenessBound::Bounded(3));
+        // Other worker updates emb0 120 times; worker 0's secondary of 0 has
+        // effective clock 0 → intra gap 120 (would sync via intra anyway);
+        // to isolate the inter check, first sync emb0, then update emb2 a
+        // few times beyond its normalised allowance.
+        for _ in 0..120 {
+            table.apply_grad(0, &[0.1, 0.0], &SparseOpt::sgd(0.1));
+        }
+        w0.sync_all(); // emb0 clock 120, emb2 clock 0
+        // Now: c_hot(emb0)=120, p_hot=100; c_cold(emb2)=0, p_cold=1.
+        // Normalised gap = |120·(1/100) − 0| = 1.2 ≤ 3 → fresh.
+        let samples: Vec<&[u32]> = vec![&[0, 2]];
+        let mut out = vec![0.0; 4];
+        let r = w0.read_batch(&samples, &mut out);
+        assert_eq!(r.inter_syncs, 0, "{r:?}");
+        // Update emb0 another 400 times and emb2 twice (within its intra
+        // bound): the normalised pair gap is 5.2 > 3 → the inter check
+        // fires, and emb2 (the replica that actually lags its primary) is
+        // the sync victim.
+        for _ in 0..400 {
+            table.apply_grad(0, &[0.1, 0.0], &SparseOpt::sgd(0.1));
+        }
+        for _ in 0..2 {
+            table.apply_grad(2, &[0.1, 0.0], &SparseOpt::sgd(0.1));
+        }
+        // emb0's intra gap is 400 > 3 so it syncs intra first; emb2's gap of
+        // 2 passes intra; the pair check compares 520/100 ≈ 5.2 vs emb2's 0
+        // → inter sync of emb2.
+        let r2 = w0.read_batch(&samples, &mut out);
+        assert_eq!(r2.intra_syncs, 1);
+        assert_eq!(r2.inter_syncs, 1, "{r2:?}");
+        // A pair that is inconsistent only in *global* progress (both
+        // replicas fresh) must NOT trigger wasted syncs.
+        let r3 = w0.read_batch(&samples, &mut out);
+        assert_eq!(r3.inter_syncs, 0, "{r3:?}");
+    }
+
+    #[test]
+    fn apply_gradients_reduces_and_routes() {
+        let table = ShardedTable::new(4, 2, 0.0, 1);
+        let part = setup(&table);
+        let freq = freq4();
+        let mut w0 = WorkerEmbedding::new(0, &table, &part, &freq, StalenessBound::Bounded(10));
+        // Sample 0 uses emb 0 twice and emb 3 once.
+        let samples: Vec<&[u32]> = vec![&[0, 0, 3]];
+        let grads = vec![1.0, 0.0, 1.0, 0.0, 2.0, 2.0];
+        let r = w0.apply_gradients(&samples, &grads, &SparseOpt::sgd(0.1));
+        assert_eq!(r.local_updates, 1); // emb 0 (primary on worker 0)
+        assert_eq!(r.remote_writebacks, 1); // emb 3 (primary on worker 1)
+        // emb0 received the *reduced* gradient (1+1, 0+0) in one update.
+        assert_eq!(table.clock(0), 1);
+        let mut row = vec![0.0; 2];
+        table.read_row(0, &mut row);
+        assert!((row[0] + 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn own_updates_do_not_count_as_staleness() {
+        let table = ShardedTable::new(4, 2, 0.0, 1);
+        let part = setup(&table);
+        let freq = freq4();
+        let mut w0 = WorkerEmbedding::new(0, &table, &part, &freq, StalenessBound::Bounded(0));
+        // Worker 0 updates its own secondary (emb 2) repeatedly; with s = 0,
+        // reads must still be local because the replica mirrors its own
+        // write-backs (gap counts only *missed* updates).
+        let samples: Vec<&[u32]> = vec![&[2]];
+        let grads = vec![1.0, 1.0];
+        for _ in 0..5 {
+            w0.apply_gradients(&samples, &grads, &SparseOpt::sgd(0.1));
+        }
+        let mut out = vec![0.0; 2];
+        let r = w0.read_batch(&samples, &mut out);
+        assert_eq!(r.intra_syncs, 0, "{r:?}");
+        assert_eq!(r.local_fresh, 1);
+        // And the mirrored value matches the primary exactly (SGD mirror).
+        let mut primary = vec![0.0; 2];
+        table.read_row(2, &mut primary);
+        assert_eq!(out, primary);
+    }
+
+    #[test]
+    fn deferred_writeback_batches_updates() {
+        let table = ShardedTable::new(4, 2, 0.0, 1);
+        let part = setup(&table);
+        let freq = freq4();
+        // s = 6 over 2 partitions: deferral budget = s/N = 3 batches, then
+        // the pending gradients flush as ONE merged primary update.
+        let mut w0 = WorkerEmbedding::new(0, &table, &part, &freq, StalenessBound::Bounded(6));
+        let samples: Vec<&[u32]> = vec![&[2]];
+        let grads = vec![1.0, 0.0];
+        let opt = SparseOpt::sgd(0.1);
+        let r1 = w0.apply_gradients(&samples, &grads, &opt);
+        assert_eq!(r1.deferred, 1);
+        assert_eq!(r1.remote_writebacks, 0);
+        assert_eq!(r1.data_bytes, 0);
+        assert_eq!(table.clock(2), 0, "primary must not see deferred updates yet");
+        let r2 = w0.apply_gradients(&samples, &grads, &opt);
+        assert_eq!(r2.remote_writebacks, 0);
+        let r3 = w0.apply_gradients(&samples, &grads, &opt);
+        assert_eq!(r3.remote_writebacks, 1, "third update hits the flush threshold");
+        assert!(r3.data_bytes > 0);
+        assert_eq!(table.clock(2), 1, "flush is one merged update");
+        let mut row = vec![0.0; 2];
+        table.read_row(2, &mut row);
+        assert!((row[0] + 0.3).abs() < 1e-6, "merged gradient 3·1.0·lr");
+        // Local mirror matches the primary exactly (SGD).
+        let mut out = vec![0.0; 2];
+        w0.read_batch(&samples, &mut out);
+        assert_eq!(out, row);
+    }
+
+    #[test]
+    fn flush_all_drains_pending() {
+        let table = ShardedTable::new(4, 2, 0.0, 1);
+        let part = setup(&table);
+        let freq = freq4();
+        let mut w0 =
+            WorkerEmbedding::new(0, &table, &part, &freq, StalenessBound::Bounded(100));
+        let samples: Vec<&[u32]> = vec![&[2]];
+        let grads = vec![2.0, 0.0];
+        let opt = SparseOpt::sgd(0.1);
+        w0.apply_gradients(&samples, &grads, &opt);
+        w0.apply_gradients(&samples, &grads, &opt);
+        let rep = w0.flush_all(&opt);
+        assert_eq!(rep.remote_writebacks, 1);
+        assert_eq!(table.clock(2), 1);
+        let mut row = vec![0.0; 2];
+        table.read_row(2, &mut row);
+        assert!((row[0] + 0.4).abs() < 1e-6);
+        // Nothing left to flush.
+        assert_eq!(w0.flush_all(&opt).remote_writebacks, 0);
+    }
+
+    #[test]
+    fn intra_sync_flushes_pending_first() {
+        let table = ShardedTable::new(4, 2, 0.0, 1);
+        let part = setup(&table);
+        let freq = freq4();
+        let mut w0 = WorkerEmbedding::new(0, &table, &part, &freq, StalenessBound::Bounded(2));
+        let samples: Vec<&[u32]> = vec![&[2]];
+        let grads = vec![1.0, 0.0];
+        let opt = SparseOpt::sgd(0.1);
+        // One deferred local update, then three updates by another worker →
+        // intra gap exceeds 2 → sync; the sync must flush our pending grad
+        // so the re-fetched value includes it.
+        w0.apply_gradients(&samples, &grads, &opt);
+        for _ in 0..3 {
+            table.apply_grad(2, &[1.0, 0.0], &opt);
+        }
+        let mut out = vec![0.0; 2];
+        let r = w0.read_batch(&samples, &mut out);
+        assert_eq!(r.intra_syncs, 1);
+        // Value includes all four updates: −0.4.
+        assert!((out[0] + 0.4).abs() < 1e-6, "got {}", out[0]);
+    }
+
+    #[test]
+    fn sync_all_refreshes() {
+        let table = ShardedTable::new(4, 2, 0.0, 1);
+        let part = setup(&table);
+        let freq = freq4();
+        let mut w0 = WorkerEmbedding::new(0, &table, &part, &freq, StalenessBound::Infinite);
+        table.apply_grad(2, &[1.0, 0.0], &SparseOpt::sgd(0.5));
+        assert_eq!(w0.sync_all(), 1);
+        let samples: Vec<&[u32]> = vec![&[2]];
+        let mut out = vec![0.0; 2];
+        w0.read_batch(&samples, &mut out);
+        assert!((out[0] + 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,63 @@
+//! Uniform random partitioning — the paper's `Random` baseline (Table 3) and
+//! the initialiser of Algorithm 1. This is also exactly what the HET-MP /
+//! HugeCTR-style model-parallel baselines do: hash-distribute the embedding
+//! table with no locality awareness.
+
+use hetgmp_bigraph::Bigraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::types::Partition;
+
+/// Assigns samples and embedding primaries uniformly at random (seeded).
+pub fn random_partition(g: &Bigraph, num_partitions: usize, seed: u64) -> Partition {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sample_owner = (0..g.num_samples())
+        .map(|_| rng.gen_range(0..num_partitions as u32))
+        .collect();
+    let emb_primary = (0..g.num_embeddings())
+        .map(|_| rng.gen_range(0..num_partitions as u32))
+        .collect();
+    Partition::new(num_partitions, sample_owner, emb_primary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph() -> Bigraph {
+        let rows: Vec<Vec<u32>> = (0..1000).map(|i| vec![i % 50, (i * 7) % 50]).collect();
+        Bigraph::from_samples(50, &rows)
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = graph();
+        let a = random_partition(&g, 4, 1);
+        let b = random_partition(&g, 4, 1);
+        for s in 0..g.num_samples() as u32 {
+            assert_eq!(a.sample_owner(s), b.sample_owner(s));
+        }
+        let c = random_partition(&g, 4, 2);
+        let same = (0..g.num_samples() as u32).all(|s| a.sample_owner(s) == c.sample_owner(s));
+        assert!(!same, "different seeds should differ");
+    }
+
+    #[test]
+    fn roughly_balanced() {
+        let g = graph();
+        let p = random_partition(&g, 4, 7);
+        let counts = p.samples_per_partition();
+        for &c in &counts {
+            assert!(c > 150 && c < 350, "imbalanced: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn no_secondaries() {
+        let g = graph();
+        let p = random_partition(&g, 8, 3);
+        assert_eq!(p.replication_factor(), 1.0);
+        assert!(p.validate(&g).is_ok());
+    }
+}

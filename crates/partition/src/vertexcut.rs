@@ -1,0 +1,177 @@
+//! 2D vertex-cut replication — Step 2 of Algorithm 1 (paper §5.2, Eq. 6).
+//!
+//! After 1D partitioning, high-degree ("hot") embeddings still force remote
+//! fetches from every partition that uses them. Vertex-cut replicates such
+//! embeddings as **secondary** replicas on the partitions that access them
+//! most, trading GPU memory for locality. The greedy priority for
+//! replicating `x` onto partition `i` is Eq. 6:
+//!
+//! ```text
+//! δp(x, G_i) = count(x, i) / Σ_{v ∉ G_i} count(v, i)
+//! ```
+//!
+//! For a fixed partition the denominator is common to all candidates, so the
+//! greedy order is simply descending `count(x, i)` — replicate the
+//! embeddings this worker reads remotely most often until the memory budget
+//! is exhausted. The paper's experiments budget "top 1% embeddings as
+//! secondaries".
+
+use hetgmp_bigraph::Bigraph;
+
+use crate::types::Partition;
+
+/// How much replica capacity each worker gets.
+#[derive(Debug, Clone, Copy)]
+pub enum ReplicationBudget {
+    /// Each partition may hold secondaries for up to this fraction of the
+    /// total embedding count (the paper uses 0.01).
+    FractionOfEmbeddings(f64),
+    /// Each partition may hold at most this many secondaries.
+    PerPartitionSlots(usize),
+}
+
+impl ReplicationBudget {
+    fn slots(&self, num_embeddings: usize) -> usize {
+        match *self {
+            ReplicationBudget::FractionOfEmbeddings(f) => {
+                assert!((0.0..=1.0).contains(&f), "fraction out of range: {f}");
+                (num_embeddings as f64 * f).floor() as usize
+            }
+            ReplicationBudget::PerPartitionSlots(s) => s,
+        }
+    }
+}
+
+/// Runs greedy vertex-cut replication, adding secondaries to `part` in
+/// place. Returns the number of secondary replicas created.
+pub fn replicate_hot_embeddings(
+    g: &Bigraph,
+    part: &mut Partition,
+    budget: ReplicationBudget,
+) -> usize {
+    let n = part.num_partitions();
+    let slots = budget.slots(g.num_embeddings());
+    if slots == 0 {
+        return 0;
+    }
+
+    // count(x, i) for all embeddings × partitions.
+    let mut counts = vec![0u32; g.num_embeddings() * n];
+    for s in 0..g.num_samples() as u32 {
+        let i = part.sample_owner(s) as usize;
+        for &x in g.embeddings_of(s) {
+            counts[x as usize * n + i] += 1;
+        }
+    }
+
+    let mut created = 0usize;
+    for i in 0..n as u32 {
+        // Candidates: embeddings not local to i with a positive access count,
+        // ranked by count(x, i) descending (ties by id for determinism).
+        let mut candidates: Vec<(u32, u32)> = (0..g.num_embeddings() as u32)
+            .filter(|&x| !part.is_local(x, i))
+            .map(|x| (counts[x as usize * n + i as usize], x))
+            .filter(|&(c, _)| c > 0)
+            .collect();
+        candidates.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        for &(_, x) in candidates.iter().take(slots) {
+            part.add_replica(x, i);
+            created += 1;
+        }
+    }
+    created
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::PartitionMetrics;
+
+    /// Embedding 0 is globally hot (used by every sample); embeddings 1..5
+    /// are cold and local.
+    fn hot_graph() -> Bigraph {
+        let rows: Vec<Vec<u32>> = (0..20)
+            .map(|i| vec![0u32, 1 + (i % 5) as u32])
+            .collect();
+        Bigraph::from_samples(6, &rows)
+    }
+
+    fn base_partition() -> Partition {
+        // Samples split evenly; primaries: hot emb 0 on partition 0, others
+        // spread.
+        let sample_owner = (0..20).map(|i| (i % 2) as u32).collect();
+        let emb_primary = vec![0, 0, 1, 0, 1, 0];
+        Partition::new(2, sample_owner, emb_primary)
+    }
+
+    #[test]
+    fn replicates_hottest_first() {
+        let g = hot_graph();
+        let mut p = base_partition();
+        let before = PartitionMetrics::compute(&g, &p, None).remote_fetches;
+        let created = replicate_hot_embeddings(
+            &g,
+            &mut p,
+            ReplicationBudget::PerPartitionSlots(1),
+        );
+        assert!(created >= 1);
+        // Partition 1's single slot must go to embedding 0 (hottest remote).
+        assert!(p.is_secondary(0, 1));
+        let after = PartitionMetrics::compute(&g, &p, None).remote_fetches;
+        assert!(after < before, "{before} -> {after}");
+    }
+
+    #[test]
+    fn budget_zero_is_noop() {
+        let g = hot_graph();
+        let mut p = base_partition();
+        let created =
+            replicate_hot_embeddings(&g, &mut p, ReplicationBudget::FractionOfEmbeddings(0.0));
+        assert_eq!(created, 0);
+        assert_eq!(p.replication_factor(), 1.0);
+    }
+
+    #[test]
+    fn fraction_budget_respected() {
+        let g = hot_graph();
+        let mut p = base_partition();
+        // 6 embeddings × 0.34 → 2 slots per partition.
+        replicate_hot_embeddings(&g, &mut p, ReplicationBudget::FractionOfEmbeddings(0.34));
+        let replicas = p.replicas_per_partition();
+        let primaries = p.primaries_per_partition();
+        for k in 0..2 {
+            assert!(replicas[k] - primaries[k] <= 2, "budget exceeded: {replicas:?}");
+        }
+    }
+
+    #[test]
+    fn never_replicates_unaccessed() {
+        // Embedding 5 exists but is never read remotely by partition 0.
+        let g = Bigraph::from_samples(6, &[vec![0], vec![1]]);
+        let mut p = Partition::new(2, vec![0, 1], vec![1, 0, 0, 0, 0, 0]);
+        replicate_hot_embeddings(&g, &mut p, ReplicationBudget::PerPartitionSlots(10));
+        // Only the actually-accessed remote embeddings got replicas.
+        assert!(p.is_secondary(0, 0)); // sample 0 on part 0 reads emb 0 (primary on 1)
+        assert!(p.is_secondary(1, 1));
+        for e in 2..6 {
+            assert_eq!(p.replica_count(e), 1, "emb {e} replicated needlessly");
+        }
+    }
+
+    #[test]
+    fn full_replication_eliminates_remote() {
+        let g = hot_graph();
+        let mut p = base_partition();
+        replicate_hot_embeddings(&g, &mut p, ReplicationBudget::FractionOfEmbeddings(1.0));
+        let m = PartitionMetrics::compute(&g, &p, None);
+        assert_eq!(m.remote_fetches, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction out of range")]
+    fn bad_fraction_panics() {
+        let g = hot_graph();
+        let mut p = base_partition();
+        replicate_hot_embeddings(&g, &mut p, ReplicationBudget::FractionOfEmbeddings(1.5));
+    }
+}

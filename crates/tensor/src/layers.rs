@@ -1,0 +1,556 @@
+//! Neural-network layers with explicit backward passes.
+//!
+//! Layers cache whatever forward-pass state their backward pass needs, so the
+//! calling convention is strictly `forward` then `backward` per mini-batch
+//! (the trainer in `hetgmp-core` drives them that way).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::matrix::Matrix;
+
+/// A differentiable layer.
+pub trait Layer: Send {
+    /// Forward pass for a batch (`rows` = batch size).
+    fn forward(&mut self, input: &Matrix) -> Matrix;
+
+    /// Backward pass: takes `dL/d-output`, accumulates parameter gradients
+    /// internally, returns `dL/d-input`.
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix;
+
+    /// Visits `(params, grads)` buffer pairs in a stable order. Used by
+    /// optimizers and by dense-parameter AllReduce.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32]));
+
+    /// Total number of scalar parameters.
+    fn num_params(&self) -> usize;
+
+    /// Zeroes accumulated gradients.
+    fn zero_grad(&mut self);
+}
+
+/// Fully connected layer `Y = X·W + b`, Kaiming-uniform initialised.
+pub struct Dense {
+    w: Matrix,
+    b: Vec<f32>,
+    grad_w: Matrix,
+    grad_b: Vec<f32>,
+    input: Option<Matrix>,
+}
+
+impl Dense {
+    /// New layer mapping `in_dim → out_dim`, deterministic in `seed`.
+    pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bound = (6.0 / in_dim as f32).sqrt();
+        let data: Vec<f32> = (0..in_dim * out_dim)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        Self {
+            w: Matrix::from_vec(in_dim, out_dim, data),
+            b: vec![0.0; out_dim],
+            grad_w: Matrix::zeros(in_dim, out_dim),
+            grad_b: vec![0.0; out_dim],
+            input: None,
+        }
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.w.rows()
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        let mut out = input.matmul(&self.w);
+        out.add_bias(&self.b);
+        self.input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let input = self
+            .input
+            .as_ref()
+            .expect("backward called before forward");
+        // dW += Xᵀ·dY ; db += colsum(dY) ; dX = dY·Wᵀ
+        let dw = input.t_matmul(grad_out);
+        for (g, d) in self.grad_w.data_mut().iter_mut().zip(dw.data()) {
+            *g += d;
+        }
+        for (g, d) in self.grad_b.iter_mut().zip(grad_out.col_sums()) {
+            *g += d;
+        }
+        grad_out.matmul_t(&self.w)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        f(self.w.data_mut(), self.grad_w.data_mut());
+        f(&mut self.b, &mut self.grad_b);
+    }
+
+    fn num_params(&self) -> usize {
+        self.w.rows() * self.w.cols() + self.b.len()
+    }
+
+    fn zero_grad(&mut self) {
+        self.grad_w.clear();
+        self.grad_b.iter_mut().for_each(|g| *g = 0.0);
+    }
+}
+
+/// Rectified linear unit.
+#[derive(Default)]
+pub struct Relu {
+    mask: Vec<bool>,
+}
+
+impl Relu {
+    /// New ReLU.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        let mut out = input.clone();
+        self.mask.clear();
+        self.mask.reserve(out.data().len());
+        for x in out.data_mut() {
+            let keep = *x > 0.0;
+            self.mask.push(keep);
+            if !keep {
+                *x = 0.0;
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        assert_eq!(
+            grad_out.data().len(),
+            self.mask.len(),
+            "backward shape mismatch"
+        );
+        let mut out = grad_out.clone();
+        for (g, &keep) in out.data_mut().iter_mut().zip(&self.mask) {
+            if !keep {
+                *g = 0.0;
+            }
+        }
+        out
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
+
+    fn num_params(&self) -> usize {
+        0
+    }
+
+    fn zero_grad(&mut self) {}
+}
+
+/// DCN cross layer: `x_{l+1} = x_0 ⊙ (x_l·w) + b + x_l` (Wang et al. 2017).
+///
+/// `x_0` is the layer-0 input of the cross network; the layer receives it at
+/// construction time of each forward pass via [`CrossLayer::set_x0`].
+pub struct CrossLayer {
+    w: Vec<f32>,
+    b: Vec<f32>,
+    grad_w: Vec<f32>,
+    grad_b: Vec<f32>,
+    x0: Option<Matrix>,
+    input: Option<Matrix>,
+    xw: Vec<f32>, // cached x_l·w per batch row
+}
+
+impl CrossLayer {
+    /// New cross layer of width `dim`.
+    pub fn new(dim: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bound = (1.0 / dim as f32).sqrt();
+        Self {
+            w: (0..dim).map(|_| rng.gen_range(-bound..bound)).collect(),
+            b: vec![0.0; dim],
+            grad_w: vec![0.0; dim],
+            grad_b: vec![0.0; dim],
+            x0: None,
+            input: None,
+            xw: Vec::new(),
+        }
+    }
+
+    /// Provides the cross-network input `x_0` for the current batch. Must be
+    /// called before `forward`.
+    pub fn set_x0(&mut self, x0: Matrix) {
+        self.x0 = Some(x0);
+    }
+}
+
+impl Layer for CrossLayer {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        let x0 = self.x0.as_ref().expect("set_x0 before forward");
+        assert_eq!(x0.rows(), input.rows(), "x0/batch mismatch");
+        assert_eq!(x0.cols(), input.cols(), "cross width mismatch");
+        let rows = input.rows();
+        let dim = input.cols();
+        self.xw.clear();
+        let mut out = Matrix::zeros(rows, dim);
+        for r in 0..rows {
+            let xl = input.row(r);
+            let dot: f32 = xl.iter().zip(&self.w).map(|(&x, &w)| x * w).sum();
+            self.xw.push(dot);
+            let x0r = x0.row(r);
+            let o = out.row_mut(r);
+            for j in 0..dim {
+                o[j] = x0r[j] * dot + self.b[j] + xl[j];
+            }
+        }
+        self.input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let x0 = self.x0.as_ref().expect("x0 cached");
+        let input = self.input.as_ref().expect("forward before backward");
+        let rows = grad_out.rows();
+        let dim = grad_out.cols();
+        let mut grad_in = Matrix::zeros(rows, dim);
+        for r in 0..rows {
+            let g = grad_out.row(r);
+            let x0r = x0.row(r);
+            let xl = input.row(r);
+            // s = Σ_j g_j·x0_j  (scalar per row)
+            let s: f32 = g.iter().zip(x0r).map(|(&gj, &x0j)| gj * x0j).sum();
+            let dot = self.xw[r];
+            let gi = grad_in.row_mut(r);
+            for j in 0..dim {
+                // dL/dxl_j = g_j (identity) + s·w_j (through the dot product)
+                gi[j] = g[j] + s * self.w[j];
+                // dL/dw_j = s·xl_j ; dL/db_j = g_j
+                self.grad_w[j] += s * xl[j];
+                self.grad_b[j] += g[j];
+                // (x0 is an input from the embedding side; its gradient flows
+                // through grad_in of the *first* cross layer where x_l = x_0.)
+                let _ = dot;
+            }
+        }
+        grad_in
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        f(&mut self.w, &mut self.grad_w);
+        f(&mut self.b, &mut self.grad_b);
+    }
+
+    fn num_params(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+
+    fn zero_grad(&mut self) {
+        self.grad_w.iter_mut().for_each(|g| *g = 0.0);
+        self.grad_b.iter_mut().for_each(|g| *g = 0.0);
+    }
+}
+
+/// A sequential stack of layers ending in a single logit column.
+pub struct Mlp {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Mlp {
+    /// Builds `in_dim → hidden[0] → … → hidden[n-1] → 1` with ReLU between
+    /// dense layers.
+    pub fn new(in_dim: usize, hidden: &[usize], seed: u64) -> Self {
+        let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+        let mut dim = in_dim;
+        for (i, &h) in hidden.iter().enumerate() {
+            layers.push(Box::new(Dense::new(dim, h, seed.wrapping_add(i as u64))));
+            layers.push(Box::new(Relu::new()));
+            dim = h;
+        }
+        layers.push(Box::new(Dense::new(
+            dim,
+            1,
+            seed.wrapping_add(hidden.len() as u64),
+        )));
+        Self { layers }
+    }
+
+    /// Builds from explicit layers (used by DCN's combined tower).
+    pub fn from_layers(layers: Vec<Box<dyn Layer>>) -> Self {
+        Self { layers }
+    }
+
+    /// Forward through the stack.
+    pub fn forward(&mut self, input: &Matrix) -> Matrix {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    /// Backward through the stack; returns `dL/d-input`.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// Visits all `(param, grad)` buffers in stable order.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    /// Total scalar parameter count (the dense payload AllReduce moves).
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(|l| l.num_params()).sum()
+    }
+
+    /// Zeroes every gradient buffer.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Copies all parameters into one flat vector (AllReduce staging).
+    pub fn flatten_params(&mut self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.num_params());
+        self.visit_params(&mut |p, _| out.extend_from_slice(p));
+        out
+    }
+
+    /// Copies all gradients into one flat vector.
+    pub fn flatten_grads(&mut self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.num_params());
+        self.visit_params(&mut |_, g| out.extend_from_slice(g));
+        out
+    }
+
+    /// Overwrites parameters from a flat vector produced by
+    /// [`Mlp::flatten_params`].
+    ///
+    /// # Panics
+    /// Panics if `flat.len() != num_params()`.
+    pub fn load_params(&mut self, flat: &[f32]) {
+        let mut cursor = 0usize;
+        self.visit_params(&mut |p, _| {
+            p.copy_from_slice(&flat[cursor..cursor + p.len()]);
+            cursor += p.len();
+        });
+        assert_eq!(cursor, flat.len(), "flat parameter length mismatch");
+    }
+
+    /// Overwrites gradient buffers from a flat vector (post-AllReduce).
+    pub fn load_grads(&mut self, flat: &[f32]) {
+        let mut cursor = 0usize;
+        self.visit_params(&mut |_, g| {
+            g.copy_from_slice(&flat[cursor..cursor + g.len()]);
+            cursor += g.len();
+        });
+        assert_eq!(cursor, flat.len(), "flat gradient length mismatch");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff_check(
+        mut fwd: impl FnMut(&Matrix) -> f32,
+        input: &Matrix,
+        analytic: &Matrix,
+        eps: f32,
+        tol: f32,
+    ) {
+        for i in 0..input.data().len() {
+            let mut plus = input.clone();
+            plus.data_mut()[i] += eps;
+            let mut minus = input.clone();
+            minus.data_mut()[i] -= eps;
+            let num = (fwd(&plus) - fwd(&minus)) / (2.0 * eps);
+            let ana = analytic.data()[i];
+            assert!(
+                (num - ana).abs() < tol.max(0.05 * num.abs()),
+                "grad[{i}]: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_forward_known() {
+        let mut d = Dense::new(2, 2, 1);
+        d.w = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        d.b = vec![0.5, -0.5];
+        let x = Matrix::from_vec(1, 2, vec![1., 1.]);
+        let y = d.forward(&x);
+        assert_eq!(y.data(), &[4.5, 5.5]);
+    }
+
+    #[test]
+    fn dense_backward_gradcheck() {
+        let x = Matrix::from_vec(2, 3, vec![0.5, -1.0, 2.0, 1.5, 0.0, -0.5]);
+        // Loss = sum of outputs; dL/dY = ones.
+        let mut layer = Dense::new(3, 2, 7);
+        let ones = Matrix::from_vec(2, 2, vec![1.0; 4]);
+        let _ = layer.forward(&x);
+        let grad_in = layer.backward(&ones);
+        let w = layer.w.clone();
+        let b = layer.b.clone();
+        finite_diff_check(
+            move |inp| {
+                let mut probe = Dense::new(3, 2, 0);
+                probe.w = w.clone();
+                probe.b = b.clone();
+                probe.forward(inp).data().iter().sum()
+            },
+            &x,
+            &grad_in,
+            1e-3,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn dense_weight_grad_accumulates() {
+        let mut layer = Dense::new(2, 1, 3);
+        let x = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let g = Matrix::from_vec(1, 1, vec![1.0]);
+        let _ = layer.forward(&x);
+        let _ = layer.backward(&g);
+        let _ = layer.forward(&x);
+        let _ = layer.backward(&g);
+        // dW = x·g accumulated twice.
+        assert_eq!(layer.grad_w.data(), &[2.0, 4.0]);
+        layer.zero_grad();
+        assert_eq!(layer.grad_w.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn relu_masks_negatives() {
+        let mut r = Relu::new();
+        let x = Matrix::from_vec(1, 4, vec![-1.0, 2.0, 0.0, 3.0]);
+        let y = r.forward(&x);
+        assert_eq!(y.data(), &[0.0, 2.0, 0.0, 3.0]);
+        let g = Matrix::from_vec(1, 4, vec![1.0; 4]);
+        let gi = r.backward(&g);
+        assert_eq!(gi.data(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn cross_layer_identity_component() {
+        let mut c = CrossLayer::new(3, 5);
+        c.w = vec![0.0; 3];
+        c.b = vec![0.0; 3];
+        let x0 = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        c.set_x0(x0.clone());
+        let y = c.forward(&x0);
+        // With w = 0: y = x0 (identity passthrough).
+        assert_eq!(y.data(), x0.data());
+    }
+
+    #[test]
+    fn cross_layer_gradcheck() {
+        let x0 = Matrix::from_vec(2, 3, vec![0.3, -0.7, 1.2, 0.9, 0.1, -0.4]);
+        let xl = Matrix::from_vec(2, 3, vec![1.0, 0.5, -0.2, -1.1, 0.8, 0.6]);
+        let mut c = CrossLayer::new(3, 11);
+        let w = c.w.clone();
+        let b = c.b.clone();
+        c.set_x0(x0.clone());
+        let _ = c.forward(&xl);
+        let ones = Matrix::from_vec(2, 3, vec![1.0; 6]);
+        let grad_in = c.backward(&ones);
+        finite_diff_check(
+            move |inp| {
+                let mut probe = CrossLayer::new(3, 0);
+                probe.w = w.clone();
+                probe.b = b.clone();
+                probe.set_x0(x0.clone());
+                probe.forward(inp).data().iter().sum()
+            },
+            &xl,
+            &grad_in,
+            1e-3,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn mlp_shapes_and_params() {
+        let mut mlp = Mlp::new(8, &[16, 4], 1);
+        let x = Matrix::zeros(3, 8);
+        let y = mlp.forward(&x);
+        assert_eq!(y.rows(), 3);
+        assert_eq!(y.cols(), 1);
+        assert_eq!(mlp.num_params(), 8 * 16 + 16 + 16 * 4 + 4 + 4 * 1 + 1);
+    }
+
+    #[test]
+    fn mlp_flatten_roundtrip() {
+        let mut mlp = Mlp::new(4, &[8], 42);
+        let flat = mlp.flatten_params();
+        assert_eq!(flat.len(), mlp.num_params());
+        let mut mlp2 = Mlp::new(4, &[8], 43);
+        mlp2.load_params(&flat);
+        assert_eq!(mlp2.flatten_params(), flat);
+    }
+
+    #[test]
+    fn mlp_gradient_descends_loss() {
+        // One step of plain SGD on a tiny regression problem must reduce loss.
+        let mut mlp = Mlp::new(2, &[8], 9);
+        let x = Matrix::from_vec(4, 2, vec![0., 0., 0., 1., 1., 0., 1., 1.]);
+        let target = [0.0f32, 1.0, 1.0, 0.0];
+        let loss = |m: &mut Mlp| -> f32 {
+            let y = m.forward(&x);
+            y.data()
+                .iter()
+                .zip(&target)
+                .map(|(&p, &t)| (p - t) * (p - t))
+                .sum::<f32>()
+        };
+        let before = loss(&mut mlp);
+        // dL/dy = 2(y−t)
+        let y = mlp.forward(&x);
+        let g = Matrix::from_vec(
+            4,
+            1,
+            y.data()
+                .iter()
+                .zip(&target)
+                .map(|(&p, &t)| 2.0 * (p - t))
+                .collect(),
+        );
+        mlp.zero_grad();
+        let _ = mlp.backward(&g);
+        mlp.visit_params(&mut |p, gr| {
+            for (pi, gi) in p.iter_mut().zip(gr.iter()) {
+                *pi -= 0.01 * gi;
+            }
+        });
+        let after = loss(&mut mlp);
+        assert!(after < before, "loss {before} -> {after}");
+    }
+
+    #[test]
+    #[should_panic(expected = "flat parameter length mismatch")]
+    fn load_params_length_checked() {
+        // Mlp(2,[2]) has 9 parameters; an over-long flat vector must be
+        // rejected after the buffers are consumed.
+        let mut mlp = Mlp::new(2, &[2], 0);
+        mlp.load_params(&[0.0; 10]);
+    }
+}

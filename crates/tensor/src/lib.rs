@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # hetgmp-tensor
+//!
+//! Minimal CPU tensor/DNN substrate for the HET-GMP reproduction.
+//!
+//! The paper's models — Wide & Deep (WDL) and Deep & Cross (DCN) — run their
+//! dense math with cuDNN on GPUs. Here the same math runs on CPU in f32:
+//! exact forward/backward passes, so staleness in the *embedding* layer (the
+//! system under study) propagates into genuinely degraded gradients and test
+//! AUC, rather than being faked.
+//!
+//! Provided:
+//! * [`Matrix`] — row-major f32 matrix with the handful of kernels a
+//!   feed-forward CTR model needs;
+//! * [`layers`] — `Dense`, `ReLU`, and DCN's `CrossLayer`, each with explicit
+//!   backward passes; [`Mlp`] stacks them;
+//! * [`loss`] — numerically-stable binary cross-entropy with logits;
+//! * [`metrics`] — AUC (Mann–Whitney with tie handling) and log-loss;
+//! * [`optim`] — SGD/Momentum, Adagrad, Adam for the dense parameters
+//!   (sparse embedding optimizers live in `hetgmp-embedding`, where per-row
+//!   state matters).
+
+pub mod fm;
+pub mod layers;
+pub mod loss;
+pub mod matrix;
+pub mod metrics;
+pub mod optim;
+
+pub use fm::{FmInteraction, TargetAttention};
+pub use layers::{CrossLayer, Dense, Layer, Mlp, Relu};
+pub use loss::bce_with_logits;
+pub use matrix::Matrix;
+pub use metrics::{auc, log_loss};
+pub use optim::{Adagrad, Adam, DenseOptimizer, Sgd};

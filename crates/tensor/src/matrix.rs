@@ -1,0 +1,259 @@
+//! Row-major f32 matrix with the kernels a feed-forward model needs.
+
+/// A dense row-major matrix of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Zero matrix of shape `rows × cols`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "matrix data length {} != {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Flat data slice.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat data slice.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Borrow of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element at `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Fills with zeros in place (reusing the allocation).
+    pub fn clear(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// `self · other` — shapes `(m×k)·(k×n) → (m×n)`, ikj loop order.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (p, &a) in a_row.iter().enumerate().take(k) {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(p);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` — shapes `(k×m)ᵀ·(k×n) → (m×n)`. Used for weight
+    /// gradients (`Xᵀ · dY`).
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        for p in 0..k {
+            let a_row = self.row(p);
+            let b_row = other.row(p);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` — shapes `(m×k)·(n×k)ᵀ → (m×n)`. Used for input
+    /// gradients (`dY · Wᵀ`).
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
+        let (m, _k, n) = (self.rows, self.cols, other.rows);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = other.row(j);
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+        out
+    }
+
+    /// Adds `bias` (length `cols`) to every row.
+    pub fn add_bias(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols, "bias length mismatch");
+        for r in 0..self.rows {
+            for (x, &b) in self.row_mut(r).iter_mut().zip(bias) {
+                *x += b;
+            }
+        }
+    }
+
+    /// Column sums (used for bias gradients).
+    pub fn col_sums(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.cols];
+        for r in 0..self.rows {
+            for (o, &x) in out.iter_mut().zip(self.row(r)) {
+                *o += x;
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_access() {
+        let mut m = Matrix::zeros(2, 3);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        m.set(1, 2, 5.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.row(1), &[0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix data length")]
+    fn from_vec_checks_shape() {
+        Matrix::from_vec(2, 2, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn matmul_known() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn t_matmul_equals_transpose_matmul() {
+        let a = Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(3, 2, vec![1., 0., 0., 1., 1., 1.]);
+        // aᵀ·b where aᵀ is (2×3)
+        let c = a.t_matmul(&b);
+        assert_eq!(c.rows(), 2);
+        assert_eq!(c.cols(), 2);
+        // aᵀ = [[1,3,5],[2,4,6]]; aᵀ·b = [[1+5, 3+5],[2+6, 4+6]]
+        assert_eq!(c.data(), &[6., 8., 8., 10.]);
+    }
+
+    #[test]
+    fn matmul_t_equals_matmul_with_transpose() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(2, 3, vec![1., 0., 1., 0., 1., 0.]);
+        // a·bᵀ → (2×2): row0·row0 = 1+3 = 4; row0·row1 = 2
+        let c = a.matmul_t(&b);
+        assert_eq!(c.data(), &[4., 2., 10., 5.]);
+    }
+
+    #[test]
+    fn bias_and_col_sums() {
+        let mut m = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        m.add_bias(&[10., 20.]);
+        assert_eq!(m.data(), &[11., 22., 13., 24.]);
+        assert_eq!(m.col_sums(), vec![24., 46.]);
+    }
+
+    #[test]
+    fn clear_reuses_allocation() {
+        let mut m = Matrix::from_vec(1, 2, vec![1., 2.]);
+        m.clear();
+        assert_eq!(m.data(), &[0., 0.]);
+    }
+
+    #[test]
+    fn norm() {
+        let m = Matrix::from_vec(1, 2, vec![3., 4.]);
+        assert!((m.norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_checked() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

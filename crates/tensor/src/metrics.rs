@@ -1,0 +1,138 @@
+//! Evaluation metrics: AUC and log-loss.
+//!
+//! The paper's convergence criterion is *test AUC* reaching a threshold
+//! (~76% Avazu, ~80% Criteo), so AUC must be exact — including tie handling —
+//! for the Figure 7 / Table 2 reproductions to be trustworthy.
+
+/// Area under the ROC curve via the Mann–Whitney U statistic with average
+/// ranks for ties. Returns 0.5 when either class is absent.
+pub fn auc(scores: &[f32], labels: &[f32]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let n = scores.len();
+    if n == 0 {
+        return 0.5;
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    // total_cmp keeps the sort well-defined even if a diverged model emits
+    // NaN scores (NaN sorts above every number; the AUC is then simply a
+    // poor score rather than a crash).
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+
+    let mut rank_sum_pos = 0.0f64;
+    let mut num_pos = 0u64;
+    let mut i = 0usize;
+    while i < n {
+        // Tie group [i, j): identical scores share the average rank.
+        let mut j = i + 1;
+        while j < n && scores[order[j]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + 1 + j) as f64 / 2.0; // mean of ranks i+1..=j
+        for &idx in &order[i..j] {
+            if labels[idx] > 0.5 {
+                rank_sum_pos += avg_rank;
+                num_pos += 1;
+            }
+        }
+        i = j;
+    }
+    let num_neg = n as u64 - num_pos;
+    if num_pos == 0 || num_neg == 0 {
+        return 0.5;
+    }
+    let u = rank_sum_pos - (num_pos * (num_pos + 1)) as f64 / 2.0;
+    u / (num_pos as f64 * num_neg as f64)
+}
+
+/// Mean binary log-loss of probabilities (clipped away from 0/1).
+pub fn log_loss(probs: &[f32], labels: &[f32]) -> f64 {
+    assert_eq!(probs.len(), labels.len(), "probs/labels length mismatch");
+    if probs.is_empty() {
+        return 0.0;
+    }
+    let eps = 1e-7f64;
+    let total: f64 = probs
+        .iter()
+        .zip(labels)
+        .map(|(&p, &y)| {
+            let p = (p as f64).clamp(eps, 1.0 - eps);
+            if y > 0.5 {
+                -p.ln()
+            } else {
+                -(1.0 - p).ln()
+            }
+        })
+        .sum();
+    total / probs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking() {
+        let auc_v = auc(&[0.1, 0.2, 0.8, 0.9], &[0.0, 0.0, 1.0, 1.0]);
+        assert!((auc_v - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_ranking() {
+        let auc_v = auc(&[0.9, 0.8, 0.2, 0.1], &[0.0, 0.0, 1.0, 1.0]);
+        assert!(auc_v.abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_ranking_is_half() {
+        // Positives at the extremes, negatives in the middle: pairs
+        // (0.1 vs 0.2, 0.3) discordant, (0.4 vs 0.2, 0.3) concordant → 0.5.
+        let auc_v = auc(&[0.1, 0.2, 0.3, 0.4], &[1.0, 0.0, 0.0, 1.0]);
+        assert!((auc_v - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_ties_is_half() {
+        let auc_v = auc(&[0.5; 6], &[1.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
+        assert!((auc_v - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_class_returns_half() {
+        assert_eq!(auc(&[0.1, 0.9], &[1.0, 1.0]), 0.5);
+        assert_eq!(auc(&[], &[]), 0.5);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        // pos scores {0.4, 0.8}, neg {0.2, 0.6}: concordant pairs:
+        // (0.4>0.2)=1, (0.4>0.6)=0, (0.8>0.2)=1, (0.8>0.6)=1 → 3/4.
+        let auc_v = auc(&[0.4, 0.8, 0.2, 0.6], &[1.0, 1.0, 0.0, 0.0]);
+        assert!((auc_v - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tie_between_classes_counts_half() {
+        // One pos and one neg share score 0.5 → that pair counts 0.5.
+        let auc_v = auc(&[0.5, 0.5], &[1.0, 0.0]);
+        assert!((auc_v - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_loss_bounds() {
+        assert!(log_loss(&[0.9, 0.1], &[1.0, 0.0]) < 0.2);
+        assert!(log_loss(&[0.1, 0.9], &[1.0, 0.0]) > 2.0);
+        assert_eq!(log_loss(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn nan_scores_do_not_panic() {
+        let v = auc(&[0.1, f32::NAN, 0.9], &[0.0, 1.0, 1.0]);
+        assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn log_loss_clips_extremes() {
+        let l = log_loss(&[0.0, 1.0], &[1.0, 0.0]);
+        assert!(l.is_finite());
+    }
+}

@@ -1,0 +1,70 @@
+//! End-to-end CTR training comparison — the Figure 7 scenario at example
+//! scale: five systems race to the same test-AUC target on one dataset.
+//!
+//! ```sh
+//! cargo run --release --example ctr_training [scale] [epochs]
+//! ```
+
+use het_gmp::cluster::Topology;
+use het_gmp::core::models::ModelKind;
+use het_gmp::core::strategy::StrategyConfig;
+use het_gmp::core::trainer::{Trainer, TrainerConfig};
+use het_gmp::data::{generate, DatasetSpec};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0.1);
+    let epochs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+
+    let data = generate(&DatasetSpec::criteo_like(scale));
+    println!(
+        "training WDL on {} ({} samples, {} features) — 8 simulated GPUs (PCIe)\n",
+        data.name,
+        data.num_samples(),
+        data.num_features
+    );
+
+    let topo = Topology::pcie_island(8);
+    let systems = vec![
+        StrategyConfig::tf_ps(),
+        StrategyConfig::parallax(),
+        StrategyConfig::hugectr(),
+        StrategyConfig::het_mp(),
+        StrategyConfig::het_cache(100, 0.01), // predecessor (HET, VLDB'22)
+        StrategyConfig::het_gmp(100),
+    ];
+
+    let mut results = Vec::new();
+    for strat in systems {
+        let trainer = Trainer::new(
+            &data,
+            topo.clone(),
+            strat,
+            TrainerConfig {
+                model: ModelKind::Wdl,
+                epochs,
+                ..Default::default()
+            },
+        );
+        let r = trainer.run();
+        println!(
+            "{:<16} final AUC {:.4}   epoch time {:.4}s   comm share {:.0}%",
+            r.strategy,
+            r.final_auc,
+            r.sim_time / epochs as f64,
+            r.breakdown.comm_fraction() * 100.0
+        );
+        results.push(r);
+    }
+
+    // Convergence race: time for each system to reach 99% of the best AUC.
+    let best = results.iter().map(|r| r.final_auc).fold(f64::MIN, f64::max);
+    let target = best - 0.005;
+    println!("\nAUC-vs-time race to {target:.4}:");
+    for r in &results {
+        match r.curve.iter().find(|p| p.auc >= target) {
+            Some(p) => println!("  {:<16} reached at {:.4}s", r.strategy, p.sim_time),
+            None => println!("  {:<16} did not reach the target", r.strategy),
+        }
+    }
+}

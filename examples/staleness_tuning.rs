@@ -1,0 +1,66 @@
+//! Staleness tuning: sweep the bounded-asynchrony threshold `s` and report
+//! the quality/throughput trade-off (Table 2 plus its performance
+//! complement) on one dataset.
+//!
+//! ```sh
+//! cargo run --release --example staleness_tuning [scale] [epochs]
+//! ```
+
+use het_gmp::cluster::Topology;
+use het_gmp::core::models::ModelKind;
+use het_gmp::core::strategy::StrategyConfig;
+use het_gmp::core::trainer::{Trainer, TrainerConfig};
+use het_gmp::data::{generate, DatasetSpec};
+use het_gmp::embedding::StalenessBound;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0.1);
+    let epochs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
+
+    let data = generate(&DatasetSpec::avazu_like(scale));
+    let topo = Topology::pcie_island(8);
+    println!(
+        "HET-GMP staleness sweep on {} — WDL, 8 simulated GPUs, {} epochs\n",
+        data.name, epochs
+    );
+    println!(
+        "{:<10} {:>9} {:>14} {:>16} {:>12}",
+        "s", "AUC", "samples/s", "embed bytes", "syncs"
+    );
+
+    let bounds: Vec<(String, StalenessBound)> = vec![
+        ("0".into(), StalenessBound::Bounded(0)),
+        ("10".into(), StalenessBound::Bounded(10)),
+        ("100".into(), StalenessBound::Bounded(100)),
+        ("10000".into(), StalenessBound::Bounded(10_000)),
+        ("inf".into(), StalenessBound::Infinite),
+    ];
+    for (label, bound) in bounds {
+        let mut strat = StrategyConfig::het_gmp(0);
+        strat.staleness = bound;
+        strat.name = format!("HET-GMP(s={label})");
+        let trainer = Trainer::new(
+            &data,
+            topo.clone(),
+            strat,
+            TrainerConfig {
+                model: ModelKind::Wdl,
+                epochs,
+                ..Default::default()
+            },
+        );
+        let r = trainer.run();
+        println!(
+            "{label:<10} {:>9.4} {:>14.0} {:>16} {:>12}",
+            r.final_auc,
+            r.throughput,
+            r.traffic_bytes[0],
+            r.traffic_bytes[1] / 12, // meta entries ≈ clock checks
+        );
+    }
+    println!(
+        "\nExpect: AUC flat for bounded s (robustness), degraded at s=inf; \
+         traffic and sync counts fall as s grows."
+    );
+}

@@ -1,0 +1,254 @@
+//! `het-gmp` — the command-line face of the HET-GMP reproduction.
+//!
+//! ```text
+//! het-gmp gen        --preset avazu|criteo|company --scale 0.1 --out data.svm
+//! het-gmp partition  --in data.svm --fields 22 --workers 8 --algo hybrid|random|bicut
+//! het-gmp train      --preset criteo --scale 0.1 --system het-gmp --staleness 100
+//! het-gmp capacity   --workers 24 --mem-gb 32 --dim 128
+//! het-gmp experiment fig1|fig3|fig7|fig8|fig9|fig10|table2|table3|ablation|all
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use het_gmp::cluster::Topology;
+use het_gmp::core::experiments;
+use het_gmp::core::models::ModelKind;
+use het_gmp::core::strategy::StrategyConfig;
+use het_gmp::core::trainer::{Trainer, TrainerConfig};
+use het_gmp::data::{generate, read_libsvm, write_libsvm, CtrDataset, DatasetSpec};
+use het_gmp::embedding::CapacityPlan;
+use het_gmp::partition::{
+    bicut_partition, random_partition, HybridConfig, HybridPartitioner, PartitionMetrics,
+};
+
+mod cli;
+use cli::Args;
+
+const USAGE: &str = "usage: het-gmp <gen|partition|train|capacity|experiment> [--flags]
+  gen        --preset avazu|criteo|company|tiny --scale F --out FILE
+  partition  (--in FILE --fields N | --preset P --scale F) --workers N --algo hybrid|random|bicut [--rounds N]
+  train      (--in FILE --fields N | --preset P --scale F) --system tf-ps|parallax|hugectr|het-mp|het-gmp
+             [--staleness N] [--workers N] [--epochs N] [--model wdl|dcn|deepfm|din]
+  capacity   --workers N --mem-gb G --dim D [--replication F]
+  experiment fig1|fig3|fig7|fig8|fig9|fig10|table2|table3|ablation|all [--scale F]";
+
+fn main() -> ExitCode {
+    let args = Args::parse(std::env::args().skip(1));
+    if args.has("help") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let result = match args.command() {
+        Some("gen") => cmd_gen(&args),
+        Some("partition") => cmd_partition(&args),
+        Some("train") => cmd_train(&args),
+        Some("capacity") => cmd_capacity(&args),
+        Some("experiment") => cmd_experiment(&args),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn spec_from(args: &Args) -> Result<DatasetSpec, String> {
+    let scale: f64 = args.get_or("scale", 0.1);
+    match args.get("preset").unwrap_or("avazu") {
+        "avazu" => Ok(DatasetSpec::avazu_like(scale)),
+        "criteo" => Ok(DatasetSpec::criteo_like(scale)),
+        "company" => Ok(DatasetSpec::company_like(scale)),
+        "tiny" => Ok(DatasetSpec::tiny()),
+        other => Err(format!("unknown preset {other:?}")),
+    }
+}
+
+fn load_dataset(args: &Args) -> Result<CtrDataset, String> {
+    if let Some(path) = args.get("in") {
+        let fields: usize = args
+            .get("fields")
+            .and_then(|v| v.parse().ok())
+            .ok_or("--in requires --fields N")?;
+        let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+        read_libsvm(BufReader::new(file), fields).map_err(|e| e.to_string())
+    } else {
+        Ok(generate(&spec_from(args)?))
+    }
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let data = generate(&spec_from(args)?);
+    let out = args.get("out").ok_or("--out FILE required")?;
+    let file = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+    write_libsvm(&data, BufWriter::new(file)).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {}: {} samples x {} fields, {} features, CTR {:.3}",
+        out,
+        data.num_samples(),
+        data.num_fields,
+        data.num_features,
+        data.ctr()
+    );
+    Ok(())
+}
+
+fn cmd_partition(args: &Args) -> Result<(), String> {
+    let data = load_dataset(args)?;
+    let graph = data.to_bigraph();
+    let n: usize = args.get_or("workers", 8);
+    let algo = args.get("algo").unwrap_or("hybrid");
+    let part = match algo {
+        "random" => random_partition(&graph, n, 7),
+        "bicut" => bicut_partition(&graph, n),
+        "hybrid" => {
+            let cfg = HybridConfig {
+                rounds: args.get_or("rounds", 3),
+                ..Default::default()
+            };
+            HybridPartitioner::new(cfg).partition(&graph, n).0
+        }
+        other => return Err(format!("unknown algorithm {other:?}")),
+    };
+    let m = PartitionMetrics::compute(&graph, &part, None);
+    println!(
+        "{algo} over {} workers: remote fetches/epoch {} ({:.1}% of accesses), \
+         sample imbalance {:.3}, replication factor {:.3}",
+        n,
+        m.remote_fetches,
+        m.remote_fraction() * 100.0,
+        m.sample_imbalance(),
+        m.replication_factor
+    );
+    Ok(())
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let data = load_dataset(args)?;
+    let n: usize = args.get_or("workers", 8);
+    let strat = match args.get("system").unwrap_or("het-gmp") {
+        "tf-ps" => StrategyConfig::tf_ps(),
+        "parallax" => StrategyConfig::parallax(),
+        "hugectr" => StrategyConfig::hugectr(),
+        "het-mp" => StrategyConfig::het_mp(),
+        "het-gmp" => StrategyConfig::het_gmp(args.get_or("staleness", 100)),
+        other => return Err(format!("unknown system {other:?}")),
+    };
+    let model = match args.get("model").unwrap_or("wdl") {
+        "wdl" => ModelKind::Wdl,
+        "dcn" => ModelKind::Dcn,
+        "deepfm" => ModelKind::DeepFm,
+        "din" => ModelKind::Din,
+        other => return Err(format!("unknown model {other:?}")),
+    };
+    let trainer = Trainer::new(
+        &data,
+        Topology::pcie_island(n),
+        strat,
+        TrainerConfig {
+            model,
+            epochs: args.get_or("epochs", 3),
+            batch_size: args.get_or("batch", 256),
+            dim: args.get_or("dim", 16),
+            ..Default::default()
+        },
+    );
+    let r = trainer.run();
+    println!(
+        "{} ({}): final AUC {:.4}, {:.0} samples/s simulated, comm share {:.0}%",
+        r.strategy,
+        model.name(),
+        r.final_auc,
+        r.throughput,
+        r.breakdown.comm_fraction() * 100.0
+    );
+    for p in &r.curve {
+        println!("  epoch {}: sim {:.4}s AUC {:.4}", p.epoch, p.sim_time, p.auc);
+    }
+    Ok(())
+}
+
+fn cmd_capacity(args: &Args) -> Result<(), String> {
+    let plan = CapacityPlan {
+        num_workers: args.get_or("workers", 24),
+        memory_per_worker: (args.get_or("mem-gb", 32u64)) * (1 << 30),
+        dim: args.get_or("dim", 128),
+        bytes_per_param: 4,
+        replication_fraction: args.get_or("replication", 0.01),
+        optimizer_state_factor: args.get_or("opt-factor", 1.0),
+    };
+    println!(
+        "{} workers x {} GB, dim {}: up to {:.3e} rows = {:.3e} parameters",
+        plan.num_workers,
+        plan.memory_per_worker >> 30,
+        plan.dim,
+        plan.max_rows() as f64,
+        plan.max_params() as f64
+    );
+    Ok(())
+}
+
+fn cmd_experiment(args: &Args) -> Result<(), String> {
+    let which = args
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .ok_or("experiment name required")?;
+    let scale: f64 = args.get_or("scale", 0.15);
+    match which {
+        "fig1" => println!("{}", experiments::overhead::run(scale)),
+        "fig3" => {
+            for r in experiments::cooccurrence::run(scale) {
+                println!("{r}\n");
+            }
+        }
+        "fig7" => println!("{}", experiments::convergence::run(scale, 3)),
+        "fig8" => println!("{}", experiments::comm_breakdown::run(scale)),
+        "fig9" => {
+            for r in experiments::hierarchy::run(scale) {
+                println!("{r}\n");
+            }
+        }
+        "fig10" => {
+            for r in experiments::scalability::run(scale) {
+                println!("{r}\n");
+            }
+        }
+        "table2" => println!("{}", experiments::staleness::run(scale, 3)),
+        "table3" => {
+            for r in experiments::partitioners::run(scale) {
+                println!("{r}\n");
+            }
+        }
+        "ablation" => {
+            let (st, rep, bal) = experiments::ablation::run(scale);
+            println!("{st}\n\n{rep}\n\n{bal}");
+        }
+        "all" => {
+            println!("{}", experiments::overhead::run(scale));
+            for r in experiments::cooccurrence::run(scale) {
+                println!("{r}\n");
+            }
+            for r in experiments::partitioners::run(scale) {
+                println!("{r}\n");
+            }
+            println!("{}", experiments::comm_breakdown::run(scale));
+            println!("{}", experiments::staleness::run(scale, 3));
+            for r in experiments::hierarchy::run(scale) {
+                println!("{r}\n");
+            }
+            for r in experiments::scalability::run(scale) {
+                println!("{r}\n");
+            }
+        }
+        other => return Err(format!("unknown experiment {other:?} (see --help)")),
+    }
+    Ok(())
+}

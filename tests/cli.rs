@@ -1,0 +1,83 @@
+//! End-to-end tests of the `het-gmp` CLI binary.
+
+use std::process::Command;
+
+fn het_gmp() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_het-gmp"))
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = het_gmp().arg("--help").output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("usage: het-gmp"));
+    assert!(text.contains("experiment"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = het_gmp().arg("frobnicate").output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn capacity_reproduces_paper_claim() {
+    let out = het_gmp()
+        .args(["capacity", "--workers", "24", "--mem-gb", "32", "--dim", "128"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    // ~1.4e11 parameters.
+    assert!(text.contains("e11 parameters"), "{text}");
+}
+
+#[test]
+fn gen_partition_train_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("hetgmp-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("tiny.svm");
+    let path = file.to_str().unwrap();
+
+    let out = het_gmp()
+        .args(["gen", "--preset", "tiny", "--out", path])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(file.exists());
+
+    let out = het_gmp()
+        .args([
+            "partition", "--in", path, "--fields", "4", "--workers", "4", "--algo", "hybrid",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("remote fetches/epoch"), "{text}");
+
+    let out = het_gmp()
+        .args([
+            "train", "--in", path, "--fields", "4", "--workers", "2", "--epochs", "1",
+            "--system", "het-gmp",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("final AUC"), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn train_rejects_unknown_system() {
+    let out = het_gmp()
+        .args(["train", "--preset", "tiny", "--system", "sparkle"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown system"));
+}

@@ -1,0 +1,104 @@
+//! Empirical validation of Theorem 1 (§5.4): bounded-staleness training is
+//! an iterative-convergent process — the objective decreases sufficiently,
+//! iterate movement diminishes, and bounded-`s` runs converge to the same
+//! quality as fully-synchronous runs.
+
+use het_gmp::cluster::Topology;
+use het_gmp::core::strategy::StrategyConfig;
+use het_gmp::core::trainer::{Trainer, TrainerConfig};
+use het_gmp::data::{generate, DatasetSpec};
+
+fn dataset() -> het_gmp::data::CtrDataset {
+    let mut spec = DatasetSpec::avazu_like(0.06);
+    spec.cluster_affinity = 0.9;
+    generate(&spec)
+}
+
+fn run(s: u64, epochs: usize) -> het_gmp::core::trainer::TrainResult {
+    let data = dataset();
+    Trainer::new(
+        &data,
+        Topology::pcie_island(4),
+        StrategyConfig::het_gmp(s),
+        TrainerConfig {
+            epochs,
+            dim: 16,
+            batch_size: 256,
+            hidden: vec![32, 16],
+            ..Default::default()
+        },
+    )
+    .run()
+}
+
+#[test]
+fn objective_decreases_sufficiently() {
+    // Assumption (3) of Theorem 1: the objective decreases for large t.
+    let r = run(100, 6);
+    let losses: Vec<f64> = r.curve.iter().map(|p| p.train_loss).collect();
+    assert!(
+        losses.last().unwrap() < losses.first().unwrap(),
+        "loss never decreased: {losses:?}"
+    );
+    // Monotone up to small noise: every epoch is within 2% of the best so
+    // far (allows stochastic wiggle without allowing divergence).
+    let mut best = f64::INFINITY;
+    for (i, &l) in losses.iter().enumerate() {
+        assert!(l <= best * 1.02, "epoch {i}: loss {l} regressed past {best}");
+        best = best.min(l);
+    }
+}
+
+#[test]
+fn iterate_movement_diminishes() {
+    // The summability in Eq. (7) implies per-epoch improvements shrink:
+    // compare the loss drop of the first half vs the second half of
+    // training.
+    let r = run(100, 8);
+    let losses: Vec<f64> = r.curve.iter().map(|p| p.train_loss).collect();
+    let first_half = losses[0] - losses[losses.len() / 2];
+    let second_half = losses[losses.len() / 2] - losses[losses.len() - 1];
+    assert!(
+        second_half < first_half,
+        "no diminishing returns: first {first_half} vs second {second_half}"
+    );
+}
+
+#[test]
+fn bounded_staleness_reaches_synchronous_quality() {
+    // Theorem 1's conclusion: {x(t)} under bounded delay converges to a
+    // critical point of the same objective — empirically, final AUC under
+    // s = 100 matches s = 0 within a point.
+    let sync = run(0, 5);
+    let stale = run(100, 5);
+    assert!(
+        (sync.final_auc - stale.final_auc).abs() < 0.015,
+        "s=0 {:.4} vs s=100 {:.4}",
+        sync.final_auc,
+        stale.final_auc
+    );
+    assert!(sync.final_auc > 0.6, "sync run failed to learn");
+}
+
+#[test]
+fn convergence_rate_is_sublinear() {
+    // O(1/t) rate (Eq. 9): the excess loss decays at least as fast as c/t
+    // on a log-log fit (slope ≤ −0.4, loose to absorb stochastic noise).
+    let r = run(10, 8);
+    let losses: Vec<f64> = r.curve.iter().map(|p| p.train_loss).collect();
+    let floor = losses.iter().cloned().fold(f64::INFINITY, f64::min) - 1e-3;
+    let points: Vec<(f64, f64)> = losses
+        .iter()
+        .enumerate()
+        .filter(|(_, &l)| l - floor > 1e-6)
+        .map(|(t, &l)| (((t + 1) as f64).ln(), (l - floor).ln()))
+        .collect();
+    assert!(points.len() >= 4, "not enough excess-loss points");
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    assert!(slope < -0.4, "excess-loss decay slope {slope} too flat");
+}
