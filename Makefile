@@ -1,0 +1,25 @@
+# Convenience targets; all builds are fully offline (deps vendored under
+# third_party/).
+
+CARGO ?= cargo
+
+.PHONY: build test clippy verify bench clean
+
+build:
+	$(CARGO) build --release --offline --workspace
+
+test:
+	$(CARGO) test -q --offline --workspace
+
+clippy:
+	$(CARGO) clippy --offline --workspace --all-targets -- -D warnings
+
+# The gate every change must pass: release build, full test suite, and
+# clippy with warnings denied.
+verify: build test clippy
+
+bench:
+	$(CARGO) bench --offline --workspace
+
+clean:
+	$(CARGO) clean

@@ -50,7 +50,7 @@ fn bench(c: &mut Criterion) {
     });
 
     group.bench_function("hybrid_3_rounds", |b| {
-        b.iter(|| HybridPartitioner::new(HybridConfig::default()).partition(&g, 8));
+        b.iter(|| HybridPartitioner::new(HybridConfig::default()).partition_rounds(&g, 8));
     });
 
     group.bench_function("metrics", |b| {

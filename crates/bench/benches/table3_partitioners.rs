@@ -13,7 +13,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| bicut_partition(&graph, 8));
     });
     group.bench_function("ours_3_rounds_8", |b| {
-        b.iter(|| HybridPartitioner::new(HybridConfig::default()).partition(&graph, 8));
+        b.iter(|| HybridPartitioner::new(HybridConfig::default()).partition_rounds(&graph, 8));
     });
     group.finish();
 }

@@ -3,6 +3,15 @@
 //! Each worker thread owns a [`SimClock`]; every charged operation advances
 //! it and is attributed to a category so experiments can report the paper's
 //! communication-vs-computation breakdowns (Figures 1 and 8).
+//!
+//! A clock can be attached to a telemetry [`Recorder`]
+//! ([`SimClock::attach_recorder`]): each charge is then also observed into
+//! the `time.<category>_secs` histograms and the simulated position is
+//! mirrored to the `clock.now_secs` gauge, so unified snapshots carry the
+//! same breakdown this type reports directly.
+
+use hetgmp_telemetry::Recorder;
+use std::sync::Arc;
 
 /// Categories of charged time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -17,6 +26,19 @@ pub enum TimeCategory {
     AllReduceComm,
     /// Host↔device input pipeline.
     HostIo,
+}
+
+impl TimeCategory {
+    /// Telemetry histogram name charges to this category observe into.
+    pub fn metric(self) -> &'static str {
+        match self {
+            TimeCategory::Compute => "time.compute_secs",
+            TimeCategory::EmbedComm => "time.embed_comm_secs",
+            TimeCategory::MetaComm => "time.meta_comm_secs",
+            TimeCategory::AllReduceComm => "time.allreduce_comm_secs",
+            TimeCategory::HostIo => "time.host_io_secs",
+        }
+    }
 }
 
 /// Aggregated per-category time for one worker.
@@ -76,16 +98,41 @@ impl TimeBreakdown {
 /// which charges only the *excess* of communication time beyond the compute
 /// it hides behind, while still attributing the full duration in the
 /// breakdown (so Figure 1/8-style accounting reports the raw cost).
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct SimClock {
     now: f64,
     breakdown: TimeBreakdown,
+    recorder: Option<Arc<dyn Recorder>>,
+}
+
+impl std::fmt::Debug for SimClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimClock")
+            .field("now", &self.now)
+            .field("breakdown", &self.breakdown)
+            .field("recorder", &self.recorder.as_ref().map(|_| "attached"))
+            .finish()
+    }
 }
 
 impl SimClock {
     /// A clock at time zero.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A clock at time zero reporting every charge to `recorder`.
+    pub fn with_recorder(recorder: Arc<dyn Recorder>) -> Self {
+        Self {
+            recorder: Some(recorder),
+            ..Self::default()
+        }
+    }
+
+    /// Attaches a telemetry recorder; subsequent charges are observed into
+    /// `time.*_secs` histograms and `clock.now_secs`.
+    pub fn attach_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.recorder = Some(recorder);
     }
 
     /// Current simulated time in seconds.
@@ -127,6 +174,9 @@ impl SimClock {
     pub fn wait_until(&mut self, other_time: f64) {
         if other_time > self.now {
             self.now = other_time;
+            if let Some(r) = &self.recorder {
+                r.gauge_set("clock.now_secs", self.now);
+            }
         }
     }
 
@@ -137,6 +187,10 @@ impl SimClock {
             TimeCategory::MetaComm => self.breakdown.meta_comm += seconds,
             TimeCategory::AllReduceComm => self.breakdown.allreduce_comm += seconds,
             TimeCategory::HostIo => self.breakdown.host_io += seconds,
+        }
+        if let Some(r) = &self.recorder {
+            r.histogram_observe(category.metric(), seconds);
+            r.gauge_set("clock.now_secs", self.now);
         }
     }
 }
@@ -193,6 +247,23 @@ mod tests {
         assert_eq!(c.now(), 5.0);
         c.wait_until(7.5);
         assert_eq!(c.now(), 7.5);
+    }
+
+    #[test]
+    fn recorder_sees_same_breakdown() {
+        use hetgmp_telemetry::MemoryRecorder;
+        let rec = Arc::new(MemoryRecorder::new());
+        let mut c = SimClock::with_recorder(rec.clone());
+        c.advance(TimeCategory::Compute, 1.5);
+        c.advance(TimeCategory::EmbedComm, 2.0);
+        c.advance_overlapped(TimeCategory::EmbedComm, 3.0, 1.0);
+        c.wait_until(100.0);
+        let snap = rec.snapshot();
+        assert!((snap.histogram("time.compute_secs").sum - c.breakdown().compute).abs() < 1e-12);
+        assert!(
+            (snap.histogram("time.embed_comm_secs").sum - c.breakdown().embed_comm).abs() < 1e-12
+        );
+        assert_eq!(snap.gauge("clock.now_secs"), Some(c.now()));
     }
 
     #[test]

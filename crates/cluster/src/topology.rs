@@ -423,9 +423,9 @@ mod tests {
     fn bandwidth_matrix_symmetric() {
         let t = Topology::cluster_a(2);
         let m = t.bandwidth_matrix();
-        for a in 0..16 {
-            for b in 0..16 {
-                assert_eq!(m[a][b], m[b][a]);
+        for (a, row) in m.iter().enumerate() {
+            for (b, &v) in row.iter().enumerate() {
+                assert_eq!(v, m[b][a]);
             }
         }
     }

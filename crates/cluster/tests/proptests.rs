@@ -31,13 +31,13 @@ proptest! {
         let n = topo.num_workers();
         prop_assert_eq!(w.len(), n);
         let mut min_off = f64::INFINITY;
-        for a in 0..n {
-            prop_assert_eq!(w[a][a], 0.0);
-            for b in 0..n {
-                prop_assert!(w[a][b] >= 0.0);
-                prop_assert!((w[a][b] - w[b][a]).abs() < 1e-12);
+        for (a, row) in w.iter().enumerate() {
+            prop_assert_eq!(row[a], 0.0);
+            for (b, &v) in row.iter().enumerate() {
+                prop_assert!(v >= 0.0);
+                prop_assert!((v - w[b][a]).abs() < 1e-12);
                 if a != b {
-                    min_off = min_off.min(w[a][b]);
+                    min_off = min_off.min(v);
                 }
             }
         }

@@ -2,10 +2,18 @@
 //!
 //! The paper's Figure 8 breaks one iteration's communication into
 //! "embeds & grads", "keys & clocks" and "All-Reduce"; Figure 1 reports the
-//! communication share of epoch time. Workers record into this ledger from
-//! their own threads (relaxed atomics — totals are read after joins).
+//! communication share of epoch time.
+//!
+//! Since the telemetry refactor this type is a façade over per-worker
+//! [`MemoryRecorder`]s: every `record` call lands in the unified metric
+//! namespace (`traffic.bytes.*` / `traffic.messages.*`), so the same
+//! numbers appear in [`TelemetrySnapshot`]s and in this ledger's query
+//! API. Build it with [`TrafficLedger::from_registry`] to share the
+//! trainer's [`MetricsRegistry`], or [`TrafficLedger::new`] for a
+//! standalone ledger with private recorders.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use hetgmp_telemetry::{names, MemoryRecorder, MetricsRegistry, Recorder, TelemetrySnapshot};
+use std::sync::Arc;
 
 /// Traffic classes matching the paper's Figure 8 legend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -21,14 +29,6 @@ pub enum TrafficClass {
 const NUM_CLASSES: usize = 3;
 
 impl TrafficClass {
-    fn index(self) -> usize {
-        match self {
-            TrafficClass::EmbedData => 0,
-            TrafficClass::KeysClocks => 1,
-            TrafficClass::AllReduce => 2,
-        }
-    }
-
     /// All classes in display order.
     pub fn all() -> [TrafficClass; NUM_CLASSES] {
         [
@@ -46,52 +46,92 @@ impl TrafficClass {
             TrafficClass::AllReduce => "all-reduce",
         }
     }
+
+    /// Suffix used in telemetry metric names (`traffic.bytes.<suffix>`).
+    pub fn metric_suffix(self) -> &'static str {
+        match self {
+            TrafficClass::EmbedData => "embed_data",
+            TrafficClass::KeysClocks => "keys_clocks",
+            TrafficClass::AllReduce => "allreduce",
+        }
+    }
+
+    /// Full metric name for bytes of this class.
+    pub fn bytes_metric(self) -> &'static str {
+        match self {
+            TrafficClass::EmbedData => "traffic.bytes.embed_data",
+            TrafficClass::KeysClocks => "traffic.bytes.keys_clocks",
+            TrafficClass::AllReduce => "traffic.bytes.allreduce",
+        }
+    }
+
+    /// Full metric name for message count of this class.
+    pub fn messages_metric(self) -> &'static str {
+        match self {
+            TrafficClass::EmbedData => "traffic.messages.embed_data",
+            TrafficClass::KeysClocks => "traffic.messages.keys_clocks",
+            TrafficClass::AllReduce => "traffic.messages.allreduce",
+        }
+    }
 }
 
-/// Concurrent per-worker, per-class counters.
+/// Concurrent per-worker, per-class counters, backed by telemetry
+/// recorders.
 pub struct TrafficLedger {
-    num_workers: usize,
-    /// `bytes[worker * NUM_CLASSES + class]`.
-    bytes: Vec<AtomicU64>,
-    messages: Vec<AtomicU64>,
+    workers: Vec<Arc<MemoryRecorder>>,
 }
 
 impl TrafficLedger {
-    /// Creates a ledger for `num_workers` workers.
+    /// Creates a standalone ledger for `num_workers` workers, with its own
+    /// private recorders.
     pub fn new(num_workers: usize) -> Self {
-        let len = num_workers * NUM_CLASSES;
         Self {
-            num_workers,
-            bytes: (0..len).map(|_| AtomicU64::new(0)).collect(),
-            messages: (0..len).map(|_| AtomicU64::new(0)).collect(),
+            workers: (0..num_workers)
+                .map(|_| Arc::new(MemoryRecorder::new()))
+                .collect(),
+        }
+    }
+
+    /// Creates a ledger recording into `registry`'s per-worker recorders,
+    /// so traffic shows up in the registry's unified snapshot.
+    pub fn from_registry(registry: &MetricsRegistry) -> Self {
+        Self {
+            workers: (0..registry.num_workers())
+                .map(|w| registry.worker(w))
+                .collect(),
         }
     }
 
     /// Number of workers tracked.
     pub fn num_workers(&self) -> usize {
-        self.num_workers
+        self.workers.len()
     }
 
-    /// Records `bytes` (and one message per `messages`) for a worker/class.
+    /// Records `bytes` (and `messages` messages) for a worker/class.
     pub fn record(&self, worker: usize, class: TrafficClass, bytes: u64, messages: u64) {
-        let i = worker * NUM_CLASSES + class.index();
-        self.bytes[i].fetch_add(bytes, Ordering::Relaxed);
-        self.messages[i].fetch_add(messages, Ordering::Relaxed);
+        let r = &self.workers[worker];
+        r.counter_add(class.bytes_metric(), bytes);
+        if messages > 0 {
+            r.counter_add(class.messages_metric(), messages);
+        }
     }
 
     /// Bytes recorded for one worker/class.
     pub fn bytes(&self, worker: usize, class: TrafficClass) -> u64 {
-        self.bytes[worker * NUM_CLASSES + class.index()].load(Ordering::Relaxed)
+        self.workers[worker].counter(class.bytes_metric())
     }
 
     /// Messages recorded for one worker/class.
     pub fn messages(&self, worker: usize, class: TrafficClass) -> u64 {
-        self.messages[worker * NUM_CLASSES + class.index()].load(Ordering::Relaxed)
+        self.workers[worker].counter(class.messages_metric())
     }
 
     /// Total bytes of one class across all workers.
     pub fn total_bytes(&self, class: TrafficClass) -> u64 {
-        (0..self.num_workers).map(|w| self.bytes(w, class)).sum()
+        self.workers
+            .iter()
+            .map(|w| w.counter(class.bytes_metric()))
+            .sum()
     }
 
     /// Grand total bytes across classes and workers.
@@ -102,13 +142,23 @@ impl TrafficLedger {
             .sum()
     }
 
-    /// Resets every counter (between measured iterations).
-    pub fn reset(&self) {
-        for b in &self.bytes {
-            b.store(0, Ordering::Relaxed);
+    /// Merged snapshot of every worker's traffic metrics (only
+    /// `traffic.*` entries when recorders are private; shared recorders
+    /// may carry other components' metrics too).
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let mut merged = TelemetrySnapshot::default();
+        for w in &self.workers {
+            merged.merge(&w.snapshot());
         }
-        for m in &self.messages {
-            m.store(0, Ordering::Relaxed);
+        merged
+    }
+
+    /// Resets every traffic counter (between measured iterations). Leaves
+    /// non-traffic metrics on shared recorders untouched.
+    pub fn reset(&self) {
+        for w in &self.workers {
+            w.reset_prefix(names::TRAFFIC_BYTES_PREFIX);
+            w.reset_prefix(names::TRAFFIC_MESSAGES_PREFIX);
         }
     }
 }
@@ -116,7 +166,6 @@ impl TrafficLedger {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
 
     #[test]
     fn record_and_read() {
@@ -142,10 +191,10 @@ mod tests {
 
     #[test]
     fn concurrent_recording() {
-        let l = Arc::new(TrafficLedger::new(4));
+        let l = std::sync::Arc::new(TrafficLedger::new(4));
         let handles: Vec<_> = (0..4)
             .map(|w| {
-                let l = Arc::clone(&l);
+                let l = std::sync::Arc::clone(&l);
                 std::thread::spawn(move || {
                     for _ in 0..1000 {
                         l.record(w, TrafficClass::EmbedData, 3, 1);
@@ -163,5 +212,32 @@ mod tests {
     fn labels_stable() {
         assert_eq!(TrafficClass::EmbedData.label(), "embeds & grads");
         assert_eq!(TrafficClass::all().len(), 3);
+    }
+
+    #[test]
+    fn registry_backed_ledger_feeds_unified_snapshot() {
+        let registry = MetricsRegistry::new(2);
+        let l = TrafficLedger::from_registry(&registry);
+        l.record(0, TrafficClass::EmbedData, 100, 1);
+        l.record(1, TrafficClass::EmbedData, 28, 1);
+        l.record(0, TrafficClass::AllReduce, 9, 1);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("traffic.bytes.embed_data"), 128);
+        assert_eq!(snap.counter("traffic.bytes.allreduce"), 9);
+        assert_eq!(
+            snap.counter_prefix_sum(names::TRAFFIC_BYTES_PREFIX),
+            l.grand_total_bytes()
+        );
+        // The ledger's own snapshot agrees with the registry's.
+        assert_eq!(
+            l.snapshot().counter("traffic.bytes.embed_data"),
+            snap.counter("traffic.bytes.embed_data")
+        );
+        // Reset through the façade leaves other metrics alone.
+        registry.worker(0).counter_add("embedding.cache.hit", 5);
+        l.reset();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_prefix_sum(names::TRAFFIC_BYTES_PREFIX), 0);
+        assert_eq!(snap.counter("embedding.cache.hit"), 5);
     }
 }

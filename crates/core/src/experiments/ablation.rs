@@ -22,7 +22,9 @@ use hetgmp_partition::{
     ReplicationBudget,
 };
 
-use crate::experiments::render_table;
+use hetgmp_telemetry::{Json, JsonlWriter};
+
+use crate::experiments::{emit, render_table};
 use crate::models::ModelKind;
 use crate::strategy::StrategyConfig;
 use crate::trainer::{Trainer, TrainerConfig};
@@ -36,6 +38,16 @@ pub struct StalenessThroughput {
 
 /// Sweeps staleness and measures throughput + embedding traffic.
 pub fn staleness_throughput(data: &CtrDataset, s_values: &[u64]) -> StalenessThroughput {
+    staleness_throughput_with(data, s_values, None)
+}
+
+/// Like [`staleness_throughput`], optionally appending one telemetry
+/// snapshot per staleness setting (event `ablation.staleness`).
+pub fn staleness_throughput_with(
+    data: &CtrDataset,
+    s_values: &[u64],
+    mut telemetry: Option<&mut JsonlWriter>,
+) -> StalenessThroughput {
     let topo = Topology::pcie_island(8);
     let mut rows = Vec::new();
     for &s in s_values {
@@ -53,6 +65,17 @@ pub fn staleness_throughput(data: &CtrDataset, s_values: &[u64]) -> StalenessThr
             },
         );
         let r = trainer.run();
+        if let Some(w) = telemetry.as_deref_mut() {
+            emit(
+                w,
+                "ablation.staleness",
+                &[
+                    ("staleness", Json::U64(s)),
+                    ("throughput", Json::F64(r.throughput)),
+                ],
+                &r.telemetry,
+            );
+        }
         rows.push((format!("s={s}"), r.throughput, r.traffic_bytes[0]));
     }
     StalenessThroughput { rows }
@@ -94,7 +117,7 @@ pub fn replication_sweep(graph: &Bigraph, fractions: &[f64]) -> ReplicationSweep
             },
             ..Default::default()
         };
-        let (part, _) = HybridPartitioner::new(cfg).partition(graph, 8);
+        let (part, _) = HybridPartitioner::new(cfg).partition_rounds(graph, 8);
         let m = PartitionMetrics::compute(graph, &part, None);
         rows.push((frac, m.remote_fetches, m.replication_factor));
     }
@@ -152,7 +175,7 @@ pub fn balance_sweep(graph: &Bigraph) -> BalanceSweep {
             },
             ..Default::default()
         };
-        let (part, _) = HybridPartitioner::new(cfg).partition(graph, 8);
+        let (part, _) = HybridPartitioner::new(cfg).partition_rounds(graph, 8);
         let m = PartitionMetrics::compute(graph, &part, None);
         rows.push((label.to_string(), m.remote_fetches, m.sample_imbalance()));
     }
@@ -192,7 +215,7 @@ pub fn cache_comparison(data: &CtrDataset, batch_size: usize) -> CacheComparison
     let n = 8usize;
     let dim = 16usize;
     let graph = data.to_bigraph();
-    let (part, _) = HybridPartitioner::new(HybridConfig::default()).partition(&graph, n);
+    let (part, _) = HybridPartitioner::new(HybridConfig::default()).partition_rounds(&graph, n);
     let freq: Vec<u64> = (0..graph.num_embeddings() as u32)
         .map(|e| graph.emb_frequency(e) as u64)
         .collect();
@@ -352,7 +375,7 @@ pub fn repartition_drift(scale: f64) -> DriftReport {
         ..Default::default()
     };
     let partitioner = HybridPartitioner::new(cfg);
-    let (old, _) = partitioner.partition(&yesterday, 8);
+    let (old, _) = partitioner.partition_rounds(&yesterday, 8);
 
     let stale = PartitionMetrics::compute(&today, &old, None);
 
@@ -361,7 +384,7 @@ pub fn repartition_drift(scale: f64) -> DriftReport {
         seed: 0xF2E5,
         ..Default::default()
     })
-    .partition(&today, 8);
+    .partition_rounds(&today, 8);
     let fresh_m = PartitionMetrics::compute(&today, &fresh, None);
 
     let (warm, _) = partitioner.partition_from(&today, old.clone());
@@ -411,13 +434,39 @@ pub fn run(
     ReplicationSweep,
     BalanceSweep,
 ) {
+    run_with(scale, None)
+}
+
+/// Like [`run`], optionally appending telemetry records: one snapshot per
+/// staleness setting (event `ablation.staleness`) and one plain record per
+/// replication-sweep row (event `ablation.replication` — partitioning only,
+/// no trainer, so the row fields are the full story).
+pub fn run_with(
+    scale: f64,
+    mut telemetry: Option<&mut JsonlWriter>,
+) -> (
+    StalenessThroughput,
+    ReplicationSweep,
+    BalanceSweep,
+) {
     let data = generate(&DatasetSpec::criteo_like(scale));
     let graph = data.to_bigraph();
-    (
-        staleness_throughput(&data, &[0, 10, 100, 1000]),
-        replication_sweep(&graph, &[0.0, 0.005, 0.01, 0.05, 0.2]),
-        balance_sweep(&graph),
-    )
+    let st = staleness_throughput_with(&data, &[0, 10, 100, 1000], telemetry.as_deref_mut());
+    let rep = replication_sweep(&graph, &[0.0, 0.005, 0.01, 0.05, 0.2]);
+    if let Some(w) = telemetry {
+        for &(frac, remote, factor) in &rep.rows {
+            let record = Json::Obj(vec![
+                ("event".into(), Json::from("ablation.replication")),
+                ("budget_fraction".into(), Json::F64(frac)),
+                ("remote_fetches".into(), Json::U64(remote)),
+                ("replication_factor".into(), Json::F64(factor)),
+            ]);
+            if let Err(e) = w.write_record(&record) {
+                eprintln!("telemetry: {e}");
+            }
+        }
+    }
+    (st, rep, balance_sweep(&graph))
 }
 
 #[cfg(test)]

@@ -11,8 +11,9 @@ use std::fmt;
 
 use hetgmp_cluster::Topology;
 use hetgmp_data::{generate, CtrDataset, DatasetSpec};
+use hetgmp_telemetry::{Json, JsonlWriter};
 
-use crate::experiments::render_table;
+use crate::experiments::{emit, render_table};
 use crate::models::ModelKind;
 use crate::strategy::StrategyConfig;
 use crate::trainer::{Trainer, TrainerConfig};
@@ -58,7 +59,12 @@ fn settings() -> Vec<(String, StrategyConfig)> {
     ]
 }
 
-fn run_panel(model: ModelKind, data: &CtrDataset, label: &str) -> BreakdownPanel {
+fn run_panel(
+    model: ModelKind,
+    data: &CtrDataset,
+    label: &str,
+    mut telemetry: Option<&mut JsonlWriter>,
+) -> BreakdownPanel {
     let topo = Topology::pcie_island(8);
     let mut bars = Vec::new();
     for (setting, strat) in settings() {
@@ -76,6 +82,17 @@ fn run_panel(model: ModelKind, data: &CtrDataset, label: &str) -> BreakdownPanel
             },
         );
         let r = trainer.run();
+        if let Some(w) = telemetry.as_deref_mut() {
+            emit(
+                w,
+                "fig8",
+                &[
+                    ("workload", Json::from(label)),
+                    ("setting", Json::from(setting.as_str())),
+                ],
+                &r.telemetry,
+            );
+        }
         // Average per iteration ≈ per epoch totals / iterations; iterations
         // ≈ samples / (batch × workers). Report per-iteration bytes.
         let iters = (r.samples_processed as f64 / (256.0 * 8.0)).max(1.0);
@@ -94,6 +111,12 @@ fn run_panel(model: ModelKind, data: &CtrDataset, label: &str) -> BreakdownPanel
 
 /// Runs Figure 8 (both models × all datasets) at the given scale.
 pub fn run(scale: f64) -> BreakdownReport {
+    run_with(scale, None)
+}
+
+/// Like [`run`], optionally appending one telemetry snapshot per bar
+/// (event `fig8`) to a JSONL writer.
+pub fn run_with(scale: f64, mut telemetry: Option<&mut JsonlWriter>) -> BreakdownReport {
     let mut panels = Vec::new();
     for model in [ModelKind::Wdl, ModelKind::Dcn] {
         for spec in DatasetSpec::paper_presets(scale) {
@@ -102,6 +125,7 @@ pub fn run(scale: f64) -> BreakdownReport {
                 model,
                 &data,
                 &format!("{}-{}", model.name(), spec.name),
+                telemetry.as_deref_mut(),
             ));
         }
     }
@@ -163,7 +187,7 @@ mod tests {
     #[test]
     fn partitioning_reduces_embed_traffic() {
         let data = generate(&DatasetSpec::avazu_like(0.04));
-        let panel = run_panel(ModelKind::Wdl, &data, "WDL-test");
+        let panel = run_panel(ModelKind::Wdl, &data, "WDL-test", None);
         assert_eq!(panel.bars.len(), 4);
         let random = panel.bars[0].embed_bytes;
         let oned = panel.bars[1].embed_bytes;
@@ -178,8 +202,8 @@ mod tests {
     #[test]
     fn dcn_has_more_allreduce_than_wdl() {
         let data = generate(&DatasetSpec::avazu_like(0.03));
-        let wdl = run_panel(ModelKind::Wdl, &data, "WDL");
-        let dcn = run_panel(ModelKind::Dcn, &data, "DCN");
+        let wdl = run_panel(ModelKind::Wdl, &data, "WDL", None);
+        let dcn = run_panel(ModelKind::Dcn, &data, "DCN", None);
         assert!(
             dcn.bars[0].allreduce_bytes > wdl.bars[0].allreduce_bytes,
             "dcn {} vs wdl {}",

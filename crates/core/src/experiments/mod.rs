@@ -12,6 +12,8 @@
 //! are stable across scales; absolute numbers are not comparable with the
 //! paper's testbed (see EXPERIMENTS.md).
 
+use hetgmp_telemetry::{Json, JsonlWriter, TelemetrySnapshot};
+
 pub mod ablation;
 pub mod comm_breakdown;
 pub mod convergence;
@@ -25,3 +27,16 @@ pub mod staleness;
 mod fmt;
 
 pub use fmt::render_table;
+
+/// Appends one telemetry record, reporting (not panicking on) write
+/// failures — a full disk must not abort a long experiment run.
+pub(crate) fn emit(
+    writer: &mut JsonlWriter,
+    event: &str,
+    extra: &[(&str, Json)],
+    snapshot: &TelemetrySnapshot,
+) {
+    if let Err(e) = writer.write_snapshot(event, extra, snapshot) {
+        eprintln!("telemetry: {e}");
+    }
+}

@@ -10,9 +10,11 @@ use std::fmt;
 use std::time::Instant;
 
 use hetgmp_bigraph::Bigraph;
+use hetgmp_cluster::Topology;
 use hetgmp_data::{generate, DatasetSpec};
 use hetgmp_partition::{
-    bicut_partition, random_partition, HybridConfig, HybridPartitioner, PartitionMetrics,
+    BiCutPartitioner, HybridConfig, HybridPartitioner, PartitionMetrics, Partitioner,
+    RandomPartitioner,
 };
 
 use crate::experiments::render_table;
@@ -40,48 +42,52 @@ pub struct PartitionerReport {
     pub rows: Vec<PartitionerRow>,
 }
 
-/// Runs Table 3 on one bigraph with 8 partitions.
-pub fn run_graph(graph: &Bigraph, dataset: &str) -> PartitionerReport {
-    let n = 8;
-    let mut rows = Vec::new();
-
-    let t0 = Instant::now();
-    let random = random_partition(graph, n, 7);
-    let random_time = t0.elapsed().as_secs_f64();
-    let random_metrics = PartitionMetrics::compute(graph, &random, None);
-    rows.push(PartitionerRow {
-        algorithm: "Random".into(),
-        communication: random_metrics.remote_fetches,
-        reduction: 0.0,
-        time_secs: random_time,
-    });
-
-    let t0 = Instant::now();
-    let bicut = bicut_partition(graph, n);
-    let bicut_time = t0.elapsed().as_secs_f64();
-    let m = PartitionMetrics::compute(graph, &bicut, None);
-    rows.push(PartitionerRow {
-        algorithm: "BiCut".into(),
-        communication: m.remote_fetches,
-        reduction: m.reduction_vs(&random_metrics),
-        time_secs: bicut_time,
-    });
-
+/// The Table 3 line-up, every algorithm behind the unified
+/// [`Partitioner`] interface.
+fn algorithms() -> Vec<(String, Box<dyn Partitioner>)> {
+    let mut algos: Vec<(String, Box<dyn Partitioner>)> = vec![
+        ("Random".into(), Box::new(RandomPartitioner { seed: 7 })),
+        ("BiCut".into(), Box::new(BiCutPartitioner)),
+    ];
     for rounds in [1usize, 3, 5] {
         let cfg = HybridConfig {
             rounds,
             replication: None, // Table 3 measures pure partitioning quality
             ..Default::default()
         };
+        algos.push((
+            format!("Ours ({rounds} round{})", if rounds > 1 { "s" } else { "" }),
+            Box::new(HybridPartitioner::new(cfg)),
+        ));
+    }
+    algos
+}
+
+/// Runs Table 3 on one bigraph with 8 partitions. Every row is produced
+/// through the same `Partitioner::partition(graph, topology)` call — the
+/// runner knows nothing algorithm-specific.
+pub fn run_graph(graph: &Bigraph, dataset: &str) -> PartitionerReport {
+    let topo = Topology::nvlink_island(8);
+    let mut rows = Vec::new();
+    let mut random_metrics: Option<PartitionMetrics> = None;
+    for (label, algo) in algorithms() {
         let t0 = Instant::now();
-        let (part, _) = HybridPartitioner::new(cfg).partition(graph, n);
-        let time = t0.elapsed().as_secs_f64();
+        let part = algo.partition(graph, &topo);
+        let time_secs = t0.elapsed().as_secs_f64();
         let m = PartitionMetrics::compute(graph, &part, None);
+        let reduction = random_metrics
+            .as_ref()
+            .map_or(0.0, |base| m.reduction_vs(base));
+        if random_metrics.is_none() {
+            // First row is the Random baseline the others are measured
+            // against.
+            random_metrics = Some(m.clone());
+        }
         rows.push(PartitionerRow {
-            algorithm: format!("Ours ({rounds} round{})", if rounds > 1 { "s" } else { "" }),
+            algorithm: label,
             communication: m.remote_fetches,
-            reduction: m.reduction_vs(&random_metrics),
-            time_secs: time,
+            reduction,
+            time_secs,
         });
     }
 

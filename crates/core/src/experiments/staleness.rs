@@ -10,8 +10,9 @@ use std::fmt;
 use hetgmp_cluster::Topology;
 use hetgmp_data::{generate, DatasetSpec};
 use hetgmp_embedding::StalenessBound;
+use hetgmp_telemetry::{Json, JsonlWriter};
 
-use crate::experiments::render_table;
+use crate::experiments::{emit, render_table};
 use crate::models::ModelKind;
 use crate::strategy::StrategyConfig;
 use crate::trainer::{Trainer, TrainerConfig};
@@ -44,6 +45,16 @@ pub fn bounds() -> Vec<(String, StalenessBound)> {
 
 /// Runs Table 2 at the given scale/epochs.
 pub fn run(scale: f64, epochs: usize) -> StalenessReport {
+    run_with(scale, epochs, None)
+}
+
+/// Like [`run`], optionally appending one telemetry snapshot per cell
+/// (event `table2`) to a JSONL writer.
+pub fn run_with(
+    scale: f64,
+    epochs: usize,
+    mut telemetry: Option<&mut JsonlWriter>,
+) -> StalenessReport {
     let topo = Topology::pcie_island(8);
     let mut rows = Vec::new();
     for spec in DatasetSpec::paper_presets(scale) {
@@ -67,6 +78,18 @@ pub fn run(scale: f64, epochs: usize) -> StalenessReport {
                 },
             );
             let r = trainer.run();
+            if let Some(w) = telemetry.as_deref_mut() {
+                emit(
+                    w,
+                    "table2",
+                    &[
+                        ("dataset", Json::from(spec.name.as_str())),
+                        ("staleness", Json::from(label.as_str())),
+                        ("auc", Json::F64(r.final_auc)),
+                    ],
+                    &r.telemetry,
+                );
+            }
             aucs.push((label, r.final_auc));
         }
         rows.push(StalenessRow {

@@ -19,11 +19,11 @@ use hetgmp_cluster::{CostModel, SimClock, TimeCategory, Topology};
 use hetgmp_comms::AllReduceGroup;
 use hetgmp_data::KgDataset;
 use hetgmp_embedding::{ShardedTable, SparseOpt, WorkerEmbedding};
-use hetgmp_partition::{random_partition, HybridPartitioner, PartitionMetrics};
+use hetgmp_partition::PartitionMetrics;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::strategy::{PartitionPolicy, StrategyConfig};
+use crate::strategy::StrategyConfig;
 
 /// TransE training hyper-parameters.
 #[derive(Debug, Clone)]
@@ -131,12 +131,11 @@ impl<'d> KgTrainer<'d> {
             })
             .collect();
         let graph = hetgmp_bigraph::Bigraph::from_samples(self.kg.num_entities, &rows);
-        let partition = match &self.strategy.partition {
-            PartitionPolicy::Random => random_partition(&graph, n, cfg.seed),
-            PartitionPolicy::Hybrid(hc) => {
-                HybridPartitioner::new(hc.clone()).partition(&graph, n).0
-            }
-        };
+        let partition = self
+            .strategy
+            .partition
+            .partitioner(cfg.seed)
+            .partition(&graph, &self.topology);
         let partition_metrics = PartitionMetrics::compute(&graph, &partition, None);
         let freq: Vec<u64> = (0..graph.num_embeddings() as u32)
             .map(|e| graph.emb_frequency(e) as u64)

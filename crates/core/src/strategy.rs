@@ -1,7 +1,13 @@
 //! System strategies: HET-GMP and the baselines of §7.
 
+use std::sync::Arc;
+
 use hetgmp_embedding::StalenessBound;
-use hetgmp_partition::{HybridConfig, ReplicationBudget};
+use hetgmp_partition::{
+    BiCutPartitioner, HybridConfig, HybridPartitioner, MultilevelConfig, MultilevelPartitioner,
+    Partitioner, RandomPartitioner, ReplicationBudget,
+};
+use hetgmp_telemetry::{HetGmpError, Recorder};
 
 /// Where the embedding table lives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,8 +50,45 @@ pub enum CacheDesign {
 pub enum PartitionPolicy {
     /// Uniform random (HET-MP / HugeCTR hash distribution).
     Random,
+    /// The BiCut baseline (Chen et al. 2015).
+    BiCut,
     /// Algorithm 1 with the given parameters.
     Hybrid(HybridConfig),
+    /// METIS-style multilevel coarsen–partition–refine.
+    Multilevel(MultilevelConfig),
+}
+
+impl PartitionPolicy {
+    /// The unified [`Partitioner`] this policy names. All trainer and
+    /// experiment code dispatches through this single interface — no
+    /// algorithm-specific call sites.
+    pub fn partitioner(&self, seed: u64) -> Box<dyn Partitioner> {
+        self.partitioner_recorded(seed, None)
+    }
+
+    /// Like [`PartitionPolicy::partitioner`], with a telemetry recorder
+    /// attached where the algorithm supports one (Algorithm 1 emits
+    /// `partition.*` metrics).
+    pub fn partitioner_recorded(
+        &self,
+        seed: u64,
+        recorder: Option<Arc<dyn Recorder>>,
+    ) -> Box<dyn Partitioner> {
+        match self {
+            PartitionPolicy::Random => Box::new(RandomPartitioner { seed }),
+            PartitionPolicy::BiCut => Box::new(BiCutPartitioner),
+            PartitionPolicy::Hybrid(cfg) => {
+                let p = HybridPartitioner::new(cfg.clone());
+                Box::new(match recorder {
+                    Some(r) => p.with_recorder(r),
+                    None => p,
+                })
+            }
+            PartitionPolicy::Multilevel(cfg) => Box::new(MultilevelPartitioner {
+                config: cfg.clone(),
+            }),
+        }
+    }
 }
 
 /// Full description of one system under test.
@@ -189,6 +232,94 @@ impl StrategyConfig {
         }
         self
     }
+
+    /// A validating builder for a custom strategy, starting from the
+    /// HET-GMP(s=0) preset. [`StrategyConfigBuilder::build`] rejects
+    /// nonsensical axis combinations (empty name, zero hybrid rounds, LFU
+    /// cache fractions outside `(0, 1]`) with a [`HetGmpError::Config`].
+    pub fn builder() -> StrategyConfigBuilder {
+        StrategyConfigBuilder {
+            cfg: Self {
+                name: "custom".into(),
+                ..Self::het_gmp(0)
+            },
+        }
+    }
+}
+
+/// Builder for [`StrategyConfig`] — see [`StrategyConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct StrategyConfigBuilder {
+    cfg: StrategyConfig,
+}
+
+impl StrategyConfigBuilder {
+    /// Display name (must be non-empty).
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.cfg.name = name.into();
+        self
+    }
+
+    /// Embedding placement.
+    pub fn embed_home(mut self, home: EmbedHome) -> Self {
+        self.cfg.embed_home = home;
+        self
+    }
+
+    /// Partitioning policy.
+    pub fn partition(mut self, policy: PartitionPolicy) -> Self {
+        self.cfg.partition = policy;
+        self
+    }
+
+    /// Staleness bound for secondary replicas.
+    pub fn staleness(mut self, bound: StalenessBound) -> Self {
+        self.cfg.staleness = bound;
+        self
+    }
+
+    /// Dense-parameter synchronisation.
+    pub fn dense_sync(mut self, sync: DenseSync) -> Self {
+        self.cfg.dense_sync = sync;
+        self
+    }
+
+    /// Whether embedding communication overlaps with computation.
+    pub fn overlap(mut self, overlap: bool) -> Self {
+        self.cfg.overlap = overlap;
+        self
+    }
+
+    /// Local-copy management.
+    pub fn cache(mut self, cache: CacheDesign) -> Self {
+        self.cfg.cache = cache;
+        self
+    }
+
+    /// Validates and returns the strategy.
+    pub fn build(self) -> Result<StrategyConfig, HetGmpError> {
+        let c = &self.cfg;
+        if c.name.is_empty() {
+            return Err(HetGmpError::config("name", "strategy name must be non-empty"));
+        }
+        if let PartitionPolicy::Hybrid(cfg) = &c.partition {
+            if cfg.rounds == 0 {
+                return Err(HetGmpError::config(
+                    "partition.rounds",
+                    "Algorithm 1 needs at least one 1D round",
+                ));
+            }
+        }
+        if let CacheDesign::DynamicLfu { capacity_fraction } = c.cache {
+            if !(capacity_fraction > 0.0 && capacity_fraction <= 1.0) {
+                return Err(HetGmpError::config(
+                    "cache.capacity_fraction",
+                    format!("must lie in (0, 1], got {capacity_fraction}"),
+                ));
+            }
+        }
+        Ok(self.cfg)
+    }
 }
 
 #[cfg(test)]
@@ -238,5 +369,33 @@ mod tests {
     fn builders_noop_on_random() {
         let s = StrategyConfig::het_mp().with_rounds(9);
         assert!(matches!(s.partition, PartitionPolicy::Random));
+    }
+
+    #[test]
+    fn strategy_builder_validates() {
+        let s = StrategyConfig::builder()
+            .name("mine")
+            .staleness(StalenessBound::Bounded(50))
+            .cache(CacheDesign::DynamicLfu {
+                capacity_fraction: 0.1,
+            })
+            .build()
+            .unwrap();
+        assert_eq!(s.name, "mine");
+        assert_eq!(s.staleness, StalenessBound::Bounded(50));
+
+        let err = StrategyConfig::builder().name("").build().unwrap_err();
+        assert_eq!(err.exit_code(), 78);
+        assert!(StrategyConfig::builder()
+            .cache(CacheDesign::DynamicLfu {
+                capacity_fraction: 0.0,
+            })
+            .build()
+            .is_err());
+        let bad_rounds = PartitionPolicy::Hybrid(HybridConfig {
+            rounds: 0,
+            ..Default::default()
+        });
+        assert!(StrategyConfig::builder().partition(bad_rounds).build().is_err());
     }
 }

@@ -22,6 +22,7 @@
 //! they are time-starved exactly as measured in Figure 7.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use hetgmp_bigraph::Bigraph;
 use hetgmp_cluster::{CostModel, LinkClass, SimClock, TimeBreakdown, TimeCategory, Topology};
@@ -30,11 +31,12 @@ use hetgmp_data::CtrDataset;
 use hetgmp_embedding::{
     CachedWorkerEmbedding, EmbeddingWorker, ShardedTable, SparseOpt, WorkerEmbedding,
 };
-use hetgmp_partition::{random_partition, HybridPartitioner, Partition, PartitionMetrics};
+use hetgmp_partition::{Partition, PartitionMetrics};
+use hetgmp_telemetry::{names, HetGmpError, MetricsRegistry, Recorder, TelemetrySnapshot};
 use hetgmp_tensor::{auc, bce_with_logits, log_loss, Matrix};
 
 use crate::models::{CtrModel, ModelKind};
-use crate::strategy::{CacheDesign, DenseSync, EmbedHome, PartitionPolicy, StrategyConfig};
+use crate::strategy::{CacheDesign, DenseSync, EmbedHome, StrategyConfig};
 
 /// Trainer hyper-parameters (model + schedule).
 #[derive(Debug, Clone)]
@@ -97,6 +99,143 @@ impl Default for TrainerConfig {
     }
 }
 
+impl TrainerConfig {
+    /// A validating builder starting from [`TrainerConfig::default`].
+    /// Unlike struct-literal construction, [`TrainerConfigBuilder::build`]
+    /// rejects invalid hyper-parameters (`dim == 0`, empty `hidden`,
+    /// `test_fraction` outside `(0, 1)`) with a [`HetGmpError::Config`]
+    /// instead of panicking deep inside training.
+    pub fn builder() -> TrainerConfigBuilder {
+        TrainerConfigBuilder {
+            cfg: Self::default(),
+        }
+    }
+}
+
+/// Builder for [`TrainerConfig`] — see [`TrainerConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct TrainerConfigBuilder {
+    cfg: TrainerConfig,
+}
+
+impl TrainerConfigBuilder {
+    /// Model architecture.
+    pub fn model(mut self, model: ModelKind) -> Self {
+        self.cfg.model = model;
+        self
+    }
+
+    /// Embedding dimension `d` (must be positive).
+    pub fn dim(mut self, dim: usize) -> Self {
+        self.cfg.dim = dim;
+        self
+    }
+
+    /// Deep-tower hidden sizes (must be non-empty).
+    pub fn hidden(mut self, hidden: Vec<usize>) -> Self {
+        self.cfg.hidden = hidden;
+        self
+    }
+
+    /// Mini-batch size per worker (must be positive).
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.cfg.batch_size = batch_size;
+        self
+    }
+
+    /// Training epochs.
+    pub fn epochs(mut self, epochs: usize) -> Self {
+        self.cfg.epochs = epochs;
+        self
+    }
+
+    /// Sparse optimizer for the embedding table.
+    pub fn embed_opt(mut self, opt: SparseOpt) -> Self {
+        self.cfg.embed_opt = opt;
+        self
+    }
+
+    /// Dense-parameter learning rate.
+    pub fn dense_lr(mut self, lr: f32) -> Self {
+        self.cfg.dense_lr = lr;
+        self
+    }
+
+    /// Held-out test fraction (must lie strictly between 0 and 1).
+    pub fn test_fraction(mut self, f: f64) -> Self {
+        self.cfg.test_fraction = f;
+        self
+    }
+
+    /// Cap on evaluated test samples.
+    pub fn max_eval_samples(mut self, n: usize) -> Self {
+        self.cfg.max_eval_samples = n;
+        self
+    }
+
+    /// Early-stop AUC target.
+    pub fn auc_target(mut self, target: Option<f64>) -> Self {
+        self.cfg.auc_target = target;
+        self
+    }
+
+    /// Dense gradient clip (`None` disables).
+    pub fn grad_clip(mut self, clip: Option<f32>) -> Self {
+        self.cfg.grad_clip = clip;
+        self
+    }
+
+    /// Per-worker compute slowdown factors.
+    pub fn compute_scales(mut self, scales: Option<Vec<f64>>) -> Self {
+        self.cfg.compute_scales = scales;
+        self
+    }
+
+    /// Heterogeneity-aware load balancing.
+    pub fn hetero_aware_batching(mut self, on: bool) -> Self {
+        self.cfg.hetero_aware_batching = on;
+        self
+    }
+
+    /// RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<TrainerConfig, HetGmpError> {
+        let c = &self.cfg;
+        if c.dim == 0 {
+            return Err(HetGmpError::config("dim", "embedding dimension must be positive"));
+        }
+        if c.hidden.is_empty() {
+            return Err(HetGmpError::config("hidden", "at least one hidden layer is required"));
+        }
+        if c.hidden.contains(&0) {
+            return Err(HetGmpError::config("hidden", "hidden layer sizes must be positive"));
+        }
+        if !(c.test_fraction > 0.0 && c.test_fraction < 1.0) {
+            return Err(HetGmpError::config(
+                "test_fraction",
+                format!("must lie strictly between 0 and 1, got {}", c.test_fraction),
+            ));
+        }
+        if c.batch_size == 0 {
+            return Err(HetGmpError::config("batch_size", "must be positive"));
+        }
+        if let Some(scales) = &c.compute_scales {
+            if scales.iter().any(|&s| !s.is_finite() || s <= 0.0) {
+                return Err(HetGmpError::config(
+                    "compute_scales",
+                    "every slowdown factor must be positive and finite",
+                ));
+            }
+        }
+        Ok(self.cfg)
+    }
+}
+
 /// One evaluation point on the convergence curve (Figure 7).
 #[derive(Debug, Clone, Copy)]
 pub struct EvalPoint {
@@ -139,6 +278,9 @@ pub struct TrainResult {
     /// Partition quality metrics (remote fetch statistics; `None` for
     /// CPU-PS systems where the GPU partition is meaningless).
     pub partition_metrics: Option<PartitionMetrics>,
+    /// Unified metrics from every component of the run: traffic classes,
+    /// time categories, embedding protocol events, partitioner rounds.
+    pub telemetry: TelemetrySnapshot,
 }
 
 /// The distributed trainer for one (dataset, topology, strategy) triple.
@@ -171,16 +313,26 @@ impl<'d> Trainer<'d> {
     }
 
     /// Builds the partition this strategy would train with (also used by
-    /// partition-only experiments).
+    /// partition-only experiments). Dispatches through the unified
+    /// [`hetgmp_partition::Partitioner`] interface.
     pub fn build_partition(&self, graph: &Bigraph) -> Partition {
-        let n = self.topology.num_workers();
-        match &self.strategy.partition {
-            PartitionPolicy::Random => random_partition(graph, n, self.config.seed),
-            PartitionPolicy::Hybrid(cfg) => {
-                let (part, _) = HybridPartitioner::new(cfg.clone()).partition(graph, n);
-                part
-            }
-        }
+        self.strategy
+            .partition
+            .partitioner(self.config.seed)
+            .partition(graph, &self.topology)
+    }
+
+    /// [`Trainer::build_partition`] with `partition.*` telemetry recorded
+    /// into `recorder`.
+    fn build_partition_recorded(
+        &self,
+        graph: &Bigraph,
+        recorder: Arc<dyn Recorder>,
+    ) -> Partition {
+        self.strategy
+            .partition
+            .partitioner_recorded(self.config.seed, Some(recorder))
+            .partition(graph, &self.topology)
     }
 
     /// Runs training and returns the measurements.
@@ -188,6 +340,10 @@ impl<'d> Trainer<'d> {
         let cfg = &self.config;
         let n = self.topology.num_workers();
         let cost = CostModel::new(self.topology.clone());
+        // One registry for the whole run: the partitioner records globally,
+        // each worker thread records into its own recorder (no hot-path
+        // contention), and the final snapshot merges everything.
+        let registry = MetricsRegistry::new(n);
 
         // ---- Data & partition ------------------------------------------------
         let split = self.dataset.split(cfg.test_fraction);
@@ -197,7 +353,7 @@ impl<'d> Trainer<'d> {
             .map(|&i| self.dataset.sample(i as usize).to_vec())
             .collect();
         let graph = Bigraph::from_samples(self.dataset.num_features, &train_rows);
-        let partition = self.build_partition(&graph);
+        let partition = self.build_partition_recorded(&graph, registry.global());
         let partition_metrics = match self.strategy.embed_home {
             EmbedHome::Gpu => Some(PartitionMetrics::compute(&graph, &partition, None)),
             EmbedHome::CpuPs => None,
@@ -223,7 +379,7 @@ impl<'d> Trainer<'d> {
         // ---- Shared state ----------------------------------------------------
         let table = ShardedTable::new(self.dataset.num_features, cfg.dim, 0.05, cfg.seed);
         let group = AllReduceGroup::new(n);
-        let ledger = TrafficLedger::new(n);
+        let ledger = TrafficLedger::from_registry(&registry);
         let samples_processed = AtomicU64::new(0);
         // Training-loss accumulators (fixed-point micro-units so plain
         // atomics suffice).
@@ -256,6 +412,9 @@ impl<'d> Trainer<'d> {
                 }
             })
             .collect();
+        for (w, emb) in embeddings.iter_mut().enumerate() {
+            emb.attach_recorder(registry.worker(w));
+        }
         let mut models: Vec<CtrModel> = (0..n)
             .map(|_| {
                 CtrModel::new(
@@ -290,7 +449,9 @@ impl<'d> Trainer<'d> {
         } else {
             vec![cfg.batch_size; n]
         };
-        let mut clocks: Vec<SimClock> = (0..n).map(|_| SimClock::new()).collect();
+        let mut clocks: Vec<SimClock> = (0..n)
+            .map(|w| SimClock::with_recorder(registry.worker(w)))
+            .collect();
         let mut cursors: Vec<usize> = vec![0; n];
 
         let strategy = &self.strategy;
@@ -377,6 +538,8 @@ impl<'d> Trainer<'d> {
                 log_loss: ll,
                 train_loss,
             });
+            registry.global().gauge_set(names::TRAIN_AUC, auc_v);
+            registry.global().gauge_set(names::TRAIN_SIM_TIME, sim_time);
             if let Some(target) = cfg.auc_target {
                 if auc_v >= target && time_to_target.is_none() {
                     time_to_target = Some(sim_time);
@@ -393,6 +556,11 @@ impl<'d> Trainer<'d> {
         let sim_time = clocks.iter().map(|c| c.now()).fold(0.0, f64::max);
         let samples_total = samples_processed.load(Ordering::Relaxed);
         let final_auc = curve.last().map_or(0.5, |p| p.auc);
+        registry
+            .global()
+            .counter_add(names::TRAIN_SAMPLES, samples_total);
+        registry.global().gauge_set(names::TRAIN_SIM_TIME, sim_time);
+        registry.global().gauge_set(names::TRAIN_AUC, final_auc);
         TrainResult {
             strategy: self.strategy.name.clone(),
             final_auc,
@@ -412,6 +580,7 @@ impl<'d> Trainer<'d> {
                 ledger.total_bytes(TrafficClass::AllReduce),
             ],
             partition_metrics,
+            telemetry: registry.snapshot(),
             curve,
         }
     }
@@ -776,6 +945,35 @@ mod tests {
             max_eval_samples: 256,
             ..Default::default()
         }
+    }
+
+    #[test]
+    fn builder_validates_hyper_parameters() {
+        let ok = TrainerConfig::builder()
+            .dim(8)
+            .hidden(vec![16])
+            .batch_size(64)
+            .epochs(2)
+            .test_fraction(0.2)
+            .seed(7)
+            .build()
+            .unwrap();
+        assert_eq!(ok.dim, 8);
+        assert_eq!(ok.hidden, vec![16]);
+        assert_eq!(ok.test_fraction, 0.2);
+
+        let err = TrainerConfig::builder().dim(0).build().unwrap_err();
+        assert!(err.to_string().contains("dim"), "{err}");
+        assert_eq!(err.exit_code(), 78);
+        assert!(TrainerConfig::builder().hidden(vec![]).build().is_err());
+        assert!(TrainerConfig::builder().hidden(vec![16, 0]).build().is_err());
+        assert!(TrainerConfig::builder().test_fraction(0.0).build().is_err());
+        assert!(TrainerConfig::builder().test_fraction(1.0).build().is_err());
+        assert!(TrainerConfig::builder().batch_size(0).build().is_err());
+        assert!(TrainerConfig::builder()
+            .compute_scales(Some(vec![1.0, 0.0]))
+            .build()
+            .is_err());
     }
 
     #[test]

@@ -9,39 +9,20 @@
 
 use std::io::{BufRead, Write};
 
+use hetgmp_telemetry::HetGmpError;
+
 use crate::dataset::CtrDataset;
 
-/// Errors raised while parsing a dataset file.
-#[derive(Debug)]
-pub enum ParseError {
-    /// Underlying I/O failure.
-    Io(std::io::Error),
-    /// A malformed line (1-based line number + description).
-    Malformed {
-        /// 1-based line number.
-        line: usize,
-        /// What was wrong.
-        reason: String,
-    },
-}
+/// Errors raised while parsing a dataset file — the workspace-wide
+/// [`HetGmpError`]. Malformed content carries a 1-based line number;
+/// invalid arguments (`num_fields == 0`) are `Config` errors, not panics.
+pub type ParseError = HetGmpError;
 
-impl std::fmt::Display for ParseError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ParseError::Io(e) => write!(f, "i/o error: {e}"),
-            ParseError::Malformed { line, reason } => {
-                write!(f, "line {line}: {reason}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for ParseError {}
-
-impl From<std::io::Error> for ParseError {
-    fn from(e: std::io::Error) -> Self {
-        ParseError::Io(e)
-    }
+/// Wraps a reader-level I/O failure. The readers here take any `BufRead`,
+/// so there is no file path to attribute; the CLI attributes the path when
+/// it opens the file.
+fn stream_err(e: std::io::Error) -> HetGmpError {
+    HetGmpError::io("<stream>", e)
 }
 
 /// Reads libsvm-style lines: `label idx[:val] idx[:val] …` where `idx` is a
@@ -52,32 +33,34 @@ impl From<std::io::Error> for ParseError {
 /// Returns a dataset whose `num_features` covers the maximum id seen plus
 /// the padding id.
 pub fn read_libsvm<R: BufRead>(reader: R, num_fields: usize) -> Result<CtrDataset, ParseError> {
-    assert!(num_fields > 0, "num_fields must be positive");
+    if num_fields == 0 {
+        return Err(HetGmpError::config("num_fields", "must be positive"));
+    }
     let mut features: Vec<u32> = Vec::new();
     let mut labels: Vec<f32> = Vec::new();
     let mut max_id = 0u32;
     let mut row = Vec::with_capacity(num_fields);
     for (lineno, line) in reader.lines().enumerate() {
-        let line = line?;
+        let line = line.map_err(stream_err)?;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
         let mut parts = line.split_whitespace();
-        let label_tok = parts.next().ok_or_else(|| ParseError::Malformed {
-            line: lineno + 1,
-            reason: "missing label".into(),
-        })?;
-        let label: f32 = label_tok.parse().map_err(|_| ParseError::Malformed {
-            line: lineno + 1,
-            reason: format!("bad label {label_tok:?}"),
+        let label_tok = parts
+            .next()
+            .ok_or_else(|| HetGmpError::data_unattributed(lineno + 1, "missing label"))?;
+        let label: f32 = label_tok.parse().map_err(|_| {
+            HetGmpError::data_unattributed(lineno + 1, format!("bad label {label_tok:?}"))
         })?;
         row.clear();
         for tok in parts.take(num_fields) {
             let idx_str = tok.split(':').next().unwrap_or(tok);
-            let idx: u32 = idx_str.parse().map_err(|_| ParseError::Malformed {
-                line: lineno + 1,
-                reason: format!("bad feature index {idx_str:?}"),
+            let idx: u32 = idx_str.parse().map_err(|_| {
+                HetGmpError::data_unattributed(
+                    lineno + 1,
+                    format!("bad feature index {idx_str:?}"),
+                )
             })?;
             max_id = max_id.max(idx);
             row.push(idx);
@@ -128,23 +111,26 @@ pub fn read_csv_hashed<R: BufRead>(
     num_fields: usize,
     buckets_per_field: usize,
 ) -> Result<CtrDataset, ParseError> {
-    assert!(num_fields > 0 && buckets_per_field > 0);
+    if num_fields == 0 {
+        return Err(HetGmpError::config("num_fields", "must be positive"));
+    }
+    if buckets_per_field == 0 {
+        return Err(HetGmpError::config("buckets_per_field", "must be positive"));
+    }
     let mut features: Vec<u32> = Vec::new();
     let mut labels: Vec<f32> = Vec::new();
     for (lineno, line) in reader.lines().enumerate() {
-        let line = line?;
+        let line = line.map_err(stream_err)?;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
         let mut cols = line.split(',');
-        let label_tok = cols.next().ok_or_else(|| ParseError::Malformed {
-            line: lineno + 1,
-            reason: "missing label column".into(),
-        })?;
-        let label: f32 = label_tok.trim().parse().map_err(|_| ParseError::Malformed {
-            line: lineno + 1,
-            reason: format!("bad label {label_tok:?}"),
+        let label_tok = cols
+            .next()
+            .ok_or_else(|| HetGmpError::data_unattributed(lineno + 1, "missing label column"))?;
+        let label: f32 = label_tok.trim().parse().map_err(|_| {
+            HetGmpError::data_unattributed(lineno + 1, format!("bad label {label_tok:?}"))
         })?;
         let mut count = 0usize;
         for f in 0..num_fields {
@@ -214,6 +200,15 @@ mod tests {
         assert!(err.to_string().contains("line 1"));
         let err = read_libsvm(Cursor::new("1 x:1\n"), 2).unwrap_err();
         assert!(err.to_string().contains("feature index"));
+    }
+
+    #[test]
+    fn zero_field_counts_error_instead_of_panicking() {
+        let err = read_libsvm(Cursor::new("1 1:1\n"), 0).unwrap_err();
+        assert!(err.to_string().contains("num_fields"), "{err}");
+        assert_eq!(err.exit_code(), 78);
+        let err = read_csv_hashed(Cursor::new("1,a\n"), 2, 0).unwrap_err();
+        assert!(err.to_string().contains("buckets_per_field"), "{err}");
     }
 
     #[test]

@@ -194,12 +194,12 @@ mod tests {
                 counts[hc][tc] += 1;
             }
         }
-        for hc in 0..spec.num_clusters {
-            let total: u32 = counts[hc].iter().sum();
+        for (hc, row) in counts.iter().enumerate() {
+            let total: u32 = row.iter().sum();
             if total < 20 {
                 continue;
             }
-            let max = *counts[hc].iter().max().unwrap();
+            let max = *row.iter().max().unwrap();
             assert!(
                 max as f64 / total as f64 > 0.5,
                 "cluster {hc}: tail distribution too flat"

@@ -119,13 +119,13 @@ mod tests {
         let z = Zipf::new(10, 1.0);
         let mut rng = StdRng::seed_from_u64(42);
         let n = 200_000;
-        let mut counts = vec![0usize; 10];
+        let mut counts = [0usize; 10];
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;
         }
-        for k in 0..10 {
+        for (k, &c) in counts.iter().enumerate() {
             let expected = z.pmf(k);
-            let observed = counts[k] as f64 / n as f64;
+            let observed = c as f64 / n as f64;
             assert!(
                 (observed - expected).abs() < 0.01,
                 "k={k} observed={observed} expected={expected}"

@@ -11,8 +11,10 @@
 //! one substrate (see the `cache_comparison` ablation in `hetgmp-core`).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use hetgmp_partition::Partition;
+use hetgmp_telemetry::{names, Recorder};
 
 use crate::lfu::LfuCache;
 use crate::report::{ReadReport, UpdateReport, META_ENTRY_BYTES};
@@ -29,6 +31,7 @@ pub struct CachedWorkerEmbedding<'a> {
     cache: LfuCache,
     scratch_ids: HashMap<u32, usize>,
     scratch_rows: Vec<f32>,
+    recorder: Option<Arc<dyn Recorder>>,
 }
 
 impl<'a> CachedWorkerEmbedding<'a> {
@@ -53,7 +56,14 @@ impl<'a> CachedWorkerEmbedding<'a> {
             cache: LfuCache::new(table.dim(), capacity),
             scratch_ids: HashMap::new(),
             scratch_rows: Vec::new(),
+            recorder: None,
         }
+    }
+
+    /// Attaches a telemetry recorder; reads, cache hits/misses and updates
+    /// are counted into the `embedding.*` metrics from then on.
+    pub fn attach_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.recorder = Some(recorder);
     }
 
     /// Rows currently cached.
@@ -141,6 +151,19 @@ impl<'a> CachedWorkerEmbedding<'a> {
                 cursor += dim;
             }
         }
+        if let Some(r) = &self.recorder {
+            r.counter_add(names::EMBED_READ_LOCAL_PRIMARY, report.local_primary);
+            r.counter_add(names::EMBED_READ_LOCAL_FRESH, report.local_fresh);
+            r.counter_add(names::EMBED_READ_REMOTE, report.remote_fetches);
+            r.counter_add(names::EMBED_SYNC_INTRA, report.intra_syncs);
+            // For the dynamic cache a fresh or refreshed row is a hit; only a
+            // full fetch-and-admit is a miss.
+            r.counter_add(
+                names::EMBED_CACHE_HIT,
+                report.local_fresh + report.intra_syncs,
+            );
+            r.counter_add(names::EMBED_CACHE_MISS, report.remote_fetches);
+        }
         report
     }
 
@@ -203,6 +226,13 @@ impl<'a> CachedWorkerEmbedding<'a> {
                 }
                 self.cache.apply_local_delta(e, &delta);
             }
+        }
+        if let Some(r) = &self.recorder {
+            // HET-style eager write-back: nothing is deferred.
+            r.counter_add(
+                names::EMBED_UPDATE_DIRECT,
+                report.local_updates + report.remote_writebacks,
+            );
         }
         report
     }

@@ -5,6 +5,8 @@
 
 use std::io::{self, Read, Write};
 
+use hetgmp_telemetry::HetGmpError;
+
 use crate::table::ShardedTable;
 
 const MAGIC: &[u8; 4] = b"HGMP";
@@ -45,6 +47,18 @@ impl std::error::Error for CheckpointError {}
 impl From<io::Error> for CheckpointError {
     fn from(e: io::Error) -> Self {
         CheckpointError::Io(e)
+    }
+}
+
+impl CheckpointError {
+    /// Converts into the workspace-wide [`HetGmpError`], attributing the
+    /// checkpoint file at `path`. I/O failures map to `Io` (exit code 74);
+    /// corrupt content maps to `Checkpoint` (exit code 65).
+    pub fn into_workspace(self, path: impl Into<std::path::PathBuf>) -> HetGmpError {
+        match self {
+            CheckpointError::Io(e) => HetGmpError::io(path, e),
+            other => HetGmpError::checkpoint(path, other.to_string()),
+        }
     }
 }
 
@@ -154,6 +168,22 @@ mod tests {
             }
             other => panic!("unexpected error: {other}"),
         }
+    }
+
+    #[test]
+    fn workspace_conversion_keeps_path_and_exit_code() {
+        let t = ShardedTable::new(4, 2, 0.0, 1);
+        let err = load_table(&t, &b"NOPE\x01\x00\x00\x00"[..])
+            .unwrap_err()
+            .into_workspace("model.hgmp");
+        assert_eq!(err.exit_code(), 65);
+        let msg = err.to_string();
+        assert!(msg.contains("model.hgmp"), "{msg}");
+        assert!(msg.contains("magic"), "{msg}");
+
+        let io_err = CheckpointError::Io(io::Error::other("disk gone"))
+            .into_workspace("model.hgmp");
+        assert_eq!(io_err.exit_code(), 74);
     }
 
     #[test]

@@ -69,6 +69,11 @@ pub trait EmbeddingWorker: Send {
     ) -> UpdateReport;
     /// Flushes any deferred state (epoch/evaluation barriers).
     fn flush_all(&mut self, opt: &SparseOpt) -> UpdateReport;
+    /// Attaches a telemetry recorder for `embedding.*` metrics. Default is a
+    /// no-op so trivial implementations stay trivial.
+    fn attach_recorder(&mut self, recorder: std::sync::Arc<dyn hetgmp_telemetry::Recorder>) {
+        let _ = recorder;
+    }
 }
 
 impl EmbeddingWorker for WorkerEmbedding<'_> {
@@ -85,6 +90,9 @@ impl EmbeddingWorker for WorkerEmbedding<'_> {
     }
     fn flush_all(&mut self, opt: &SparseOpt) -> UpdateReport {
         WorkerEmbedding::flush_all(self, opt)
+    }
+    fn attach_recorder(&mut self, recorder: std::sync::Arc<dyn hetgmp_telemetry::Recorder>) {
+        WorkerEmbedding::attach_recorder(self, recorder)
     }
 }
 
@@ -103,5 +111,8 @@ impl EmbeddingWorker for CachedWorkerEmbedding<'_> {
     fn flush_all(&mut self, _opt: &SparseOpt) -> UpdateReport {
         // Dynamic caching writes back eagerly; nothing is deferred.
         UpdateReport::default()
+    }
+    fn attach_recorder(&mut self, recorder: std::sync::Arc<dyn hetgmp_telemetry::Recorder>) {
+        CachedWorkerEmbedding::attach_recorder(self, recorder)
     }
 }

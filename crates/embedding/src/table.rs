@@ -243,7 +243,6 @@ mod tests {
         let threads: Vec<_> = (0..4)
             .map(|_| {
                 let t = Arc::clone(&t);
-                let opt = opt.clone();
                 std::thread::spawn(move || {
                     for i in 0..1000u32 {
                         t.apply_grad(i % 64, &[1.0, 0.0, 0.0, 0.0], &opt);

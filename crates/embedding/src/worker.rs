@@ -3,8 +3,10 @@
 //! gradient write-back (§6 "Decentralized Communication").
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use hetgmp_partition::Partition;
+use hetgmp_telemetry::{names, Recorder};
 
 use crate::cache::SecondaryCache;
 use crate::report::{ReadReport, UpdateReport, META_ENTRY_BYTES};
@@ -60,6 +62,9 @@ pub struct WorkerEmbedding<'a> {
     /// Scratch: unique-id → slot in `scratch_rows`.
     scratch_ids: HashMap<u32, usize>,
     scratch_rows: Vec<f32>,
+    /// Rows currently holding a deferred (pending) gradient.
+    pending_rows: usize,
+    recorder: Option<Arc<dyn Recorder>>,
 }
 
 impl<'a> WorkerEmbedding<'a> {
@@ -102,7 +107,15 @@ impl<'a> WorkerEmbedding<'a> {
             flush_opt: SparseOpt::sgd(0.01),
             scratch_ids: HashMap::new(),
             scratch_rows: Vec::new(),
+            pending_rows: 0,
+            recorder: None,
         }
+    }
+
+    /// Attaches a telemetry recorder; reads, syncs, deferrals and flushes
+    /// are counted into the `embedding.*` metrics from then on.
+    pub fn attach_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.recorder = Some(recorder);
     }
 
     /// This worker's id.
@@ -272,6 +285,14 @@ impl<'a> WorkerEmbedding<'a> {
                 cursor += dim;
             }
         }
+        if let Some(r) = &self.recorder {
+            r.counter_add(names::EMBED_READ_LOCAL_PRIMARY, report.local_primary);
+            r.counter_add(names::EMBED_READ_LOCAL_FRESH, report.local_fresh);
+            r.counter_add(names::EMBED_READ_REMOTE, report.remote_fetches);
+            r.counter_add(names::EMBED_SYNC_INTRA, report.intra_syncs);
+            r.counter_add(names::EMBED_SYNC_INTER, report.inter_syncs);
+            r.gauge_set(names::EMBED_PENDING_ROWS, self.pending_rows as f64);
+        }
         report
     }
 
@@ -352,6 +373,9 @@ impl<'a> WorkerEmbedding<'a> {
                 self.cache.apply_local_delta_uncounted(e, &delta);
                 let pending = self.cache.accumulate_pending(e, g) as u64;
                 report.deferred += 1;
+                if pending == 1 {
+                    self.pending_rows += 1;
+                }
                 if pending >= threshold {
                     self.flush_row(e, opt, &mut report);
                 }
@@ -375,6 +399,14 @@ impl<'a> WorkerEmbedding<'a> {
                 self.cache.apply_local_delta(e, &delta);
             }
         }
+        if let Some(r) = &self.recorder {
+            r.counter_add(names::EMBED_UPDATE_DEFERRED, report.deferred);
+            r.counter_add(
+                names::EMBED_UPDATE_DIRECT,
+                report.local_updates + report.remote_writebacks,
+            );
+            r.gauge_set(names::EMBED_PENDING_ROWS, self.pending_rows as f64);
+        }
         report
     }
 
@@ -386,6 +418,10 @@ impl<'a> WorkerEmbedding<'a> {
         if self.cache.take_pending(e, &mut buf) {
             self.table.apply_grad(e, &buf, opt);
             self.cache.note_flush(e);
+            self.pending_rows = self.pending_rows.saturating_sub(1);
+            if let Some(r) = &self.recorder {
+                r.counter_add(names::EMBED_FLUSH_ROWS, 1);
+            }
             report.remote_writebacks += 1;
             report.data_bytes += (dim * 4) as u64;
             report.add_dst_bytes(
@@ -407,6 +443,10 @@ impl<'a> WorkerEmbedding<'a> {
             let opt = self.flush_opt;
             self.table.apply_grad(e, &buf, &opt);
             self.cache.note_flush(e);
+            self.pending_rows = self.pending_rows.saturating_sub(1);
+            if let Some(r) = &self.recorder {
+                r.counter_add(names::EMBED_FLUSH_ROWS, 1);
+            }
             report.data_bytes += (dim * 4) as u64;
             report.add_src_bytes(
                 self.part.primary_of(e),
@@ -427,6 +467,9 @@ impl<'a> WorkerEmbedding<'a> {
         let mut report = UpdateReport::default();
         for e in self.cache.rows_with_pending() {
             self.flush_row(e, opt, &mut report);
+        }
+        if let Some(r) = &self.recorder {
+            r.gauge_set(names::EMBED_PENDING_ROWS, self.pending_rows as f64);
         }
         report
     }

@@ -4,9 +4,11 @@
 //! recording per-round statistics so the Table 3 rows ("Ours, 1/3/5
 //! rounds") fall straight out.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use hetgmp_bigraph::Bigraph;
+use hetgmp_telemetry::{names, Recorder};
 
 use crate::metrics::PartitionMetrics;
 use crate::onedee::{OneDeeConfig, OneDeeState};
@@ -57,17 +59,38 @@ pub struct RoundStats {
 /// Driver object for Algorithm 1.
 pub struct HybridPartitioner {
     config: HybridConfig,
+    recorder: Option<Arc<dyn Recorder>>,
 }
 
 impl HybridPartitioner {
     /// Creates a partitioner with the given config.
     pub fn new(config: HybridConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            recorder: None,
+        }
+    }
+
+    /// The configuration this partitioner runs with.
+    pub fn config(&self) -> &HybridConfig {
+        &self.config
+    }
+
+    /// Attaches a telemetry recorder: every run then emits `partition.*`
+    /// metrics (per-round score/improvement, moves, replication budget and
+    /// replicas created, wall time).
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// Runs Algorithm 1 on `g` with `num_partitions` workers.
     /// Returns the final partition and the per-round statistics.
-    pub fn partition(&self, g: &Bigraph, num_partitions: usize) -> (Partition, Vec<RoundStats>) {
+    pub fn partition_rounds(
+        &self,
+        g: &Bigraph,
+        num_partitions: usize,
+    ) -> (Partition, Vec<RoundStats>) {
         let initial = random_partition(g, num_partitions, self.config.seed);
         self.partition_from(g, initial)
     }
@@ -98,9 +121,24 @@ impl HybridPartitioner {
         );
         let mut state = OneDeeState::new(g, &part, self.config.onedee.clone());
         let mut rounds = Vec::with_capacity(self.config.rounds);
+        // Pre-sweep baseline so round 1's improvement is meaningful; only
+        // computed when someone is listening.
+        let mut prev_fetches = self
+            .recorder
+            .as_ref()
+            .map(|_| PartitionMetrics::compute(g, &part, None).remote_fetches);
         for round in 1..=self.config.rounds {
             let moved = state.sweep(g, &mut part);
             let metrics = PartitionMetrics::compute(g, &part, None);
+            if let Some(r) = &self.recorder {
+                r.counter_add(names::PARTITION_ROUNDS, 1);
+                r.counter_add(names::PARTITION_MOVES, moved as u64);
+                r.histogram_observe(names::PARTITION_ROUND_SCORE, metrics.remote_fetches as f64);
+                let improvement =
+                    prev_fetches.unwrap_or(metrics.remote_fetches) as f64 - metrics.remote_fetches as f64;
+                r.histogram_observe(names::PARTITION_ROUND_IMPROVEMENT, improvement);
+                prev_fetches = Some(metrics.remote_fetches);
+            }
             rounds.push(RoundStats {
                 round,
                 moved,
@@ -109,7 +147,17 @@ impl HybridPartitioner {
             });
         }
         if let Some(budget) = self.config.replication {
-            replicate_hot_embeddings(g, &mut part, budget);
+            let created = replicate_hot_embeddings(g, &mut part, budget);
+            if let Some(r) = &self.recorder {
+                r.gauge_set(
+                    names::PARTITION_REPLICATION_BUDGET,
+                    budget.slots(g.num_embeddings()) as f64,
+                );
+                r.counter_add(names::PARTITION_REPLICAS_CREATED, created as u64);
+            }
+        }
+        if let Some(r) = &self.recorder {
+            r.gauge_set(names::PARTITION_WALL_SECS, start.elapsed().as_secs_f64());
         }
         (part, rounds)
     }
@@ -153,7 +201,7 @@ mod tests {
             replication: None,
             ..Default::default()
         };
-        let (_, rounds) = HybridPartitioner::new(cfg).partition(&g, 4);
+        let (_, rounds) = HybridPartitioner::new(cfg).partition_rounds(&g, 4);
         assert_eq!(rounds.len(), 5);
         // Round stats are non-increasing in remote fetches (greedy sweeps
         // only accept improving moves in aggregate; allow tiny tolerance).
@@ -181,8 +229,8 @@ mod tests {
             replication: Some(ReplicationBudget::PerPartitionSlots(2)),
             ..Default::default()
         });
-        let (p0, _) = no_rep.partition(&g, 4);
-        let (p1, _) = with_rep.partition(&g, 4);
+        let (p0, _) = no_rep.partition_rounds(&g, 4);
+        let (p1, _) = with_rep.partition_rounds(&g, 4);
         let m0 = PartitionMetrics::compute(&g, &p0, None);
         let m1 = PartitionMetrics::compute(&g, &p1, None);
         assert!(m1.remote_fetches <= m0.remote_fetches);
@@ -195,7 +243,7 @@ mod tests {
     #[test]
     fn beats_random_substantially() {
         let g = graph();
-        let (p, _) = HybridPartitioner::new(HybridConfig::default()).partition(&g, 4);
+        let (p, _) = HybridPartitioner::new(HybridConfig::default()).partition_rounds(&g, 4);
         let ours = PartitionMetrics::compute(&g, &p, None);
         let rand = PartitionMetrics::compute(&g, &random_partition(&g, 4, 1), None);
         assert!(
@@ -210,8 +258,8 @@ mod tests {
     fn deterministic() {
         let g = graph();
         let cfg = HybridConfig::default();
-        let (p1, _) = HybridPartitioner::new(cfg.clone()).partition(&g, 4);
-        let (p2, _) = HybridPartitioner::new(cfg).partition(&g, 4);
+        let (p1, _) = HybridPartitioner::new(cfg.clone()).partition_rounds(&g, 4);
+        let (p2, _) = HybridPartitioner::new(cfg).partition_rounds(&g, 4);
         for s in 0..g.num_samples() as u32 {
             assert_eq!(p1.sample_owner(s), p2.sample_owner(s));
         }
@@ -228,7 +276,7 @@ mod tests {
             replication: None,
             ..Default::default()
         });
-        let (first, _) = partitioner.partition(&g, 4);
+        let (first, _) = partitioner.partition_rounds(&g, 4);
         // Refining from the converged placement barely moves anything…
         let (refined, rounds) = partitioner.partition_from(&g, first.clone());
         let warm_migration = migration_cost(&first, &refined);
@@ -239,7 +287,7 @@ mod tests {
             seed: 12345,
             ..Default::default()
         });
-        let (fresh, _) = cold.partition(&g, 4);
+        let (fresh, _) = cold.partition_rounds(&g, 4);
         let cold_migration = migration_cost(&first, &fresh);
         assert!(
             warm_migration < cold_migration,
@@ -265,7 +313,7 @@ mod tests {
     #[test]
     fn validates_output() {
         let g = graph();
-        let (p, _) = HybridPartitioner::new(HybridConfig::default()).partition(&g, 8);
+        let (p, _) = HybridPartitioner::new(HybridConfig::default()).partition_rounds(&g, 8);
         assert!(p.validate(&g).is_ok());
     }
 }

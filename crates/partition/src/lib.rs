@@ -35,6 +35,7 @@ pub mod hybrid;
 pub mod metrics;
 pub mod multilevel;
 pub mod onedee;
+pub mod partitioner;
 pub mod random;
 pub mod types;
 pub mod vertexcut;
@@ -45,6 +46,9 @@ pub use hybrid::{migration_cost, HybridConfig, HybridPartitioner, RoundStats};
 pub use metrics::PartitionMetrics;
 pub use multilevel::{multilevel_partition, MultilevelConfig};
 pub use onedee::OneDeeConfig;
+pub use partitioner::{
+    BiCutPartitioner, MultilevelPartitioner, Partitioner, RandomPartitioner,
+};
 pub use random::random_partition;
 pub use types::Partition;
 pub use vertexcut::{replicate_hot_embeddings, ReplicationBudget};

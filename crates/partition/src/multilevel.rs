@@ -180,7 +180,7 @@ mod tests {
                 replication: None,
                 ..Default::default()
             })
-            .partition(&g, 8);
+            .partition_rounds(&g, 8);
             PartitionMetrics::compute(&g, &p, None)
         };
         let cfg = MultilevelConfig {

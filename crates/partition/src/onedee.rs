@@ -436,14 +436,14 @@ mod tests {
             slack: 1.2,
             ..Default::default()
         };
-        let mut part = random_partition(&g, 4, 2);
+        let mut part = random_partition(&g, 4, 6);
         let mut state = OneDeeState::new(&g, &part, cfg);
         for _ in 0..5 {
             state.sweep(&g, &mut part);
         }
         let m = PartitionMetrics::compute(&g, &part, Some(&w));
         let unweighted = {
-            let mut part2 = random_partition(&g, 4, 2);
+            let mut part2 = random_partition(&g, 4, 6);
             let cfg2 = OneDeeConfig {
                 slack: 1.2,
                 ..Default::default()

@@ -1,0 +1,189 @@
+//! The unified partitioner interface.
+//!
+//! Every partitioning algorithm in this crate — the paper's Algorithm 1 and
+//! the Table 3 baselines — is invocable through one trait:
+//! `partition(graph, topology) → Partition`. Callers (the Table 3 runner,
+//! the trainer's strategy layer, the CLI) dispatch through `&dyn
+//! Partitioner` and never need algorithm-specific plumbing; the topology
+//! argument lets hierarchy-aware algorithms derive their communication
+//! weight matrix ([`Topology::weight_matrix`]) instead of requiring the
+//! caller to thread it into a config.
+//!
+//! ```
+//! use hetgmp_bigraph::Bigraph;
+//! use hetgmp_cluster::Topology;
+//! use hetgmp_partition::{HybridPartitioner, HybridConfig, Partitioner, RandomPartitioner};
+//!
+//! let g = Bigraph::from_samples(4, &[vec![0, 1], vec![2, 3]]);
+//! let topo = Topology::nvlink_island(2);
+//! let algos: Vec<Box<dyn Partitioner>> = vec![
+//!     Box::new(RandomPartitioner::default()),
+//!     Box::new(HybridPartitioner::new(HybridConfig::default())),
+//! ];
+//! for algo in &algos {
+//!     let part = algo.partition(&g, &topo);
+//!     assert_eq!(part.num_partitions(), topo.num_workers());
+//! }
+//! ```
+
+use hetgmp_bigraph::Bigraph;
+use hetgmp_cluster::Topology;
+
+use crate::bicut::bicut_partition;
+use crate::hybrid::HybridPartitioner;
+use crate::multilevel::{multilevel_partition, MultilevelConfig};
+use crate::random::random_partition;
+use crate::types::Partition;
+
+/// A bigraph partitioning algorithm.
+///
+/// Implementations must return a partition over exactly
+/// `topo.num_workers()` parts covering every vertex of `g`.
+pub trait Partitioner {
+    /// Human-readable algorithm name (Table 3 row label).
+    fn name(&self) -> &str;
+
+    /// Partitions `g` across the workers of `topo`.
+    fn partition(&self, g: &Bigraph, topo: &Topology) -> Partition;
+}
+
+/// The paper's `Random` baseline: uniform assignment of samples and
+/// embeddings.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomPartitioner {
+    /// Assignment seed.
+    pub seed: u64,
+}
+
+impl Default for RandomPartitioner {
+    fn default() -> Self {
+        Self { seed: 0x9E7 }
+    }
+}
+
+impl Partitioner for RandomPartitioner {
+    fn name(&self) -> &str {
+        "random"
+    }
+
+    fn partition(&self, g: &Bigraph, topo: &Topology) -> Partition {
+        random_partition(g, topo.num_workers(), self.seed)
+    }
+}
+
+/// The BiCut bipartite-graph baseline (Chen et al. 2015), Table 3's
+/// strongest external competitor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BiCutPartitioner;
+
+impl Partitioner for BiCutPartitioner {
+    fn name(&self) -> &str {
+        "bicut"
+    }
+
+    fn partition(&self, g: &Bigraph, topo: &Topology) -> Partition {
+        bicut_partition(g, topo.num_workers())
+    }
+}
+
+impl Partitioner for HybridPartitioner {
+    fn name(&self) -> &str {
+        "hybrid (Algorithm 1)"
+    }
+
+    /// Runs Algorithm 1 with the topology's profiled weight matrix when the
+    /// config does not pin one explicitly.
+    fn partition(&self, g: &Bigraph, topo: &Topology) -> Partition {
+        if self.config().onedee.weights.is_none() {
+            let mut cfg = self.config().clone();
+            cfg.onedee.weights = Some(topo.weight_matrix());
+            HybridPartitioner::new(cfg)
+                .partition_rounds(g, topo.num_workers())
+                .0
+        } else {
+            self.partition_rounds(g, topo.num_workers()).0
+        }
+    }
+}
+
+/// The coarsen–partition–refine variant (METIS-style multilevel scheme).
+#[derive(Debug, Clone, Default)]
+pub struct MultilevelPartitioner {
+    /// Multilevel scheme configuration.
+    pub config: MultilevelConfig,
+}
+
+impl Partitioner for MultilevelPartitioner {
+    fn name(&self) -> &str {
+        "multilevel"
+    }
+
+    fn partition(&self, g: &Bigraph, topo: &Topology) -> Partition {
+        if self.config.onedee.weights.is_none() {
+            let mut cfg = self.config.clone();
+            cfg.onedee.weights = Some(topo.weight_matrix());
+            multilevel_partition(g, topo.num_workers(), &cfg)
+        } else {
+            multilevel_partition(g, topo.num_workers(), &self.config)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hybrid::HybridConfig;
+
+    fn graph() -> Bigraph {
+        let rows: Vec<Vec<u32>> = (0..40)
+            .map(|i| vec![(i % 7) as u32, 7 + (i % 5) as u32])
+            .collect();
+        Bigraph::from_samples(12, &rows)
+    }
+
+    #[test]
+    fn all_algorithms_dispatch_through_the_trait() {
+        let g = graph();
+        let topo = Topology::nvlink_island(4);
+        let algos: Vec<Box<dyn Partitioner>> = vec![
+            Box::new(RandomPartitioner::default()),
+            Box::new(BiCutPartitioner),
+            Box::new(HybridPartitioner::new(HybridConfig::default())),
+            Box::new(MultilevelPartitioner::default()),
+        ];
+        for algo in &algos {
+            let part = algo.partition(&g, &topo);
+            assert_eq!(part.num_partitions(), 4, "{}", algo.name());
+            assert!(part.validate(&g).is_ok(), "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn trait_hybrid_matches_inherent_with_weights() {
+        let g = graph();
+        let topo = Topology::nvlink_island(4);
+        // Pin the weight matrix so both paths run identical configs.
+        let mut cfg = HybridConfig::default();
+        cfg.onedee.weights = Some(topo.weight_matrix());
+        let p = HybridPartitioner::new(cfg.clone());
+        let via_trait = Partitioner::partition(&p, &g, &topo);
+        let (direct, _) = p.partition_rounds(&g, 4);
+        for e in 0..g.num_embeddings() as u32 {
+            assert_eq!(via_trait.primary_of(e), direct.primary_of(e));
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let algos: Vec<Box<dyn Partitioner>> = vec![
+            Box::new(RandomPartitioner::default()),
+            Box::new(BiCutPartitioner),
+            Box::new(HybridPartitioner::new(HybridConfig::default())),
+            Box::new(MultilevelPartitioner::default()),
+        ];
+        let mut names: Vec<&str> = algos.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+    }
+}

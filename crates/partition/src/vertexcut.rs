@@ -31,7 +31,9 @@ pub enum ReplicationBudget {
 }
 
 impl ReplicationBudget {
-    fn slots(&self, num_embeddings: usize) -> usize {
+    /// The per-partition secondary slot count this budget grants for a table
+    /// of `num_embeddings` rows.
+    pub fn slots(&self, num_embeddings: usize) -> usize {
         match *self {
             ReplicationBudget::FractionOfEmbeddings(f) => {
                 assert!((0.0..=1.0).contains(&f), "fraction out of range: {f}");

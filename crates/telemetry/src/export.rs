@@ -1,0 +1,128 @@
+//! Exporters: JSONL event log and pretty-printed summaries.
+
+use crate::error::HetGmpError;
+use crate::json::Json;
+use crate::snapshot::TelemetrySnapshot;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Append-style writer producing one JSON object per line.
+///
+/// Each record carries an `event` tag plus caller-supplied fields, so a
+/// single file can interleave per-iteration records with the final
+/// snapshot:
+///
+/// ```text
+/// {"event":"epoch","epoch":1,"counters":{...},...}
+/// {"event":"final","counters":{...},...}
+/// ```
+#[derive(Debug)]
+pub struct JsonlWriter {
+    path: PathBuf,
+    out: BufWriter<File>,
+}
+
+impl JsonlWriter {
+    /// Creates (or truncates) the file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self, HetGmpError> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path).map_err(|e| HetGmpError::io(&path, e))?;
+        Ok(Self {
+            path,
+            out: BufWriter::new(file),
+        })
+    }
+
+    /// The file being written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Writes one raw JSON record as a line.
+    pub fn write_record(&mut self, record: &Json) -> Result<(), HetGmpError> {
+        let line = record.render();
+        self.out
+            .write_all(line.as_bytes())
+            .and_then(|()| self.out.write_all(b"\n"))
+            .map_err(|e| HetGmpError::io(&self.path, e))
+    }
+
+    /// Writes a snapshot tagged with `event` and any extra fields (the
+    /// extras come first, so `event`/`epoch` stay near the start of each
+    /// line for human readers).
+    pub fn write_snapshot(
+        &mut self,
+        event: &str,
+        extra: &[(&str, Json)],
+        snapshot: &TelemetrySnapshot,
+    ) -> Result<(), HetGmpError> {
+        let mut members: Vec<(String, Json)> =
+            vec![("event".to_string(), Json::from(event))];
+        for (k, v) in extra {
+            members.push((k.to_string(), v.clone()));
+        }
+        if let Json::Obj(snap_members) = snapshot.to_json() {
+            members.extend(snap_members);
+        }
+        self.write_record(&Json::Obj(members))
+    }
+
+    /// Flushes buffered lines to disk.
+    pub fn flush(&mut self) -> Result<(), HetGmpError> {
+        self.out.flush().map_err(|e| HetGmpError::io(&self.path, e))
+    }
+}
+
+impl Drop for JsonlWriter {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+    use crate::MemoryRecorder;
+
+    #[test]
+    fn writes_one_parseable_line_per_record() {
+        let dir = std::env::temp_dir().join("hetgmp-telemetry-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.jsonl");
+
+        let rec = MemoryRecorder::new();
+        rec.counter_add("traffic.bytes.embed_data", 123);
+        let snap = rec.snapshot();
+
+        let mut w = JsonlWriter::create(&path).unwrap();
+        w.write_snapshot("epoch", &[("epoch", Json::U64(1))], &snap)
+            .unwrap();
+        w.write_snapshot("final", &[], &snap).unwrap();
+        w.flush().unwrap();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with(r#"{"event":"epoch","epoch":1,"#), "{}", lines[0]);
+        assert!(lines[0].contains(r#""traffic.bytes.embed_data":123"#));
+        assert!(lines[1].starts_with(r#"{"event":"final","#));
+        for line in lines {
+            assert!(line.ends_with('}'));
+            assert_eq!(
+                line.matches('{').count(),
+                line.matches('}').count(),
+                "unbalanced braces: {line}"
+            );
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn create_on_bad_path_is_io_error_with_path() {
+        let err = JsonlWriter::create("/nonexistent-dir-xyz/out.jsonl").unwrap_err();
+        assert_eq!(err.exit_code(), 74);
+        assert!(err.path().unwrap().to_string_lossy().contains("nonexistent"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Unified telemetry for the HET-GMP workspace.
+//!
+//! Every instrumented component — the traffic ledger, simulated clocks,
+//! embedding workers, partitioners, the trainer — writes named metrics
+//! through one small [`Recorder`] trait:
+//!
+//! * **counters** — monotonic `u64` totals (bytes sent, cache hits),
+//! * **gauges** — last-write-wins `f64` levels (simulated clock, scores),
+//! * **histograms** — `f64` observation streams with count/sum/min/max,
+//! * **spans** — RAII wall-clock timers feeding a histogram on drop.
+//!
+//! [`NoopRecorder`] is the default sink and costs nothing; a
+//! [`MetricsRegistry`] hands each worker its own [`MemoryRecorder`] so the
+//! hot path never contends, and merges everything into a
+//! [`TelemetrySnapshot`] on demand. Snapshots export as JSONL
+//! ([`JsonlWriter`]) or a pretty table
+//! ([`TelemetrySnapshot::render_table`]).
+//!
+//! Metric names are dotted paths; the taxonomy (names, units, labels) is
+//! documented in `TELEMETRY.md` at the repository root.
+//!
+//! This crate is also the home of [`HetGmpError`], the workspace-wide
+//! error type mapped to process exit codes by the CLI.
+
+pub mod error;
+pub mod export;
+pub mod json;
+pub mod memory;
+pub mod recorder;
+pub mod registry;
+pub mod snapshot;
+
+pub use error::HetGmpError;
+pub use export::JsonlWriter;
+pub use json::Json;
+pub use memory::MemoryRecorder;
+pub use recorder::{NoopRecorder, Recorder, SpanGuard};
+pub use registry::MetricsRegistry;
+pub use snapshot::{HistogramSummary, TelemetrySnapshot};
+
+/// Canonical metric names used across the workspace, so call sites and
+/// tests never drift apart on spelling. See `TELEMETRY.md` for semantics.
+pub mod names {
+    /// Bytes moved per traffic class; suffixed by class label:
+    /// `embed_data`, `keys_clocks`, `allreduce`.
+    pub const TRAFFIC_BYTES_PREFIX: &str = "traffic.bytes.";
+    /// Messages per traffic class; same suffixes as bytes.
+    pub const TRAFFIC_MESSAGES_PREFIX: &str = "traffic.messages.";
+
+    /// Simulated seconds per time category; suffixed by category:
+    /// `compute`, `embed_comm`, `meta_comm`, `allreduce_comm`, `host_io`.
+    pub const TIME_PREFIX: &str = "time.";
+
+    /// Embedding reads served by the worker's own primary rows.
+    pub const EMBED_READ_LOCAL_PRIMARY: &str = "embedding.read.local_primary";
+    /// Embedding reads served by fresh-enough local replicas.
+    pub const EMBED_READ_LOCAL_FRESH: &str = "embedding.read.local_fresh";
+    /// Embedding reads that had to fetch from a remote primary.
+    pub const EMBED_READ_REMOTE: &str = "embedding.read.remote";
+    /// Intra-embedding (replica refresh) synchronisations.
+    pub const EMBED_SYNC_INTRA: &str = "embedding.sync.intra";
+    /// Inter-embedding (staleness bound) synchronisations.
+    pub const EMBED_SYNC_INTER: &str = "embedding.sync.inter";
+    /// Gradient updates deferred into the pending buffer.
+    pub const EMBED_UPDATE_DEFERRED: &str = "embedding.update.deferred";
+    /// Gradient updates applied straight to the primary.
+    pub const EMBED_UPDATE_DIRECT: &str = "embedding.update.direct";
+    /// Pending-buffer rows flushed to primaries.
+    pub const EMBED_FLUSH_ROWS: &str = "embedding.flush.rows";
+    /// LFU cache hits (dynamic-cache workers only).
+    pub const EMBED_CACHE_HIT: &str = "embedding.cache.hit";
+    /// LFU cache misses (dynamic-cache workers only).
+    pub const EMBED_CACHE_MISS: &str = "embedding.cache.miss";
+    /// Rows currently waiting in the pending buffer (gauge).
+    pub const EMBED_PENDING_ROWS: &str = "embedding.pending_rows";
+
+    /// Partitioner refinement rounds executed.
+    pub const PARTITION_ROUNDS: &str = "partition.rounds";
+    /// Vertices moved across all refinement rounds.
+    pub const PARTITION_MOVES: &str = "partition.moves";
+    /// Remote-fetch score after each round (histogram; one observation
+    /// per round, so `min` is the best score reached).
+    pub const PARTITION_ROUND_SCORE: &str = "partition.round.remote_fetches";
+    /// Score improvement per round, in remote fetches removed (histogram).
+    pub const PARTITION_ROUND_IMPROVEMENT: &str = "partition.round.improvement";
+    /// Replicas created by hot-embedding replication.
+    pub const PARTITION_REPLICAS_CREATED: &str = "partition.replicas.created";
+    /// Replication budget, in replica slots (gauge).
+    pub const PARTITION_REPLICATION_BUDGET: &str = "partition.replication.budget";
+    /// Wall-clock seconds spent partitioning (histogram via span).
+    pub const PARTITION_WALL_SECS: &str = "partition.wall_secs";
+
+    /// Samples processed by the trainer.
+    pub const TRAIN_SAMPLES: &str = "train.samples";
+    /// Simulated seconds at the end of training (gauge).
+    pub const TRAIN_SIM_TIME: &str = "train.sim_time_secs";
+    /// Evaluation AUC after each epoch (gauge; last write = final AUC).
+    pub const TRAIN_AUC: &str = "train.auc";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The crate-level contract: recorders are object-safe and swap-able.
+    #[test]
+    fn recorders_are_object_safe() {
+        let recorders: Vec<Box<dyn Recorder>> =
+            vec![Box::new(NoopRecorder), Box::new(MemoryRecorder::new())];
+        for r in &recorders {
+            r.counter_add(names::EMBED_CACHE_HIT, 1);
+            r.gauge_set(names::TRAIN_AUC, 0.5);
+            r.histogram_observe("h", 1.0);
+        }
+    }
+
+    #[test]
+    fn traffic_prefix_constants_compose() {
+        let r = MemoryRecorder::new();
+        let name = format!("{}embed_data", names::TRAFFIC_BYTES_PREFIX);
+        r.counter_add(&name, 64);
+        assert_eq!(r.snapshot().counter_prefix_sum(names::TRAFFIC_BYTES_PREFIX), 64);
+    }
+}

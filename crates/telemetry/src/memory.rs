@@ -1,0 +1,152 @@
+//! In-memory [`Recorder`] implementation.
+
+use crate::recorder::Recorder;
+use crate::snapshot::{HistogramSummary, TelemetrySnapshot};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// Thread-safe recorder that aggregates everything in memory.
+///
+/// One mutex per instrument family keeps contention low; training code
+/// typically gives each worker its own `MemoryRecorder` (via
+/// [`crate::MetricsRegistry`]) so cross-thread contention is zero on the
+/// hot path and aggregation happens only at snapshot time.
+#[derive(Debug, Default)]
+pub struct MemoryRecorder {
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+    histograms: Mutex<BTreeMap<String, HistogramSummary>>,
+}
+
+impl MemoryRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies the current state into an immutable snapshot.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            counters: self.counters.lock().clone(),
+            gauges: self.gauges.lock().clone(),
+            histograms: self.histograms.lock().clone(),
+        }
+    }
+
+    /// Clears every recorded metric.
+    pub fn reset(&self) {
+        self.counters.lock().clear();
+        self.gauges.lock().clear();
+        self.histograms.lock().clear();
+    }
+
+    /// Clears only metrics whose name starts with `prefix`. Lets a façade
+    /// (e.g. the traffic ledger) reset its own counters on a recorder it
+    /// shares with other components.
+    pub fn reset_prefix(&self, prefix: &str) {
+        self.counters.lock().retain(|k, _| !k.starts_with(prefix));
+        self.gauges.lock().retain(|k, _| !k.starts_with(prefix));
+        self.histograms.lock().retain(|k, _| !k.starts_with(prefix));
+    }
+
+    /// Current value of one counter (0 if never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.lock().get(name).copied().unwrap_or(0)
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn counter_add(&self, name: &str, value: u64) {
+        let mut counters = self.counters.lock();
+        match counters.get_mut(name) {
+            Some(v) => *v += value,
+            None => {
+                counters.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    fn gauge_set(&self, name: &str, value: f64) {
+        let mut gauges = self.gauges.lock();
+        match gauges.get_mut(name) {
+            Some(v) => *v = value,
+            None => {
+                gauges.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    fn histogram_observe(&self, name: &str, value: f64) {
+        let mut histograms = self.histograms.lock();
+        match histograms.get_mut(name) {
+            Some(h) => h.observe(value),
+            None => {
+                let mut h = HistogramSummary::empty();
+                h.observe(value);
+                histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let r = MemoryRecorder::new();
+        r.counter_add("a", 3);
+        r.counter_add("a", 4);
+        r.counter_add("b", 1);
+        let s = r.snapshot();
+        assert_eq!(s.counter("a"), 7);
+        assert_eq!(s.counter("b"), 1);
+    }
+
+    #[test]
+    fn gauges_keep_last_value() {
+        let r = MemoryRecorder::new();
+        r.gauge_set("g", 1.0);
+        r.gauge_set("g", -2.5);
+        assert_eq!(r.snapshot().gauge("g"), Some(-2.5));
+    }
+
+    #[test]
+    fn histograms_track_all_statistics() {
+        let r = MemoryRecorder::new();
+        for v in [1.0, 2.0, 6.0] {
+            r.histogram_observe("h", v);
+        }
+        let h = r.snapshot().histogram("h");
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 6.0);
+        assert!((h.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let r = MemoryRecorder::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        r.counter_add("hits", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.counter("hits"), 8000);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let r = MemoryRecorder::new();
+        r.counter_add("a", 1);
+        r.gauge_set("g", 1.0);
+        r.histogram_observe("h", 1.0);
+        r.reset();
+        assert!(r.snapshot().is_empty());
+    }
+}

@@ -1,0 +1,108 @@
+//! Registry aggregating per-worker recorders into one view.
+
+use crate::memory::MemoryRecorder;
+use crate::snapshot::TelemetrySnapshot;
+use std::sync::Arc;
+
+/// Owns one [`MemoryRecorder`] per worker plus a global one for metrics
+/// not attributable to a single worker (partitioning, dataset I/O, the
+/// driver loop). Worker recorders are handed out as `Arc`s, so threads
+/// record without any cross-worker contention; [`MetricsRegistry::snapshot`]
+/// merges everything after the fact.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    global: Arc<MemoryRecorder>,
+    workers: Vec<Arc<MemoryRecorder>>,
+}
+
+impl MetricsRegistry {
+    /// Registry for `num_workers` workers.
+    pub fn new(num_workers: usize) -> Self {
+        Self {
+            global: Arc::new(MemoryRecorder::new()),
+            workers: (0..num_workers)
+                .map(|_| Arc::new(MemoryRecorder::new()))
+                .collect(),
+        }
+    }
+
+    /// Number of per-worker recorders.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The global (worker-agnostic) recorder.
+    pub fn global(&self) -> Arc<MemoryRecorder> {
+        Arc::clone(&self.global)
+    }
+
+    /// The recorder for `worker`.
+    ///
+    /// # Panics
+    /// Panics if `worker` is out of range.
+    pub fn worker(&self, worker: usize) -> Arc<MemoryRecorder> {
+        Arc::clone(&self.workers[worker])
+    }
+
+    /// Snapshot of a single worker's metrics.
+    pub fn worker_snapshot(&self, worker: usize) -> TelemetrySnapshot {
+        self.workers[worker].snapshot()
+    }
+
+    /// Merged snapshot: global metrics plus every worker's, with counters
+    /// summed and histograms combined across workers.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let mut merged = self.global.snapshot();
+        for w in &self.workers {
+            merged.merge(&w.snapshot());
+        }
+        merged
+    }
+
+    /// Clears every recorder (global and per-worker).
+    pub fn reset(&self) {
+        self.global.reset();
+        for w in &self.workers {
+            w.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    #[test]
+    fn snapshot_merges_workers_and_global() {
+        let reg = MetricsRegistry::new(3);
+        reg.global().counter_add("partition.moves", 5);
+        for (i, w) in (0..3).map(|i| (i, reg.worker(i))) {
+            w.counter_add("traffic.bytes.embed_data", 10 * (i as u64 + 1));
+            w.histogram_observe("time.compute_secs", 1.0);
+        }
+        let s = reg.snapshot();
+        assert_eq!(s.counter("partition.moves"), 5);
+        assert_eq!(s.counter("traffic.bytes.embed_data"), 60);
+        assert_eq!(s.histogram("time.compute_secs").count, 3);
+        // Per-worker views stay separate.
+        assert_eq!(reg.worker_snapshot(1).counter("traffic.bytes.embed_data"), 20);
+        assert_eq!(reg.worker_snapshot(1).counter("partition.moves"), 0);
+    }
+
+    #[test]
+    fn workers_record_concurrently() {
+        let reg = MetricsRegistry::new(4);
+        std::thread::scope(|scope| {
+            for i in 0..4 {
+                let rec = reg.worker(i);
+                scope.spawn(move || {
+                    for _ in 0..500 {
+                        rec.counter_add("ops", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.snapshot().counter("ops"), 2000);
+    }
+}

@@ -1,0 +1,253 @@
+//! Point-in-time views of recorded metrics.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+
+/// Aggregate view of one histogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+}
+
+impl HistogramSummary {
+    /// Summary of zero observations.
+    pub const fn empty() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Folds one observation in.
+    pub fn observe(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Combines with another summary (as if both observation streams had
+    /// gone into one histogram).
+    pub fn merge(&mut self, other: &Self) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean observation, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+impl Default for HistogramSummary {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+/// An immutable snapshot of every metric a recorder (or a whole registry)
+/// has seen. Sorted maps make output deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges by name (last written value).
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl TelemetrySnapshot {
+    /// Value of a counter, 0 if never written.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Value of a gauge, if ever written.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram summary, empty if never observed.
+    pub fn histogram(&self, name: &str) -> HistogramSummary {
+        self.histograms
+            .get(name)
+            .copied()
+            .unwrap_or_else(HistogramSummary::empty)
+    }
+
+    /// Sum of every counter whose name starts with `prefix`.
+    pub fn counter_prefix_sum(&self, prefix: &str) -> u64 {
+        self.counters
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Folds `other` into `self`: counters add, histograms combine, gauges
+    /// take `other`'s value (last write wins).
+    pub fn merge(&mut self, other: &TelemetrySnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms
+                .entry(k.clone())
+                .or_insert_with(HistogramSummary::empty)
+                .merge(h);
+        }
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Converts to a JSON document (used by the JSONL exporter).
+    pub fn to_json(&self) -> Json {
+        let counters = Json::Obj(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::U64(*v)))
+                .collect(),
+        );
+        let gauges = Json::Obj(
+            self.gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::F64(*v)))
+                .collect(),
+        );
+        let histograms = Json::Obj(
+            self.histograms
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        Json::obj([
+                            ("count", Json::U64(h.count)),
+                            ("sum", Json::F64(h.sum)),
+                            ("min", Json::F64(if h.count == 0 { 0.0 } else { h.min })),
+                            ("max", Json::F64(if h.count == 0 { 0.0 } else { h.max })),
+                            ("mean", Json::F64(h.mean())),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        Json::obj([
+            ("counters", counters),
+            ("gauges", gauges),
+            ("histograms", histograms),
+        ])
+    }
+
+    /// Renders a human-readable table of every metric, sorted by name.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .map(|k| k.len())
+            .max()
+            .unwrap_or(0)
+            .max("metric".len());
+        out.push_str(&format!("{:<width$}  value\n", "metric"));
+        out.push_str(&format!("{:-<width$}  -----\n", ""));
+        for (k, v) in &self.counters {
+            out.push_str(&format!("{k:<width$}  {v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            out.push_str(&format!("{k:<width$}  {v:.6}\n"));
+        }
+        for (k, h) in &self.histograms {
+            out.push_str(&format!(
+                "{k:<width$}  n={} sum={:.6} mean={:.6}\n",
+                h.count,
+                h.sum,
+                h.mean()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TelemetrySnapshot {
+        let mut s = TelemetrySnapshot::default();
+        s.counters.insert("traffic.bytes.embed_data".into(), 100);
+        s.counters.insert("traffic.bytes.allreduce".into(), 40);
+        s.gauges.insert("clock.now_secs".into(), 1.5);
+        let mut h = HistogramSummary::empty();
+        h.observe(2.0);
+        h.observe(4.0);
+        s.histograms.insert("time.compute_secs".into(), h);
+        s
+    }
+
+    #[test]
+    fn merge_adds_counters_and_combines_histograms() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.counter("traffic.bytes.embed_data"), 200);
+        let h = a.histogram("time.compute_secs");
+        assert_eq!(h.count, 4);
+        assert!((h.sum - 12.0).abs() < 1e-12);
+        assert_eq!(h.min, 2.0);
+        assert_eq!(h.max, 4.0);
+        assert!((h.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefix_sum_covers_exactly_the_prefix() {
+        let s = sample();
+        assert_eq!(s.counter_prefix_sum("traffic.bytes."), 140);
+        assert_eq!(s.counter_prefix_sum("traffic.bytes.embed"), 100);
+        assert_eq!(s.counter_prefix_sum("nothing."), 0);
+    }
+
+    #[test]
+    fn json_round_trips_key_facts() {
+        let rendered = sample().to_json().render();
+        assert!(rendered.contains(r#""traffic.bytes.embed_data":100"#), "{rendered}");
+        assert!(rendered.contains(r#""count":2"#), "{rendered}");
+        assert!(rendered.contains(r#""mean":3.0"#), "{rendered}");
+    }
+
+    #[test]
+    fn table_lists_every_metric() {
+        let t = sample().render_table();
+        for name in [
+            "traffic.bytes.embed_data",
+            "traffic.bytes.allreduce",
+            "clock.now_secs",
+            "time.compute_secs",
+        ] {
+            assert!(t.contains(name), "missing {name} in:\n{t}");
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Property tests for the recorder implementations: a [`MetricsRegistry`]
+//! fed concurrently from many worker threads must account for every counter
+//! increment exactly once, and [`NoopRecorder`] must accept the identical
+//! call stream through the same `dyn Recorder` interface (it is the default
+//! sink, so any workload the registry survives it must survive too).
+
+use std::sync::Arc;
+
+use hetgmp_telemetry::{MetricsRegistry, NoopRecorder, Recorder};
+use proptest::prelude::*;
+
+/// Strategy: per-worker lists of (metric index, increment) operations.
+fn workloads() -> impl Strategy<Value = Vec<Vec<(usize, u64)>>> {
+    prop::collection::vec(
+        prop::collection::vec((0usize..4, 1u64..1000), 0..50),
+        1..6,
+    )
+}
+
+const METRICS: [&str; 4] = [
+    "traffic.bytes.embed_data",
+    "traffic.bytes.keys_clocks",
+    "embedding.cache.hit",
+    "partition.moves",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn registry_counts_every_concurrent_increment(ops in workloads()) {
+        let registry = MetricsRegistry::new(ops.len());
+        let noop: Arc<dyn Recorder> = Arc::new(NoopRecorder);
+        std::thread::scope(|scope| {
+            for (w, worker_ops) in ops.iter().enumerate() {
+                let rec: Arc<dyn Recorder> = registry.worker(w);
+                let noop = Arc::clone(&noop);
+                scope.spawn(move || {
+                    for &(metric, amount) in worker_ops {
+                        rec.counter_add(METRICS[metric], amount);
+                        // The noop sink accepts the same stream (and, being
+                        // shared across threads, proves Recorder is Sync).
+                        noop.counter_add(METRICS[metric], amount);
+                    }
+                });
+            }
+        });
+
+        // Expected totals from plain arithmetic over the generated ops.
+        let mut expected = [0u64; 4];
+        for worker_ops in &ops {
+            for &(metric, amount) in worker_ops {
+                expected[metric] += amount;
+            }
+        }
+        let snap = registry.snapshot();
+        for (i, name) in METRICS.iter().enumerate() {
+            prop_assert_eq!(snap.counter(name), expected[i], "metric {}", name);
+        }
+        // Per-worker snapshots partition the totals exactly.
+        for (i, name) in METRICS.iter().enumerate() {
+            let per_worker: u64 = (0..ops.len())
+                .map(|w| registry.worker_snapshot(w).counter(name))
+                .sum();
+            prop_assert_eq!(per_worker, expected[i], "per-worker sum of {}", name);
+        }
+    }
+}

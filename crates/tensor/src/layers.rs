@@ -495,7 +495,7 @@ mod tests {
         let y = mlp.forward(&x);
         assert_eq!(y.rows(), 3);
         assert_eq!(y.cols(), 1);
-        assert_eq!(mlp.num_params(), 8 * 16 + 16 + 16 * 4 + 4 + 4 * 1 + 1);
+        assert_eq!(mlp.num_params(), 8 * 16 + 16 + 16 * 4 + 4 + 4 + 1);
     }
 
     #[test]

@@ -47,7 +47,7 @@ fn main() {
             replication: None,
             ..Default::default()
         })
-        .partition(&graph, n);
+        .partition_rounds(&graph, n);
         describe(&format!("hybrid-1D ({rounds} rounds)"), &part, &graph);
         if rounds == 5 {
             for s in &stats {
@@ -64,7 +64,7 @@ fn main() {
         replication: Some(ReplicationBudget::FractionOfEmbeddings(0.01)),
         ..Default::default()
     })
-    .partition(&graph, n);
+    .partition_rounds(&graph, n);
     describe("hybrid-2D (top 1%)", &part, &graph);
 
     // Fetch heatmap for the final hybrid partition.

@@ -2,11 +2,14 @@
 //!
 //! ```text
 //! het-gmp gen        --preset avazu|criteo|company --scale 0.1 --out data.svm
-//! het-gmp partition  --in data.svm --fields 22 --workers 8 --algo hybrid|random|bicut
-//! het-gmp train      --preset criteo --scale 0.1 --system het-gmp --staleness 100
+//! het-gmp partition  --in data.svm --fields 22 --workers 8 --algo hybrid|random|bicut|multilevel
+//! het-gmp train      --preset criteo --scale 0.1 --system het-gmp --staleness 100 [--telemetry out.jsonl]
 //! het-gmp capacity   --workers 24 --mem-gb 32 --dim 128
-//! het-gmp experiment fig1|fig3|fig7|fig8|fig9|fig10|table2|table3|ablation|all
+//! het-gmp experiment fig1|fig3|fig7|fig8|fig9|fig10|table2|table3|ablation|all [--telemetry out.jsonl]
 //! ```
+//!
+//! Errors surface as [`HetGmpError`] with BSD `sysexits`-style exit codes:
+//! 2 = usage, 65 = bad data/checkpoint, 74 = I/O, 78 = bad config.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -16,23 +19,25 @@ use het_gmp::cluster::Topology;
 use het_gmp::core::experiments;
 use het_gmp::core::models::ModelKind;
 use het_gmp::core::strategy::StrategyConfig;
-use het_gmp::core::trainer::{Trainer, TrainerConfig};
+use het_gmp::core::trainer::{TrainResult, Trainer, TrainerConfig};
 use het_gmp::data::{generate, read_libsvm, write_libsvm, CtrDataset, DatasetSpec};
 use het_gmp::embedding::CapacityPlan;
 use het_gmp::partition::{
-    bicut_partition, random_partition, HybridConfig, HybridPartitioner, PartitionMetrics,
+    BiCutPartitioner, HybridConfig, HybridPartitioner, MultilevelPartitioner, PartitionMetrics,
+    Partitioner, RandomPartitioner,
 };
+use het_gmp::telemetry::{HetGmpError, Json, JsonlWriter};
 
 mod cli;
 use cli::Args;
 
 const USAGE: &str = "usage: het-gmp <gen|partition|train|capacity|experiment> [--flags]
   gen        --preset avazu|criteo|company|tiny --scale F --out FILE
-  partition  (--in FILE --fields N | --preset P --scale F) --workers N --algo hybrid|random|bicut [--rounds N]
+  partition  (--in FILE --fields N | --preset P --scale F) --workers N --algo hybrid|random|bicut|multilevel [--rounds N]
   train      (--in FILE --fields N | --preset P --scale F) --system tf-ps|parallax|hugectr|het-mp|het-gmp
-             [--staleness N] [--workers N] [--epochs N] [--model wdl|dcn|deepfm|din]
+             [--staleness N] [--workers N] [--epochs N] [--model wdl|dcn|deepfm|din] [--telemetry FILE.jsonl]
   capacity   --workers N --mem-gb G --dim D [--replication F]
-  experiment fig1|fig3|fig7|fig8|fig9|fig10|table2|table3|ablation|all [--scale F]";
+  experiment fig1|fig3|fig7|fig8|fig9|fig10|table2|table3|ablation|all [--scale F] [--telemetry FILE.jsonl]";
 
 fn main() -> ExitCode {
     let args = Args::parse(std::env::args().skip(1));
@@ -53,42 +58,66 @@ fn main() -> ExitCode {
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(e.exit_code())
         }
     }
 }
 
-fn spec_from(args: &Args) -> Result<DatasetSpec, String> {
+fn spec_from(args: &Args) -> Result<DatasetSpec, HetGmpError> {
     let scale: f64 = args.get_or("scale", 0.1);
     match args.get("preset").unwrap_or("avazu") {
         "avazu" => Ok(DatasetSpec::avazu_like(scale)),
         "criteo" => Ok(DatasetSpec::criteo_like(scale)),
         "company" => Ok(DatasetSpec::company_like(scale)),
         "tiny" => Ok(DatasetSpec::tiny()),
-        other => Err(format!("unknown preset {other:?}")),
+        other => Err(HetGmpError::usage(format!("unknown preset {other:?}"))),
     }
 }
 
-fn load_dataset(args: &Args) -> Result<CtrDataset, String> {
+/// Attaches a file path to errors raised from an anonymous reader (the
+/// libsvm parser sees only a `BufRead`, not the file it came from).
+fn attribute(e: HetGmpError, path: &str) -> HetGmpError {
+    match e {
+        HetGmpError::Data {
+            path: None,
+            line,
+            reason,
+        } => HetGmpError::data(path, line, reason),
+        HetGmpError::Io { source, .. } => HetGmpError::io(path, source),
+        other => other,
+    }
+}
+
+fn load_dataset(args: &Args) -> Result<CtrDataset, HetGmpError> {
     if let Some(path) = args.get("in") {
         let fields: usize = args
             .get("fields")
             .and_then(|v| v.parse().ok())
-            .ok_or("--in requires --fields N")?;
-        let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-        read_libsvm(BufReader::new(file), fields).map_err(|e| e.to_string())
+            .ok_or_else(|| HetGmpError::usage("--in requires --fields N"))?;
+        let file = File::open(path).map_err(|e| HetGmpError::io(path, e))?;
+        read_libsvm(BufReader::new(file), fields).map_err(|e| attribute(e, path))
     } else {
         Ok(generate(&spec_from(args)?))
     }
 }
 
-fn cmd_gen(args: &Args) -> Result<(), String> {
+/// Opens the `--telemetry FILE.jsonl` sink when requested.
+fn telemetry_sink(args: &Args) -> Result<Option<JsonlWriter>, HetGmpError> {
+    match args.get("telemetry") {
+        Some("") => Err(HetGmpError::usage("--telemetry requires a file path")),
+        other => other.map(JsonlWriter::create).transpose(),
+    }
+}
+
+fn cmd_gen(args: &Args) -> Result<(), HetGmpError> {
     let data = generate(&spec_from(args)?);
-    let out = args.get("out").ok_or("--out FILE required")?;
-    let file = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
-    write_libsvm(&data, BufWriter::new(file)).map_err(|e| e.to_string())?;
+    let out = args
+        .get("out")
+        .ok_or_else(|| HetGmpError::usage("--out FILE required"))?;
+    let file = File::create(out).map_err(|e| HetGmpError::io(out, e))?;
+    write_libsvm(&data, BufWriter::new(file)).map_err(|e| HetGmpError::io(out, e))?;
     println!(
         "wrote {}: {} samples x {} fields, {} features, CTR {:.3}",
         out,
@@ -100,27 +129,28 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_partition(args: &Args) -> Result<(), String> {
+fn cmd_partition(args: &Args) -> Result<(), HetGmpError> {
     let data = load_dataset(args)?;
     let graph = data.to_bigraph();
     let n: usize = args.get_or("workers", 8);
-    let algo = args.get("algo").unwrap_or("hybrid");
-    let part = match algo {
-        "random" => random_partition(&graph, n, 7),
-        "bicut" => bicut_partition(&graph, n),
-        "hybrid" => {
-            let cfg = HybridConfig {
-                rounds: args.get_or("rounds", 3),
-                ..Default::default()
-            };
-            HybridPartitioner::new(cfg).partition(&graph, n).0
-        }
-        other => return Err(format!("unknown algorithm {other:?}")),
+    let topo = Topology::pcie_island(n);
+    // Every algorithm runs through the one `Partitioner` interface.
+    let algo: Box<dyn Partitioner> = match args.get("algo").unwrap_or("hybrid") {
+        "random" => Box::new(RandomPartitioner { seed: 7 }),
+        "bicut" => Box::new(BiCutPartitioner),
+        "multilevel" => Box::new(MultilevelPartitioner::default()),
+        "hybrid" => Box::new(HybridPartitioner::new(HybridConfig {
+            rounds: args.get_or("rounds", 3),
+            ..Default::default()
+        })),
+        other => return Err(HetGmpError::usage(format!("unknown algorithm {other:?}"))),
     };
+    let part = algo.partition(&graph, &topo);
     let m = PartitionMetrics::compute(&graph, &part, None);
     println!(
-        "{algo} over {} workers: remote fetches/epoch {} ({:.1}% of accesses), \
+        "{} over {} workers: remote fetches/epoch {} ({:.1}% of accesses), \
          sample imbalance {:.3}, replication factor {:.3}",
+        algo.name(),
         n,
         m.remote_fetches,
         m.remote_fraction() * 100.0,
@@ -130,36 +160,56 @@ fn cmd_partition(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_train(args: &Args) -> Result<(), String> {
+/// Dumps one JSONL record per evaluation point plus the merged final
+/// telemetry snapshot (counters include the `traffic.bytes.*` per-class
+/// totals the Figure 8 analysis consumes).
+fn dump_train_telemetry(w: &mut JsonlWriter, r: &TrainResult) -> Result<(), HetGmpError> {
+    for p in &r.curve {
+        w.write_record(&Json::Obj(vec![
+            ("event".into(), Json::from("epoch")),
+            ("epoch".into(), Json::U64(p.epoch as u64)),
+            ("sim_time_secs".into(), Json::F64(p.sim_time)),
+            ("auc".into(), Json::F64(p.auc)),
+            ("log_loss".into(), Json::F64(p.log_loss)),
+        ]))?;
+    }
+    w.write_snapshot(
+        "final",
+        &[
+            ("system", Json::from(r.strategy.as_str())),
+            ("auc", Json::F64(r.final_auc)),
+        ],
+        &r.telemetry,
+    )?;
+    w.flush()
+}
+
+fn cmd_train(args: &Args) -> Result<(), HetGmpError> {
     let data = load_dataset(args)?;
     let n: usize = args.get_or("workers", 8);
+    let mut telemetry = telemetry_sink(args)?;
     let strat = match args.get("system").unwrap_or("het-gmp") {
         "tf-ps" => StrategyConfig::tf_ps(),
         "parallax" => StrategyConfig::parallax(),
         "hugectr" => StrategyConfig::hugectr(),
         "het-mp" => StrategyConfig::het_mp(),
         "het-gmp" => StrategyConfig::het_gmp(args.get_or("staleness", 100)),
-        other => return Err(format!("unknown system {other:?}")),
+        other => return Err(HetGmpError::usage(format!("unknown system {other:?}"))),
     };
     let model = match args.get("model").unwrap_or("wdl") {
         "wdl" => ModelKind::Wdl,
         "dcn" => ModelKind::Dcn,
         "deepfm" => ModelKind::DeepFm,
         "din" => ModelKind::Din,
-        other => return Err(format!("unknown model {other:?}")),
+        other => return Err(HetGmpError::usage(format!("unknown model {other:?}"))),
     };
-    let trainer = Trainer::new(
-        &data,
-        Topology::pcie_island(n),
-        strat,
-        TrainerConfig {
-            model,
-            epochs: args.get_or("epochs", 3),
-            batch_size: args.get_or("batch", 256),
-            dim: args.get_or("dim", 16),
-            ..Default::default()
-        },
-    );
+    let cfg = TrainerConfig::builder()
+        .model(model)
+        .epochs(args.get_or("epochs", 3))
+        .batch_size(args.get_or("batch", 256))
+        .dim(args.get_or("dim", 16))
+        .build()?;
+    let trainer = Trainer::new(&data, Topology::pcie_island(n), strat, cfg);
     let r = trainer.run();
     println!(
         "{} ({}): final AUC {:.4}, {:.0} samples/s simulated, comm share {:.0}%",
@@ -172,10 +222,14 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     for p in &r.curve {
         println!("  epoch {}: sim {:.4}s AUC {:.4}", p.epoch, p.sim_time, p.auc);
     }
+    if let Some(w) = telemetry.as_mut() {
+        dump_train_telemetry(w, &r)?;
+        println!("telemetry: {}", w.path().display());
+    }
     Ok(())
 }
 
-fn cmd_capacity(args: &Args) -> Result<(), String> {
+fn cmd_capacity(args: &Args) -> Result<(), HetGmpError> {
     let plan = CapacityPlan {
         num_workers: args.get_or("workers", 24),
         memory_per_worker: (args.get_or("mem-gb", 32u64)) * (1 << 30),
@@ -195,13 +249,14 @@ fn cmd_capacity(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_experiment(args: &Args) -> Result<(), String> {
+fn cmd_experiment(args: &Args) -> Result<(), HetGmpError> {
     let which = args
         .positional
         .get(1)
         .map(String::as_str)
-        .ok_or("experiment name required")?;
+        .ok_or_else(|| HetGmpError::usage("experiment name required"))?;
     let scale: f64 = args.get_or("scale", 0.15);
+    let mut telemetry = telemetry_sink(args)?;
     match which {
         "fig1" => println!("{}", experiments::overhead::run(scale)),
         "fig3" => {
@@ -210,7 +265,10 @@ fn cmd_experiment(args: &Args) -> Result<(), String> {
             }
         }
         "fig7" => println!("{}", experiments::convergence::run(scale, 3)),
-        "fig8" => println!("{}", experiments::comm_breakdown::run(scale)),
+        "fig8" => println!(
+            "{}",
+            experiments::comm_breakdown::run_with(scale, telemetry.as_mut())
+        ),
         "fig9" => {
             for r in experiments::hierarchy::run(scale) {
                 println!("{r}\n");
@@ -221,14 +279,17 @@ fn cmd_experiment(args: &Args) -> Result<(), String> {
                 println!("{r}\n");
             }
         }
-        "table2" => println!("{}", experiments::staleness::run(scale, 3)),
+        "table2" => println!(
+            "{}",
+            experiments::staleness::run_with(scale, 3, telemetry.as_mut())
+        ),
         "table3" => {
             for r in experiments::partitioners::run(scale) {
                 println!("{r}\n");
             }
         }
         "ablation" => {
-            let (st, rep, bal) = experiments::ablation::run(scale);
+            let (st, rep, bal) = experiments::ablation::run_with(scale, telemetry.as_mut());
             println!("{st}\n\n{rep}\n\n{bal}");
         }
         "all" => {
@@ -239,8 +300,14 @@ fn cmd_experiment(args: &Args) -> Result<(), String> {
             for r in experiments::partitioners::run(scale) {
                 println!("{r}\n");
             }
-            println!("{}", experiments::comm_breakdown::run(scale));
-            println!("{}", experiments::staleness::run(scale, 3));
+            println!(
+                "{}",
+                experiments::comm_breakdown::run_with(scale, telemetry.as_mut())
+            );
+            println!(
+                "{}",
+                experiments::staleness::run_with(scale, 3, telemetry.as_mut())
+            );
             for r in experiments::hierarchy::run(scale) {
                 println!("{r}\n");
             }
@@ -248,7 +315,15 @@ fn cmd_experiment(args: &Args) -> Result<(), String> {
                 println!("{r}\n");
             }
         }
-        other => return Err(format!("unknown experiment {other:?} (see --help)")),
+        other => {
+            return Err(HetGmpError::usage(format!(
+                "unknown experiment {other:?} (see --help)"
+            )))
+        }
+    }
+    if let Some(w) = telemetry.as_mut() {
+        w.flush()?;
+        println!("telemetry: {}", w.path().display());
     }
     Ok(())
 }

@@ -81,3 +81,77 @@ fn train_rejects_unknown_system() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown system"));
 }
+
+#[test]
+fn train_telemetry_flag_writes_parseable_jsonl() {
+    let dir = std::env::temp_dir().join(format!("hetgmp-cli-tele-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let tele = dir.join("out.jsonl");
+
+    let out = het_gmp()
+        .args([
+            "train", "--preset", "tiny", "--workers", "2", "--epochs", "1",
+            "--telemetry", tele.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let text = std::fs::read_to_string(&tele).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    // One record per epoch evaluation plus the final snapshot.
+    assert!(lines.len() >= 2, "{text}");
+    for line in &lines {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert_eq!(line.matches('{').count(), line.matches('}').count(), "{line}");
+    }
+    assert!(lines[0].contains(r#""event":"epoch""#), "{}", lines[0]);
+    let last = lines.last().unwrap();
+    assert!(last.contains(r#""event":"final""#), "{last}");
+    assert!(last.contains(r#""traffic.bytes.embed_data":"#), "{last}");
+    assert!(last.contains(r#""traffic.bytes.allreduce":"#), "{last}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn exit_codes_follow_sysexits() {
+    // Usage error -> 2.
+    let out = het_gmp()
+        .args(["train", "--preset", "tiny", "--system", "sparkle"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+
+    // Malformed data -> 65, with the offending file and line reported.
+    let dir = std::env::temp_dir().join(format!("hetgmp-cli-err-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.svm");
+    std::fs::write(&bad, "not-a-label 1:1\n").unwrap();
+    let out = het_gmp()
+        .args(["train", "--in", bad.to_str().unwrap(), "--fields", "2"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(65), "data errors exit 65");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("bad.svm") && err.contains("line 1"), "{err}");
+
+    // I/O error (missing file) -> 74.
+    let out = het_gmp()
+        .args(["train", "--in", "/nonexistent/x.svm", "--fields", "2"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(74), "I/O errors exit 74");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn partition_multilevel_via_unified_interface() {
+    let out = het_gmp()
+        .args(["partition", "--preset", "tiny", "--workers", "4", "--algo", "multilevel"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("multilevel"), "{text}");
+}

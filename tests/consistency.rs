@@ -104,7 +104,6 @@ fn concurrent_workers_converge_to_consistent_table() {
             let table = Arc::clone(&table);
             let part = Arc::clone(&part);
             let freq = Arc::clone(&freq);
-            let opt = opt;
             scope.spawn(move || {
                 let mut we =
                     WorkerEmbedding::new(w, &table, &part, &freq, StalenessBound::Bounded(8));

@@ -25,7 +25,7 @@ fn pipeline_dataset_to_partition_to_training() {
     assert!(stats.gini > 0.5, "skewness missing: gini {}", stats.gini);
 
     // Algorithm 1 produces a valid partition that beats random.
-    let (part, rounds) = HybridPartitioner::new(HybridConfig::default()).partition(&graph, 8);
+    let (part, rounds) = HybridPartitioner::new(HybridConfig::default()).partition_rounds(&graph, 8);
     assert!(part.validate(&graph).is_ok());
     assert!(rounds.len() == 3);
     let ours = PartitionMetrics::compute(&graph, &part, None);

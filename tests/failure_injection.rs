@@ -61,7 +61,7 @@ fn single_hot_feature_dataset() {
         replication: Some(ReplicationBudget::PerPartitionSlots(1)),
         ..Default::default()
     })
-    .partition(&graph, 4);
+    .partition_rounds(&graph, 4);
     assert!(part.replica_count(0) >= 3, "hot feature not replicated");
 }
 
@@ -98,12 +98,12 @@ fn zero_replication_budget_matches_pure_1d() {
         replication: Some(ReplicationBudget::FractionOfEmbeddings(0.0)),
         ..Default::default()
     })
-    .partition(&graph, 4);
+    .partition_rounds(&graph, 4);
     let (without, _) = HybridPartitioner::new(HybridConfig {
         replication: None,
         ..Default::default()
     })
-    .partition(&graph, 4);
+    .partition_rounds(&graph, 4);
     assert_eq!(with_zero.replication_factor(), 1.0);
     for e in 0..graph.num_embeddings() as u32 {
         assert_eq!(with_zero.primary_of(e), without.primary_of(e));
@@ -130,7 +130,7 @@ fn unaccessed_embeddings_are_harmless() {
     // A vocabulary far larger than the accessed set.
     let rows: Vec<Vec<u32>> = (0..64).map(|i| vec![i % 4, 4 + i % 3]).collect();
     let graph = Bigraph::from_samples(10_000, &rows);
-    let (part, _) = HybridPartitioner::new(HybridConfig::default()).partition(&graph, 4);
+    let (part, _) = HybridPartitioner::new(HybridConfig::default()).partition_rounds(&graph, 4);
     assert!(part.validate(&graph).is_ok());
     let m = PartitionMetrics::compute(&graph, &part, None);
     // Unaccessed embeddings spread across partitions by the balance term.

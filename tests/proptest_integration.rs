@@ -29,7 +29,7 @@ proptest! {
             replication: Some(ReplicationBudget::FractionOfEmbeddings(0.1)),
             ..Default::default()
         })
-        .partition(&g, n);
+        .partition_rounds(&g, n);
         prop_assert!(part.validate(&g).is_ok());
         prop_assert_eq!(part.num_partitions(), n);
         // Every embedding has exactly one primary and >= 1 replica.
@@ -58,7 +58,7 @@ proptest! {
             replication: None,
             ..Default::default()
         })
-        .partition(&g, n);
+        .partition_rounds(&g, n);
         let ours = PartitionMetrics::compute(&g, &part, None);
         prop_assert!(ours.remote_fetches <= random_m.remote_fetches,
             "hybrid {} worse than random {}", ours.remote_fetches, random_m.remote_fetches);

@@ -1,0 +1,90 @@
+//! Cross-crate telemetry integration: the unified snapshot and the legacy
+//! `TrafficLedger` interface must report identical per-class byte totals,
+//! end to end through a real training run, and the JSONL export must carry
+//! those exact numbers.
+
+use het_gmp::cluster::Topology;
+use het_gmp::comms::{TrafficClass, TrafficLedger};
+use het_gmp::core::strategy::StrategyConfig;
+use het_gmp::core::trainer::{Trainer, TrainerConfig};
+use het_gmp::data::{generate, DatasetSpec};
+use het_gmp::telemetry::{Json, JsonlWriter, MetricsRegistry};
+
+fn fixed_seed_result() -> het_gmp::core::trainer::TrainResult {
+    let mut spec = DatasetSpec::tiny();
+    spec.num_samples = 512;
+    let data = generate(&spec);
+    let cfg = TrainerConfig::builder()
+        .dim(8)
+        .hidden(vec![16])
+        .batch_size(64)
+        .epochs(1)
+        .seed(1234)
+        .build()
+        .unwrap();
+    Trainer::new(&data, Topology::pcie_island(4), StrategyConfig::het_gmp(10), cfg).run()
+}
+
+/// The Figure 8 parity check: `TrainResult::traffic_bytes` is produced by
+/// the legacy `TrafficLedger` interface, while `TrainResult::telemetry` is
+/// the merged recorder snapshot — the per-class byte totals must agree
+/// exactly on the same run.
+#[test]
+fn fig8_traffic_classes_agree_between_snapshot_and_ledger() {
+    let r = fixed_seed_result();
+    for (i, class) in TrafficClass::all().into_iter().enumerate() {
+        assert_eq!(
+            r.telemetry.counter(class.bytes_metric()),
+            r.traffic_bytes[i],
+            "class {} diverged between snapshot and ledger",
+            class.label()
+        );
+    }
+    // A 4-worker partitioned run genuinely moves embedding bytes — the
+    // equality above is not vacuous.
+    assert!(r.traffic_bytes[0] > 0, "no embedding traffic recorded");
+    assert!(r.traffic_bytes[2] > 0, "no all-reduce traffic recorded");
+}
+
+/// Recording through the façade and reading back through the registry (or
+/// vice versa) is the same data: `TrafficLedger::from_registry` shares the
+/// registry's recorders rather than keeping its own cells.
+#[test]
+fn ledger_facade_shares_registry_counters() {
+    let registry = MetricsRegistry::new(2);
+    let ledger = TrafficLedger::from_registry(&registry);
+    ledger.record(0, TrafficClass::EmbedData, 640, 10);
+    ledger.record(1, TrafficClass::EmbedData, 360, 5);
+    ledger.record(1, TrafficClass::AllReduce, 128, 1);
+
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter(TrafficClass::EmbedData.bytes_metric()), 1000);
+    assert_eq!(snap.counter(TrafficClass::EmbedData.messages_metric()), 15);
+    assert_eq!(snap.counter(TrafficClass::AllReduce.bytes_metric()), 128);
+    assert_eq!(ledger.total_bytes(TrafficClass::EmbedData), 1000);
+    assert_eq!(ledger.grand_total_bytes(), 1128);
+}
+
+/// The JSONL export carries the exact per-class byte totals (the
+/// acceptance path for `train --telemetry out.jsonl`).
+#[test]
+fn jsonl_export_carries_exact_traffic_totals() {
+    let r = fixed_seed_result();
+    let dir = std::env::temp_dir().join(format!("hetgmp-tele-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("out.jsonl");
+
+    let mut w = JsonlWriter::create(&path).unwrap();
+    w.write_snapshot("final", &[("auc", Json::F64(r.final_auc))], &r.telemetry)
+        .unwrap();
+    w.flush().unwrap();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let line = text.lines().next().expect("one record");
+    assert!(line.starts_with(r#"{"event":"final""#), "{line}");
+    for (i, class) in TrafficClass::all().into_iter().enumerate() {
+        let needle = format!(r#""{}":{}"#, class.bytes_metric(), r.traffic_bytes[i]);
+        assert!(line.contains(&needle), "missing {needle} in {line}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

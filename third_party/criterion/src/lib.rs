@@ -1,0 +1,187 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps the same macro/API surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`], [`Bencher::iter`]) but measures with
+//! a simple calibrated wall-clock loop instead of criterion's statistical
+//! machinery. In test mode (`cargo test` runs harness-less bench binaries
+//! with `--test`) each benchmark body executes once as a smoke check.
+
+use std::time::{Duration, Instant};
+
+/// Entry point handed to benchmark functions.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            // Cargo appends `--test` when running a harness=false bench
+            // target under `cargo test`; a single smoke iteration is the
+            // right behaviour there.
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        if !self.test_mode {
+            println!("benchmark group: {name}");
+        }
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+
+    /// Registers a stand-alone benchmark (group of one).
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(name.to_string());
+        group.bench_function("run", f);
+        group.finish();
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in sizes its own sample.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; measurement time is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and calls
+    /// [`Bencher::iter`] with the code under test.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        if !self.criterion.test_mode && bencher.iters > 0 {
+            let per_iter = bencher.elapsed.as_secs_f64() / bencher.iters as f64;
+            println!(
+                "  {}/{name}: {:.3} ms/iter ({} iters)",
+                self.name,
+                per_iter * 1e3,
+                bencher.iters
+            );
+        }
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Timer handle: runs the closure under measurement.
+pub struct Bencher {
+    test_mode: bool,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `f`. One calibration call sizes the batch so the whole
+    /// measurement stays around a few milliseconds; in test mode `f` runs
+    /// exactly once.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.iters = 0;
+            return;
+        }
+        let start = Instant::now();
+        black_box(f());
+        let first = start.elapsed();
+        // Aim for ~5 ms of total measurement, capped to keep huge suites fast.
+        let target = Duration::from_millis(5);
+        let batch = if first >= target {
+            0
+        } else {
+            let est = (target.as_secs_f64() / first.as_secs_f64().max(1e-9)) as u64;
+            est.clamp(1, 1000)
+        };
+        let batch_start = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        let total = first + batch_start.elapsed();
+        self.elapsed += total;
+        self.iters += 1 + batch;
+    }
+}
+
+/// Opaque identity function preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collects benchmark functions (`fn(&mut Criterion)`) into a runnable
+/// group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion { test_mode: true };
+        let mut calls = 0;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("count", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn measured_mode_accumulates_iters() {
+        let mut c = Criterion { test_mode: false };
+        let mut group = c.benchmark_group("g");
+        group.bench_function("spin", |b| b.iter(|| black_box(3u64).pow(7)));
+        group.finish();
+    }
+}
