@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: build test clippy verify bench clean
+.PHONY: build test clippy lint-metrics verify bench clean
 
 build:
 	$(CARGO) build --release --offline --workspace
@@ -14,9 +14,14 @@ test:
 clippy:
 	$(CARGO) clippy --offline --workspace --all-targets -- -D warnings
 
-# The gate every change must pass: release build, full test suite, and
-# clippy with warnings denied.
-verify: build test clippy
+# Metric-name hygiene: every dotted name used in code is defined in
+# hetgmp_telemetry::names and documented in TELEMETRY.md.
+lint-metrics:
+	sh scripts/check_metric_names.sh
+
+# The gate every change must pass: release build, full test suite, clippy
+# with warnings denied, and metric-name lint.
+verify: build test clippy lint-metrics
 
 bench:
 	$(CARGO) bench --offline --workspace

@@ -41,6 +41,20 @@ impl LinkClass {
         }
     }
 
+    /// Stable lowercase label, used as the trace-timeline track name for
+    /// this link class.
+    pub fn label(self) -> &'static str {
+        match self {
+            LinkClass::Local => "local",
+            LinkClass::NvLink => "nvlink",
+            LinkClass::Pcie3 => "pcie3",
+            LinkClass::Qpi => "qpi",
+            LinkClass::Ethernet10G => "ethernet_10g",
+            LinkClass::Ethernet1G => "ethernet_1g",
+            LinkClass::HostPcie => "host_pcie",
+        }
+    }
+
     /// Per-message latency in seconds.
     pub fn latency(self) -> f64 {
         match self {

@@ -12,7 +12,9 @@
 //! trainer's [`MetricsRegistry`], or [`TrafficLedger::new`] for a
 //! standalone ledger with private recorders.
 
-use hetgmp_telemetry::{names, MemoryRecorder, MetricsRegistry, Recorder, TelemetrySnapshot};
+use hetgmp_telemetry::{
+    names, Json, MemoryRecorder, MetricsRegistry, Recorder, TelemetrySnapshot, TraceCollector,
+};
 use std::sync::Arc;
 
 /// Traffic classes matching the paper's Figure 8 legend.
@@ -79,6 +81,7 @@ impl TrafficClass {
 /// recorders.
 pub struct TrafficLedger {
     workers: Vec<Arc<MemoryRecorder>>,
+    tracer: Option<Arc<TraceCollector>>,
 }
 
 impl TrafficLedger {
@@ -89,6 +92,7 @@ impl TrafficLedger {
             workers: (0..num_workers)
                 .map(|_| Arc::new(MemoryRecorder::new()))
                 .collect(),
+            tracer: None,
         }
     }
 
@@ -99,7 +103,16 @@ impl TrafficLedger {
             workers: (0..registry.num_workers())
                 .map(|w| registry.worker(w))
                 .collect(),
+            tracer: None,
         }
+    }
+
+    /// Attaches a trace collector; every subsequent [`TrafficLedger::record`]
+    /// also drops a `trace.traffic` instant on the worker's timeline (at
+    /// sync detail level) so timelines show *when* traffic was charged, not
+    /// just the totals.
+    pub fn attach_tracer(&mut self, tracer: Arc<TraceCollector>) {
+        self.tracer = Some(tracer);
     }
 
     /// Number of workers tracked.
@@ -113,6 +126,17 @@ impl TrafficLedger {
         r.counter_add(class.bytes_metric(), bytes);
         if messages > 0 {
             r.counter_add(class.messages_metric(), messages);
+        }
+        if let Some(t) = &self.tracer {
+            t.worker_instant(
+                worker,
+                names::TRACE_TRAFFIC,
+                &[
+                    ("class", Json::from(class.metric_suffix())),
+                    ("bytes", Json::U64(bytes)),
+                    ("messages", Json::U64(messages)),
+                ],
+            );
         }
     }
 
@@ -212,6 +236,25 @@ mod tests {
     fn labels_stable() {
         assert_eq!(TrafficClass::EmbedData.label(), "embeds & grads");
         assert_eq!(TrafficClass::all().len(), 3);
+    }
+
+    #[test]
+    fn traced_records_land_on_the_worker_track() {
+        use hetgmp_telemetry::{TraceCollector, TraceLevel, TraceTrack};
+        let mut l = TrafficLedger::new(2);
+        let tracer = Arc::new(TraceCollector::new(2, TraceLevel::Sync));
+        l.attach_tracer(Arc::clone(&tracer));
+        l.record(1, TrafficClass::KeysClocks, 64, 2);
+        let events = tracer.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].track, TraceTrack::Worker(1));
+        assert_eq!(events[0].name, names::TRACE_TRAFFIC);
+        // At batch level the instants are suppressed.
+        let mut quiet = TrafficLedger::new(1);
+        let batch_tracer = Arc::new(TraceCollector::new(1, TraceLevel::Batch));
+        quiet.attach_tracer(Arc::clone(&batch_tracer));
+        quiet.record(0, TrafficClass::EmbedData, 8, 1);
+        assert!(batch_tracer.is_empty());
     }
 
     #[test]

@@ -8,12 +8,15 @@
 //! examples and failure-injection tests.
 
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use hetgmp_telemetry::{names, Json, TraceCollector};
+use std::sync::Arc;
 
 /// One worker's endpoint: senders to every peer + its own receiver.
 pub struct Mailbox<T> {
     worker: usize,
     senders: Vec<Sender<(usize, T)>>,
     receiver: Receiver<(usize, T)>,
+    tracer: Option<Arc<TraceCollector>>,
 }
 
 impl<T> Mailbox<T> {
@@ -27,6 +30,12 @@ impl<T> Mailbox<T> {
         self.senders.len()
     }
 
+    /// Attaches a trace collector; every send drops a `trace.mailbox.send`
+    /// instant on this worker's timeline (at sync detail level).
+    pub fn attach_tracer(&mut self, tracer: Arc<TraceCollector>) {
+        self.tracer = Some(tracer);
+    }
+
     /// Sends `msg` to `dst` (tagged with this worker as the source).
     ///
     /// # Panics
@@ -35,6 +44,13 @@ impl<T> Mailbox<T> {
         self.senders[dst]
             .send((self.worker, msg))
             .expect("peer mailbox dropped");
+        if let Some(t) = &self.tracer {
+            t.worker_instant(
+                self.worker,
+                names::TRACE_MAILBOX_SEND,
+                &[("dst", Json::U64(dst as u64))],
+            );
+        }
     }
 
     /// Blocking receive; returns `(source_worker, message)`.
@@ -73,6 +89,7 @@ impl P2pNetwork {
                 worker,
                 senders: senders.clone(),
                 receiver,
+                tracer: None,
             })
             .collect()
     }
@@ -128,5 +145,19 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn empty_network_panics() {
         P2pNetwork::create::<()>(0);
+    }
+
+    #[test]
+    fn traced_sends_emit_instants() {
+        use hetgmp_telemetry::{TraceLevel, TraceTrack};
+        let mut boxes = P2pNetwork::create::<u8>(2);
+        let tracer = Arc::new(TraceCollector::new(2, TraceLevel::Sync));
+        boxes[0].attach_tracer(Arc::clone(&tracer));
+        boxes[0].send(1, 9);
+        assert_eq!(boxes[1].recv(), (0, 9));
+        let events = tracer.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].track, TraceTrack::Worker(0));
+        assert_eq!(events[0].name, names::TRACE_MAILBOX_SEND);
     }
 }

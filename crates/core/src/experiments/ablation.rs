@@ -24,7 +24,7 @@ use hetgmp_partition::{
 
 use hetgmp_telemetry::{Json, JsonlWriter};
 
-use crate::experiments::{emit, render_table};
+use crate::experiments::{emit, render_table, Hooks};
 use crate::models::ModelKind;
 use crate::strategy::StrategyConfig;
 use crate::trainer::{Trainer, TrainerConfig};
@@ -46,12 +46,24 @@ pub fn staleness_throughput(data: &CtrDataset, s_values: &[u64]) -> StalenessThr
 pub fn staleness_throughput_with(
     data: &CtrDataset,
     s_values: &[u64],
+    telemetry: Option<&mut JsonlWriter>,
+) -> StalenessThroughput {
+    staleness_throughput_instrumented(data, s_values, telemetry, &Hooks::default())
+}
+
+/// Like [`staleness_throughput_with`], additionally threading observability
+/// [`Hooks`] through every trainer run; audited runs carry an `audit` object
+/// in their `ablation.staleness` JSONL records.
+pub fn staleness_throughput_instrumented(
+    data: &CtrDataset,
+    s_values: &[u64],
     mut telemetry: Option<&mut JsonlWriter>,
+    hooks: &Hooks,
 ) -> StalenessThroughput {
     let topo = Topology::pcie_island(8);
     let mut rows = Vec::new();
     for &s in s_values {
-        let trainer = Trainer::new(
+        let trainer = hooks.apply(Trainer::new(
             data,
             topo.clone(),
             StrategyConfig::het_gmp(s),
@@ -63,18 +75,15 @@ pub fn staleness_throughput_with(
                 hidden: vec![64, 32],
                 ..Default::default()
             },
-        );
+        ));
         let r = trainer.run();
         if let Some(w) = telemetry.as_deref_mut() {
-            emit(
-                w,
-                "ablation.staleness",
-                &[
-                    ("staleness", Json::U64(s)),
-                    ("throughput", Json::F64(r.throughput)),
-                ],
-                &r.telemetry,
-            );
+            let mut extra = vec![
+                ("staleness", Json::U64(s)),
+                ("throughput", Json::F64(r.throughput)),
+            ];
+            extra.extend(hooks.audit_extra(&r));
+            emit(w, "ablation.staleness", &extra, &r.telemetry);
         }
         rows.push((format!("s={s}"), r.throughput, r.traffic_bytes[0]));
     }
@@ -443,7 +452,22 @@ pub fn run(
 /// no trainer, so the row fields are the full story).
 pub fn run_with(
     scale: f64,
+    telemetry: Option<&mut JsonlWriter>,
+) -> (
+    StalenessThroughput,
+    ReplicationSweep,
+    BalanceSweep,
+) {
+    run_instrumented(scale, telemetry, &Hooks::default())
+}
+
+/// Like [`run_with`], additionally threading observability [`Hooks`]
+/// through the training-based sweeps (the partitioning-only sweeps have no
+/// trainer to instrument).
+pub fn run_instrumented(
+    scale: f64,
     mut telemetry: Option<&mut JsonlWriter>,
+    hooks: &Hooks,
 ) -> (
     StalenessThroughput,
     ReplicationSweep,
@@ -451,7 +475,12 @@ pub fn run_with(
 ) {
     let data = generate(&DatasetSpec::criteo_like(scale));
     let graph = data.to_bigraph();
-    let st = staleness_throughput_with(&data, &[0, 10, 100, 1000], telemetry.as_deref_mut());
+    let st = staleness_throughput_instrumented(
+        &data,
+        &[0, 10, 100, 1000],
+        telemetry.as_deref_mut(),
+        hooks,
+    );
     let rep = replication_sweep(&graph, &[0.0, 0.005, 0.01, 0.05, 0.2]);
     if let Some(w) = telemetry {
         for &(frac, remote, factor) in &rep.rows {

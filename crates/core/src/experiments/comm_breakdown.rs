@@ -13,7 +13,7 @@ use hetgmp_cluster::Topology;
 use hetgmp_data::{generate, CtrDataset, DatasetSpec};
 use hetgmp_telemetry::{Json, JsonlWriter};
 
-use crate::experiments::{emit, render_table};
+use crate::experiments::{emit, render_table, Hooks};
 use crate::models::ModelKind;
 use crate::strategy::StrategyConfig;
 use crate::trainer::{Trainer, TrainerConfig};
@@ -64,11 +64,12 @@ fn run_panel(
     data: &CtrDataset,
     label: &str,
     mut telemetry: Option<&mut JsonlWriter>,
+    hooks: &Hooks,
 ) -> BreakdownPanel {
     let topo = Topology::pcie_island(8);
     let mut bars = Vec::new();
     for (setting, strat) in settings() {
-        let trainer = Trainer::new(
+        let trainer = hooks.apply(Trainer::new(
             data,
             topo.clone(),
             strat,
@@ -80,18 +81,15 @@ fn run_panel(
                 hidden: vec![64, 32],
                 ..Default::default()
             },
-        );
+        ));
         let r = trainer.run();
         if let Some(w) = telemetry.as_deref_mut() {
-            emit(
-                w,
-                "fig8",
-                &[
-                    ("workload", Json::from(label)),
-                    ("setting", Json::from(setting.as_str())),
-                ],
-                &r.telemetry,
-            );
+            let mut extra = vec![
+                ("workload", Json::from(label)),
+                ("setting", Json::from(setting.as_str())),
+            ];
+            extra.extend(hooks.audit_extra(&r));
+            emit(w, "fig8", &extra, &r.telemetry);
         }
         // Average per iteration ≈ per epoch totals / iterations; iterations
         // ≈ samples / (batch × workers). Report per-iteration bytes.
@@ -116,7 +114,18 @@ pub fn run(scale: f64) -> BreakdownReport {
 
 /// Like [`run`], optionally appending one telemetry snapshot per bar
 /// (event `fig8`) to a JSONL writer.
-pub fn run_with(scale: f64, mut telemetry: Option<&mut JsonlWriter>) -> BreakdownReport {
+pub fn run_with(scale: f64, telemetry: Option<&mut JsonlWriter>) -> BreakdownReport {
+    run_instrumented(scale, telemetry, &Hooks::default())
+}
+
+/// Like [`run_with`], additionally threading observability [`Hooks`]
+/// (trace collector, protocol auditor) through every trainer run; audited
+/// runs carry an `audit` object in their `fig8` JSONL records.
+pub fn run_instrumented(
+    scale: f64,
+    mut telemetry: Option<&mut JsonlWriter>,
+    hooks: &Hooks,
+) -> BreakdownReport {
     let mut panels = Vec::new();
     for model in [ModelKind::Wdl, ModelKind::Dcn] {
         for spec in DatasetSpec::paper_presets(scale) {
@@ -126,6 +135,7 @@ pub fn run_with(scale: f64, mut telemetry: Option<&mut JsonlWriter>) -> Breakdow
                 &data,
                 &format!("{}-{}", model.name(), spec.name),
                 telemetry.as_deref_mut(),
+                hooks,
             ));
         }
     }
@@ -187,7 +197,7 @@ mod tests {
     #[test]
     fn partitioning_reduces_embed_traffic() {
         let data = generate(&DatasetSpec::avazu_like(0.04));
-        let panel = run_panel(ModelKind::Wdl, &data, "WDL-test", None);
+        let panel = run_panel(ModelKind::Wdl, &data, "WDL-test", None, &Hooks::default());
         assert_eq!(panel.bars.len(), 4);
         let random = panel.bars[0].embed_bytes;
         let oned = panel.bars[1].embed_bytes;
@@ -202,8 +212,8 @@ mod tests {
     #[test]
     fn dcn_has_more_allreduce_than_wdl() {
         let data = generate(&DatasetSpec::avazu_like(0.03));
-        let wdl = run_panel(ModelKind::Wdl, &data, "WDL", None);
-        let dcn = run_panel(ModelKind::Dcn, &data, "DCN", None);
+        let wdl = run_panel(ModelKind::Wdl, &data, "WDL", None, &Hooks::default());
+        let dcn = run_panel(ModelKind::Dcn, &data, "DCN", None, &Hooks::default());
         assert!(
             dcn.bars[0].allreduce_bytes > wdl.bars[0].allreduce_bytes,
             "dcn {} vs wdl {}",

@@ -12,7 +12,11 @@
 //! are stable across scales; absolute numbers are not comparable with the
 //! paper's testbed (see EXPERIMENTS.md).
 
-use hetgmp_telemetry::{Json, JsonlWriter, TelemetrySnapshot};
+use std::sync::Arc;
+
+use hetgmp_telemetry::{AuditMode, Json, JsonlWriter, TelemetrySnapshot, TraceCollector};
+
+use crate::trainer::{TrainResult, Trainer};
 
 pub mod ablation;
 pub mod comm_breakdown;
@@ -38,5 +42,35 @@ pub(crate) fn emit(
 ) {
     if let Err(e) = writer.write_snapshot(event, extra, snapshot) {
         eprintln!("telemetry: {e}");
+    }
+}
+
+/// Optional observability hooks threaded through the experiment runners
+/// that train: a shared Chrome-trace collector and a protocol-audit mode.
+/// The default is fully off, so `run(...)`/`run_with(...)` behave exactly
+/// as before.
+#[derive(Clone, Default)]
+pub struct Hooks {
+    /// Trace collector shared by every trainer run in the experiment (build
+    /// it with one worker slot per trainer worker — the experiment runners
+    /// use 8-worker topologies).
+    pub tracer: Option<Arc<TraceCollector>>,
+    /// Protocol-audit mode applied to every trainer run.
+    pub audit: AuditMode,
+}
+
+impl Hooks {
+    /// Applies the hooks to a trainer.
+    pub(crate) fn apply<'d>(&self, mut trainer: Trainer<'d>) -> Trainer<'d> {
+        if let Some(t) = &self.tracer {
+            trainer = trainer.with_tracer(Arc::clone(t));
+        }
+        trainer.with_audit(self.audit)
+    }
+
+    /// The audit JSONL field for a run under these hooks: the summary's
+    /// JSON form when auditing, nothing otherwise.
+    pub(crate) fn audit_extra(&self, result: &TrainResult) -> Option<(&'static str, Json)> {
+        result.audit.as_ref().map(|a| ("audit", a.to_json()))
     }
 }

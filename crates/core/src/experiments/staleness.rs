@@ -12,7 +12,7 @@ use hetgmp_data::{generate, DatasetSpec};
 use hetgmp_embedding::StalenessBound;
 use hetgmp_telemetry::{Json, JsonlWriter};
 
-use crate::experiments::{emit, render_table};
+use crate::experiments::{emit, render_table, Hooks};
 use crate::models::ModelKind;
 use crate::strategy::StrategyConfig;
 use crate::trainer::{Trainer, TrainerConfig};
@@ -53,7 +53,20 @@ pub fn run(scale: f64, epochs: usize) -> StalenessReport {
 pub fn run_with(
     scale: f64,
     epochs: usize,
+    telemetry: Option<&mut JsonlWriter>,
+) -> StalenessReport {
+    run_instrumented(scale, epochs, telemetry, &Hooks::default())
+}
+
+/// Like [`run_with`], additionally threading observability [`Hooks`]
+/// through every trainer run; audited runs carry an `audit` object in
+/// their `table2` JSONL records (the auditor's gap histograms make the
+/// drift behind the `s=inf` AUC drop directly visible).
+pub fn run_instrumented(
+    scale: f64,
+    epochs: usize,
     mut telemetry: Option<&mut JsonlWriter>,
+    hooks: &Hooks,
 ) -> StalenessReport {
     let topo = Topology::pcie_island(8);
     let mut rows = Vec::new();
@@ -64,7 +77,7 @@ pub fn run_with(
             let mut strat = StrategyConfig::het_gmp(0);
             strat.staleness = bound;
             strat.name = format!("HET-GMP({label})");
-            let trainer = Trainer::new(
+            let trainer = hooks.apply(Trainer::new(
                 &data,
                 topo.clone(),
                 strat,
@@ -76,19 +89,16 @@ pub fn run_with(
                     hidden: vec![64, 32],
                     ..Default::default()
                 },
-            );
+            ));
             let r = trainer.run();
             if let Some(w) = telemetry.as_deref_mut() {
-                emit(
-                    w,
-                    "table2",
-                    &[
-                        ("dataset", Json::from(spec.name.as_str())),
-                        ("staleness", Json::from(label.as_str())),
-                        ("auc", Json::F64(r.final_auc)),
-                    ],
-                    &r.telemetry,
-                );
+                let mut extra = vec![
+                    ("dataset", Json::from(spec.name.as_str())),
+                    ("staleness", Json::from(label.as_str())),
+                    ("auc", Json::F64(r.final_auc)),
+                ];
+                extra.extend(hooks.audit_extra(&r));
+                emit(w, "table2", &extra, &r.telemetry);
             }
             aucs.push((label, r.final_auc));
         }

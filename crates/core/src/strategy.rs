@@ -7,7 +7,7 @@ use hetgmp_partition::{
     BiCutPartitioner, HybridConfig, HybridPartitioner, MultilevelConfig, MultilevelPartitioner,
     Partitioner, RandomPartitioner, ReplicationBudget,
 };
-use hetgmp_telemetry::{HetGmpError, Recorder};
+use hetgmp_telemetry::{HetGmpError, Recorder, TraceCollector};
 
 /// Where the embedding table lives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,15 +74,30 @@ impl PartitionPolicy {
         seed: u64,
         recorder: Option<Arc<dyn Recorder>>,
     ) -> Box<dyn Partitioner> {
+        self.partitioner_instrumented(seed, recorder, None)
+    }
+
+    /// Like [`PartitionPolicy::partitioner_recorded`], additionally wiring a
+    /// trace collector where supported (Algorithm 1 emits
+    /// `trace.partition.round` spans on the driver track).
+    pub fn partitioner_instrumented(
+        &self,
+        seed: u64,
+        recorder: Option<Arc<dyn Recorder>>,
+        tracer: Option<Arc<TraceCollector>>,
+    ) -> Box<dyn Partitioner> {
         match self {
             PartitionPolicy::Random => Box::new(RandomPartitioner { seed }),
             PartitionPolicy::BiCut => Box::new(BiCutPartitioner),
             PartitionPolicy::Hybrid(cfg) => {
-                let p = HybridPartitioner::new(cfg.clone());
-                Box::new(match recorder {
-                    Some(r) => p.with_recorder(r),
-                    None => p,
-                })
+                let mut p = HybridPartitioner::new(cfg.clone());
+                if let Some(r) = recorder {
+                    p = p.with_recorder(r);
+                }
+                if let Some(t) = tracer {
+                    p = p.with_tracer(t);
+                }
+                Box::new(p)
             }
             PartitionPolicy::Multilevel(cfg) => Box::new(MultilevelPartitioner {
                 config: cfg.clone(),

@@ -29,10 +29,14 @@ use hetgmp_cluster::{CostModel, LinkClass, SimClock, TimeBreakdown, TimeCategory
 use hetgmp_comms::{AllReduceGroup, TrafficClass, TrafficLedger};
 use hetgmp_data::CtrDataset;
 use hetgmp_embedding::{
-    CachedWorkerEmbedding, EmbeddingWorker, ShardedTable, SparseOpt, WorkerEmbedding,
+    CachedWorkerEmbedding, EmbeddingWorker, ShardedTable, SparseOpt, StalenessBound,
+    WorkerEmbedding,
 };
 use hetgmp_partition::{Partition, PartitionMetrics};
-use hetgmp_telemetry::{names, HetGmpError, MetricsRegistry, Recorder, TelemetrySnapshot};
+use hetgmp_telemetry::{
+    names, AuditMode, AuditSummary, HetGmpError, Json, MetricsRegistry, ProtocolAuditor, Recorder,
+    TelemetrySnapshot, TraceCollector,
+};
 use hetgmp_tensor::{auc, bce_with_logits, log_loss, Matrix};
 
 use crate::models::{CtrModel, ModelKind};
@@ -281,6 +285,9 @@ pub struct TrainResult {
     /// Unified metrics from every component of the run: traffic classes,
     /// time categories, embedding protocol events, partitioner rounds.
     pub telemetry: TelemetrySnapshot,
+    /// Bounded-async protocol audit summary (`None` unless auditing was
+    /// enabled with [`Trainer::with_audit`]).
+    pub audit: Option<AuditSummary>,
 }
 
 /// The distributed trainer for one (dataset, topology, strategy) triple.
@@ -289,6 +296,8 @@ pub struct Trainer<'d> {
     topology: Topology,
     strategy: StrategyConfig,
     config: TrainerConfig,
+    tracer: Option<Arc<TraceCollector>>,
+    audit: AuditMode,
 }
 
 impl<'d> Trainer<'d> {
@@ -309,7 +318,27 @@ impl<'d> Trainer<'d> {
             topology,
             strategy,
             config,
+            tracer: None,
+            audit: AuditMode::Off,
         }
+    }
+
+    /// Attaches a trace collector: the run emits Chrome-trace events
+    /// (epoch/batch spans per worker, link transfers, partitioner rounds,
+    /// protocol decisions at sync detail level) into `tracer`. Build the
+    /// collector with one slot per worker in this trainer's topology.
+    pub fn with_tracer(mut self, tracer: Arc<TraceCollector>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Enables the runtime protocol auditor: every staleness decision is
+    /// checked against the strategy's [`StalenessBound`]. `Count` tallies
+    /// violations into the result's [`AuditSummary`]; `Strict` additionally
+    /// aborts training at the next iteration boundary after a violation.
+    pub fn with_audit(mut self, mode: AuditMode) -> Self {
+        self.audit = mode;
+        self
     }
 
     /// Builds the partition this strategy would train with (also used by
@@ -331,7 +360,7 @@ impl<'d> Trainer<'d> {
     ) -> Partition {
         self.strategy
             .partition
-            .partitioner_recorded(self.config.seed, Some(recorder))
+            .partitioner_instrumented(self.config.seed, Some(recorder), self.tracer.clone())
             .partition(graph, &self.topology)
     }
 
@@ -344,6 +373,15 @@ impl<'d> Trainer<'d> {
         // each worker thread records into its own recorder (no hot-path
         // contention), and the final snapshot merges everything.
         let registry = MetricsRegistry::new(n);
+        let auditor = if self.audit.is_on() {
+            let bound = match self.strategy.staleness {
+                StalenessBound::Bounded(s) => s as f64,
+                StalenessBound::Infinite => f64::INFINITY,
+            };
+            Some(Arc::new(ProtocolAuditor::new(bound, self.audit)))
+        } else {
+            None
+        };
 
         // ---- Data & partition ------------------------------------------------
         let split = self.dataset.split(cfg.test_fraction);
@@ -379,7 +417,11 @@ impl<'d> Trainer<'d> {
         // ---- Shared state ----------------------------------------------------
         let table = ShardedTable::new(self.dataset.num_features, cfg.dim, 0.05, cfg.seed);
         let group = AllReduceGroup::new(n);
-        let ledger = TrafficLedger::from_registry(&registry);
+        let mut ledger = TrafficLedger::from_registry(&registry);
+        if let Some(t) = &self.tracer {
+            ledger.attach_tracer(Arc::clone(t));
+        }
+        let ledger = ledger;
         let samples_processed = AtomicU64::new(0);
         // Training-loss accumulators (fixed-point micro-units so plain
         // atomics suffice).
@@ -414,6 +456,12 @@ impl<'d> Trainer<'d> {
             .collect();
         for (w, emb) in embeddings.iter_mut().enumerate() {
             emb.attach_recorder(registry.worker(w));
+            if let Some(a) = &auditor {
+                emb.attach_auditor(Arc::clone(a));
+            }
+            if let Some(t) = &self.tracer {
+                emb.attach_tracer(Arc::clone(t));
+            }
         }
         let mut models: Vec<CtrModel> = (0..n)
             .map(|_| {
@@ -463,6 +511,8 @@ impl<'d> Trainer<'d> {
         let samples_ctr = &samples_processed;
         let loss_sum_ref = &loss_sum_micro;
         let loss_batches_ref = &loss_batches;
+        let tracer_ref: Option<&TraceCollector> = self.tracer.as_deref();
+        let auditor_ref: Option<&ProtocolAuditor> = auditor.as_deref();
 
         // ---- Epoch loop ------------------------------------------------------
         let mut curve: Vec<EvalPoint> = Vec::with_capacity(cfg.epochs);
@@ -491,6 +541,7 @@ impl<'d> Trainer<'d> {
                             clock,
                             cursor,
                             iters: iters_per_epoch,
+                            epoch,
                             cfg,
                             strategy,
                             topology,
@@ -504,10 +555,18 @@ impl<'d> Trainer<'d> {
                             loss_batches: loss_batches_ref,
                             compute_scale,
                             batch_size,
+                            tracer: tracer_ref,
+                            auditor: auditor_ref,
                         });
                     });
                 }
             });
+
+            // Strict audit: a tripped auditor aborted every worker at the
+            // last iteration boundary; abandon the run without evaluating.
+            if auditor.as_ref().is_some_and(|a| a.is_tripped()) {
+                break;
+            }
 
             // ---- Evaluation barrier -----------------------------------------
             // Flush deferred secondary gradients so the evaluation (and the
@@ -581,6 +640,7 @@ impl<'d> Trainer<'d> {
             ],
             partition_metrics,
             telemetry: registry.snapshot(),
+            audit: auditor.as_ref().map(|a| a.summary()),
             curve,
         }
     }
@@ -647,6 +707,7 @@ struct WorkerEpoch<'a, 'b, 'd> {
     clock: &'a mut SimClock,
     cursor: &'a mut usize,
     iters: usize,
+    epoch: usize,
     cfg: &'a TrainerConfig,
     strategy: &'a StrategyConfig,
     topology: &'a Topology,
@@ -660,6 +721,8 @@ struct WorkerEpoch<'a, 'b, 'd> {
     loss_batches: &'a AtomicU64,
     compute_scale: f64,
     batch_size: usize,
+    tracer: Option<&'a TraceCollector>,
+    auditor: Option<&'a ProtocolAuditor>,
 }
 
 fn run_worker_epoch(ctx: WorkerEpoch<'_, '_, '_>) {
@@ -672,6 +735,7 @@ fn run_worker_epoch(ctx: WorkerEpoch<'_, '_, '_>) {
         clock,
         cursor,
         iters,
+        epoch,
         cfg,
         strategy,
         topology,
@@ -685,13 +749,23 @@ fn run_worker_epoch(ctx: WorkerEpoch<'_, '_, '_>) {
         loss_batches,
         compute_scale,
         batch_size,
+        tracer,
+        auditor,
     } = ctx;
     let dim = cfg.dim;
     let fields = dataset.num_fields;
     let is_bsp = matches!(strategy.dense_sync, DenseSync::AllReduce)
         && matches!(strategy.embed_home, EmbedHome::Gpu);
+    let epoch_start = clock.now();
 
     for _ in 0..iters {
+        // Publish the worker's simulated position so instants emitted deeper
+        // in the stack (protocol decisions, traffic charges) land at this
+        // batch's timestamp on the timeline.
+        if let Some(t) = tracer {
+            t.set_worker_time(w, clock.now());
+        }
+        let batch_start = clock.now();
         // ---- Assemble the batch (wrap-around over the local shard). --------
         let bs = batch_size.min(shard.len().max(1));
         let mut batch_idx = Vec::with_capacity(bs);
@@ -757,6 +831,8 @@ fn run_worker_epoch(ctx: WorkerEpoch<'_, '_, '_>) {
                 cost,
                 &read_report,
                 &up_report,
+                tracer,
+                clock.now(),
             );
             if strategy.overlap {
                 clock.advance_overlapped(TimeCategory::EmbedComm, embed_t, compute_t);
@@ -804,6 +880,22 @@ fn run_worker_epoch(ctx: WorkerEpoch<'_, '_, '_>) {
         match strategy.dense_sync {
             DenseSync::AllReduce => {
                 let t = cost.allreduce_time(dense_bytes);
+                if let Some(tr) = tracer {
+                    // The ring's bottleneck hop names the track.
+                    let n = topology.num_workers();
+                    let label = if n > 1 {
+                        topology.link(w, (w + 1) % n).label()
+                    } else {
+                        LinkClass::Local.label()
+                    };
+                    tr.link_span(
+                        label,
+                        names::TRACE_ALLREDUCE,
+                        clock.now(),
+                        t,
+                        &[("worker", Json::U64(w as u64)), ("bytes", Json::U64(dense_bytes))],
+                    );
+                }
                 clock.advance(TimeCategory::AllReduceComm, t);
                 ledger.record(w, TrafficClass::AllReduce, allreduce_bytes(dense_bytes, topology), 1);
             }
@@ -811,6 +903,15 @@ fn run_worker_epoch(ctx: WorkerEpoch<'_, '_, '_>) {
                 // Push gradients + pull parameters over the shared host link.
                 let n = topology.num_workers() as u64;
                 let t = cost.link_transfer_time(LinkClass::HostPcie, 2 * dense_bytes * n);
+                if let Some(tr) = tracer {
+                    tr.link_span(
+                        LinkClass::HostPcie.label(),
+                        names::TRACE_ALLREDUCE,
+                        clock.now(),
+                        t,
+                        &[("worker", Json::U64(w as u64)), ("bytes", Json::U64(2 * dense_bytes))],
+                    );
+                }
                 clock.advance(TimeCategory::AllReduceComm, t);
                 ledger.record(w, TrafficClass::AllReduce, 2 * dense_bytes, 2);
             }
@@ -826,6 +927,37 @@ fn run_worker_epoch(ctx: WorkerEpoch<'_, '_, '_>) {
             // but the OS threads still rendezvous at the collective above
             // (math-level combining without a time barrier).
         }
+
+        if let Some(t) = tracer {
+            t.worker_span(
+                w,
+                names::TRACE_BATCH,
+                batch_start,
+                clock.now() - batch_start,
+                &[("samples", Json::U64(actual as u64))],
+            );
+        }
+
+        // Strict audit: agree collectively on whether the auditor tripped so
+        // every worker leaves at the same iteration boundary (a unilateral
+        // break would strand its peers in the next collective).
+        if let Some(a) = auditor {
+            let mut flag = [if a.is_tripped() { 1.0f32 } else { 0.0 }];
+            group.allreduce_max(&mut flag);
+            if flag[0] > 0.0 {
+                break;
+            }
+        }
+    }
+
+    if let Some(t) = tracer {
+        t.worker_span(
+            w,
+            names::TRACE_EPOCH,
+            epoch_start,
+            clock.now() - epoch_start,
+            &[("epoch", Json::U64(epoch as u64))],
+        );
     }
 }
 
@@ -840,13 +972,18 @@ fn allreduce_bytes(dense_bytes: u64, topology: &Topology) -> u64 {
 }
 
 /// Converts the per-source byte breakdowns into (embedding-data seconds,
-/// metadata seconds) for worker `w` under the given strategy.
+/// metadata seconds) for worker `w` under the given strategy. When a tracer
+/// is attached, each per-peer transfer also becomes a `trace.link.transfer`
+/// span on the link-class track, laid out sequentially from `start_secs`.
+#[allow(clippy::too_many_arguments)]
 fn charge_embedding_comm(
     w: usize,
     strategy: &StrategyConfig,
     cost: &CostModel,
     read: &hetgmp_embedding::ReadReport,
     up: &hetgmp_embedding::UpdateReport,
+    tracer: Option<&TraceCollector>,
+    start_secs: f64,
 ) -> (f64, f64) {
     match strategy.embed_home {
         EmbedHome::CpuPs => {
@@ -869,6 +1006,17 @@ fn charge_embedding_comm(
             };
             let total_bytes = (lookups + updates) * dim_bytes * n;
             let t = cost.link_transfer_time(LinkClass::HostPcie, total_bytes);
+            if let Some(tr) = tracer {
+                if total_bytes > 0 {
+                    tr.link_span(
+                        LinkClass::HostPcie.label(),
+                        names::TRACE_LINK_TRANSFER,
+                        start_secs,
+                        t,
+                        &[("worker", Json::U64(w as u64)), ("bytes", Json::U64(total_bytes))],
+                    );
+                }
+            }
             let meta_bytes = (lookups + updates) * 12 * n;
             let mt = cost.link_transfer_time(LinkClass::HostPcie, meta_bytes);
             (t, mt)
@@ -877,12 +1025,42 @@ fn charge_embedding_comm(
             let mut t = 0.0;
             for (src, &bytes) in read.data_bytes_by_src.iter().enumerate() {
                 if bytes > 0 {
-                    t += cost.transfer_time(w, src, bytes);
+                    let dt = cost.transfer_time(w, src, bytes);
+                    if let Some(tr) = tracer {
+                        tr.link_span(
+                            cost.topology.link(w, src).label(),
+                            names::TRACE_LINK_TRANSFER,
+                            start_secs + t,
+                            dt,
+                            &[
+                                ("dir", Json::from("read")),
+                                ("worker", Json::U64(w as u64)),
+                                ("peer", Json::U64(src as u64)),
+                                ("bytes", Json::U64(bytes)),
+                            ],
+                        );
+                    }
+                    t += dt;
                 }
             }
             for (dst, &bytes) in up.data_bytes_by_dst.iter().enumerate() {
                 if bytes > 0 {
-                    t += cost.transfer_time(w, dst, bytes);
+                    let dt = cost.transfer_time(w, dst, bytes);
+                    if let Some(tr) = tracer {
+                        tr.link_span(
+                            cost.topology.link(w, dst).label(),
+                            names::TRACE_LINK_TRANSFER,
+                            start_secs + t,
+                            dt,
+                            &[
+                                ("dir", Json::from("writeback")),
+                                ("worker", Json::U64(w as u64)),
+                                ("peer", Json::U64(dst as u64)),
+                                ("bytes", Json::U64(bytes)),
+                            ],
+                        );
+                    }
+                    t += dt;
                 }
             }
             // Latency is charged per (batch, peer) round-trip inside
@@ -1100,6 +1278,97 @@ mod tests {
         .run();
         assert_eq!(r.traffic_bytes[0], 0, "single worker should be all-local");
         assert!(r.breakdown.compute > 0.0);
+    }
+
+    #[test]
+    fn strict_audit_bsp_has_zero_violations() {
+        use hetgmp_telemetry::AuditMode;
+        let data = tiny_dataset();
+        // BSP (s = 0): every read must be served perfectly fresh; a correct
+        // protocol implementation never violates the bound.
+        let r = Trainer::new(
+            &data,
+            Topology::pcie_island(4),
+            StrategyConfig::het_gmp(0),
+            fast_config(),
+        )
+        .with_audit(AuditMode::Strict)
+        .run();
+        let audit = r.audit.expect("audit enabled");
+        assert_eq!(audit.total_violations(), 0, "{}", audit.render());
+        assert!(audit.strict_failure.is_none());
+        assert!(audit.intra_reads + audit.inter_checks > 0, "auditor saw no decisions");
+        assert_eq!(audit.bound, 0.0);
+        // The full curve ran: strict mode did not abort.
+        assert_eq!(r.curve.len(), 2);
+    }
+
+    #[test]
+    fn audit_asp_observes_drift_without_violations() {
+        use hetgmp_telemetry::AuditMode;
+        let data = generate(&DatasetSpec::avazu_like(0.05));
+        let r = Trainer::new(
+            &data,
+            Topology::pcie_island(4),
+            StrategyConfig::het_gmp_asp(),
+            fast_config(),
+        )
+        .with_audit(AuditMode::Count)
+        .run();
+        let audit = r.audit.expect("audit enabled");
+        // s = ∞ admits every gap: no read can violate it…
+        assert_eq!(audit.total_violations(), 0);
+        // …but secondaries genuinely drift from their primaries.
+        assert!(
+            audit.max_intra_gap > 0.0,
+            "ASP run showed no staleness drift: {}",
+            audit.render()
+        );
+        assert!(audit.bound.is_infinite());
+    }
+
+    #[test]
+    fn traced_run_covers_workers_and_links() {
+        use hetgmp_telemetry::{TraceCollector, TraceLevel, TraceTrack};
+        let data = tiny_dataset();
+        let tracer = Arc::new(TraceCollector::new(2, TraceLevel::Sync));
+        let r = Trainer::new(
+            &data,
+            Topology::pcie_island(2),
+            StrategyConfig::het_gmp(100),
+            fast_config(),
+        )
+        .with_tracer(Arc::clone(&tracer))
+        .run();
+        assert!(r.sim_time > 0.0);
+        let events = tracer.events();
+        for w in 0..2 {
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.track == TraceTrack::Worker(w) && e.name == names::TRACE_BATCH),
+                "no batch spans for worker {w}"
+            );
+            assert!(events
+                .iter()
+                .any(|e| e.track == TraceTrack::Worker(w) && e.name == names::TRACE_EPOCH));
+        }
+        // Two workers on one PCIe island exchange embedding bytes.
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(&e.track, TraceTrack::Link(_))
+                    && e.name == names::TRACE_LINK_TRANSFER),
+            "no link transfer spans"
+        );
+        // Algorithm 1's rounds land on the driver track.
+        assert!(events
+            .iter()
+            .any(|e| e.track == TraceTrack::Driver && e.name == names::TRACE_PARTITION_ROUND));
+        // Durations are simulated time: every batch span fits in the run.
+        for e in events.iter().filter(|e| e.name == names::TRACE_BATCH) {
+            assert!(e.dur_us >= 0.0 && e.ts_us + e.dur_us <= r.sim_time * 1e6 + 1.0);
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use hetgmp_partition::Partition;
-use hetgmp_telemetry::{names, Recorder};
+use hetgmp_telemetry::{names, Json, ProtocolAuditor, Recorder, TraceCollector};
 
 use crate::lfu::LfuCache;
 use crate::report::{ReadReport, UpdateReport, META_ENTRY_BYTES};
@@ -32,6 +32,8 @@ pub struct CachedWorkerEmbedding<'a> {
     scratch_ids: HashMap<u32, usize>,
     scratch_rows: Vec<f32>,
     recorder: Option<Arc<dyn Recorder>>,
+    auditor: Option<Arc<ProtocolAuditor>>,
+    tracer: Option<Arc<TraceCollector>>,
 }
 
 impl<'a> CachedWorkerEmbedding<'a> {
@@ -57,6 +59,8 @@ impl<'a> CachedWorkerEmbedding<'a> {
             scratch_ids: HashMap::new(),
             scratch_rows: Vec::new(),
             recorder: None,
+            auditor: None,
+            tracer: None,
         }
     }
 
@@ -64,6 +68,18 @@ impl<'a> CachedWorkerEmbedding<'a> {
     /// are counted into the `embedding.*` metrics from then on.
     pub fn attach_recorder(&mut self, recorder: Arc<dyn Recorder>) {
         self.recorder = Some(recorder);
+    }
+
+    /// Attaches a protocol auditor; the per-row intra staleness decisions
+    /// (this design's only consistency check) are reported to it.
+    pub fn attach_auditor(&mut self, auditor: Arc<ProtocolAuditor>) {
+        self.auditor = Some(auditor);
+    }
+
+    /// Attaches a trace collector; per-batch read-mix instants are emitted
+    /// on this worker's track at the `sync` level.
+    pub fn attach_tracer(&mut self, tracer: Arc<TraceCollector>) {
+        self.tracer = Some(tracer);
     }
 
     /// Rows currently cached.
@@ -95,14 +111,29 @@ impl<'a> CachedWorkerEmbedding<'a> {
                     report.local_primary += 1;
                 } else if self.cache.contains(e) {
                     let fresh = match self.bound {
-                        StalenessBound::Infinite => true,
+                        StalenessBound::Infinite => {
+                            if let Some(a) = &self.auditor {
+                                // ASP drift: served as-is at the raw gap.
+                                let gap = self.table.clock(e).saturating_sub(
+                                    self.cache.effective_clock(e).expect("cached"),
+                                ) as f64;
+                                a.observe_intra(self.recorder.as_deref(), gap, gap);
+                            }
+                            true
+                        }
                         StalenessBound::Bounded(_) => {
                             report.meta_bytes += META_ENTRY_BYTES;
                             let gap = self
                                 .table
                                 .clock(e)
                                 .saturating_sub(self.cache.effective_clock(e).expect("cached"));
-                            matches!(self.bound, StalenessBound::Bounded(s) if gap <= s)
+                            let fresh =
+                                matches!(self.bound, StalenessBound::Bounded(s) if gap <= s);
+                            if let Some(a) = &self.auditor {
+                                let served = if fresh { gap as f64 } else { 0.0 };
+                                a.observe_intra(self.recorder.as_deref(), gap as f64, served);
+                            }
+                            fresh
                         }
                     };
                     if fresh {
@@ -163,6 +194,25 @@ impl<'a> CachedWorkerEmbedding<'a> {
                 report.local_fresh + report.intra_syncs,
             );
             r.counter_add(names::EMBED_CACHE_MISS, report.remote_fetches);
+        }
+        if let Some(t) = &self.tracer {
+            let w = self.worker as usize;
+            t.worker_instant(
+                w,
+                names::TRACE_READ,
+                &[
+                    ("local_primary", Json::U64(report.local_primary)),
+                    ("cache_hit", Json::U64(report.local_fresh + report.intra_syncs)),
+                    ("cache_miss", Json::U64(report.remote_fetches)),
+                ],
+            );
+            if report.intra_syncs > 0 {
+                t.worker_instant(
+                    w,
+                    names::TRACE_SYNC,
+                    &[("kind", Json::from("intra")), ("count", Json::U64(report.intra_syncs))],
+                );
+            }
         }
         report
     }

@@ -74,6 +74,16 @@ pub trait EmbeddingWorker: Send {
     fn attach_recorder(&mut self, recorder: std::sync::Arc<dyn hetgmp_telemetry::Recorder>) {
         let _ = recorder;
     }
+    /// Attaches a protocol auditor observing every staleness decision.
+    /// Default is a no-op.
+    fn attach_auditor(&mut self, auditor: std::sync::Arc<hetgmp_telemetry::ProtocolAuditor>) {
+        let _ = auditor;
+    }
+    /// Attaches a trace collector for per-batch decision instants.
+    /// Default is a no-op.
+    fn attach_tracer(&mut self, tracer: std::sync::Arc<hetgmp_telemetry::TraceCollector>) {
+        let _ = tracer;
+    }
 }
 
 impl EmbeddingWorker for WorkerEmbedding<'_> {
@@ -93,6 +103,12 @@ impl EmbeddingWorker for WorkerEmbedding<'_> {
     }
     fn attach_recorder(&mut self, recorder: std::sync::Arc<dyn hetgmp_telemetry::Recorder>) {
         WorkerEmbedding::attach_recorder(self, recorder)
+    }
+    fn attach_auditor(&mut self, auditor: std::sync::Arc<hetgmp_telemetry::ProtocolAuditor>) {
+        WorkerEmbedding::attach_auditor(self, auditor)
+    }
+    fn attach_tracer(&mut self, tracer: std::sync::Arc<hetgmp_telemetry::TraceCollector>) {
+        WorkerEmbedding::attach_tracer(self, tracer)
     }
 }
 
@@ -114,5 +130,11 @@ impl EmbeddingWorker for CachedWorkerEmbedding<'_> {
     }
     fn attach_recorder(&mut self, recorder: std::sync::Arc<dyn hetgmp_telemetry::Recorder>) {
         CachedWorkerEmbedding::attach_recorder(self, recorder)
+    }
+    fn attach_auditor(&mut self, auditor: std::sync::Arc<hetgmp_telemetry::ProtocolAuditor>) {
+        CachedWorkerEmbedding::attach_auditor(self, auditor)
+    }
+    fn attach_tracer(&mut self, tracer: std::sync::Arc<hetgmp_telemetry::TraceCollector>) {
+        CachedWorkerEmbedding::attach_tracer(self, tracer)
     }
 }

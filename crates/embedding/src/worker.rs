@@ -6,7 +6,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use hetgmp_partition::Partition;
-use hetgmp_telemetry::{names, Recorder};
+use hetgmp_telemetry::{names, Json, ProtocolAuditor, Recorder, TraceCollector};
 
 use crate::cache::SecondaryCache;
 use crate::report::{ReadReport, UpdateReport, META_ENTRY_BYTES};
@@ -65,6 +65,8 @@ pub struct WorkerEmbedding<'a> {
     /// Rows currently holding a deferred (pending) gradient.
     pending_rows: usize,
     recorder: Option<Arc<dyn Recorder>>,
+    auditor: Option<Arc<ProtocolAuditor>>,
+    tracer: Option<Arc<TraceCollector>>,
 }
 
 impl<'a> WorkerEmbedding<'a> {
@@ -109,6 +111,8 @@ impl<'a> WorkerEmbedding<'a> {
             scratch_rows: Vec::new(),
             pending_rows: 0,
             recorder: None,
+            auditor: None,
+            tracer: None,
         }
     }
 
@@ -116,6 +120,18 @@ impl<'a> WorkerEmbedding<'a> {
     /// are counted into the `embedding.*` metrics from then on.
     pub fn attach_recorder(&mut self, recorder: Arc<dyn Recorder>) {
         self.recorder = Some(recorder);
+    }
+
+    /// Attaches a protocol auditor; every intra/inter staleness decision is
+    /// reported to it (`protocol.gap.*` histograms, violation counting).
+    pub fn attach_auditor(&mut self, auditor: Arc<ProtocolAuditor>) {
+        self.auditor = Some(auditor);
+    }
+
+    /// Attaches a trace collector; per-batch read/sync/deferral decision
+    /// instants are emitted on this worker's track at the `sync` level.
+    pub fn attach_tracer(&mut self, tracer: Arc<TraceCollector>) {
+        self.tracer = Some(tracer);
     }
 
     /// This worker's id.
@@ -163,6 +179,16 @@ impl<'a> WorkerEmbedding<'a> {
                     match self.bound {
                         StalenessBound::Infinite => {
                             // ASP: never check, never sync.
+                            if let Some(a) = &self.auditor {
+                                // Audit-only clock peek: ASP serves the
+                                // replica as-is, so raw and served gaps
+                                // coincide — this is the drift ASP permits.
+                                let local_clock =
+                                    self.cache.effective_clock(e).expect("cached row");
+                                let gap =
+                                    self.table.clock(e).saturating_sub(local_clock) as f64;
+                                a.observe_intra(self.recorder.as_deref(), gap, gap);
+                            }
                             self.cache
                                 .read(e, &mut self.scratch_rows[slot..slot + dim]);
                             report.local_fresh += 1;
@@ -175,6 +201,13 @@ impl<'a> WorkerEmbedding<'a> {
                             let local_clock =
                                 self.cache.effective_clock(e).expect("cached row");
                             let gap = primary_clock.saturating_sub(local_clock);
+                            if let Some(a) = &self.auditor {
+                                // A tolerated read is served at the raw gap;
+                                // an intra sync re-fetches, serving gap 0.
+                                let served =
+                                    if self.bound.tolerates(gap) { gap as f64 } else { 0.0 };
+                                a.observe_intra(self.recorder.as_deref(), gap as f64, served);
+                            }
                             if self.bound.tolerates(gap) {
                                 self.cache
                                     .read(e, &mut self.scratch_rows[slot..slot + dim]);
@@ -242,7 +275,16 @@ impl<'a> WorkerEmbedding<'a> {
                         let p_hot = self.freq_of(hot) as f64;
                         let p_cold = self.freq_of(cold) as f64;
                         let gap = (c_hot as f64 * (p_cold / p_hot) - c_cold as f64).abs();
-                        if !self.bound.tolerates_f(gap) {
+                        let tolerated = self.bound.tolerates_f(gap);
+                        if let Some(a) = &self.auditor {
+                            // A tolerated pair is served at the raw gap; a
+                            // pair that triggers (or needs no) sync is
+                            // content-fresh afterwards, so its served gap
+                            // is 0.
+                            let served = if tolerated { gap } else { 0.0 };
+                            a.observe_inter(self.recorder.as_deref(), gap, served);
+                        }
+                        if !tolerated {
                             // Sync whichever replica lags its own primary
                             // more. If neither lags, the normalised gap is a
                             // property of the *global* update counts (the
@@ -292,6 +334,32 @@ impl<'a> WorkerEmbedding<'a> {
             r.counter_add(names::EMBED_SYNC_INTRA, report.intra_syncs);
             r.counter_add(names::EMBED_SYNC_INTER, report.inter_syncs);
             r.gauge_set(names::EMBED_PENDING_ROWS, self.pending_rows as f64);
+        }
+        if let Some(t) = &self.tracer {
+            let w = self.worker as usize;
+            t.worker_instant(
+                w,
+                names::TRACE_READ,
+                &[
+                    ("local_primary", Json::U64(report.local_primary)),
+                    ("local_fresh", Json::U64(report.local_fresh)),
+                    ("remote", Json::U64(report.remote_fetches)),
+                ],
+            );
+            if report.intra_syncs > 0 {
+                t.worker_instant(
+                    w,
+                    names::TRACE_SYNC,
+                    &[("kind", Json::from("intra")), ("count", Json::U64(report.intra_syncs))],
+                );
+            }
+            if report.inter_syncs > 0 {
+                t.worker_instant(
+                    w,
+                    names::TRACE_SYNC,
+                    &[("kind", Json::from("inter")), ("count", Json::U64(report.inter_syncs))],
+                );
+            }
         }
         report
     }
@@ -406,6 +474,18 @@ impl<'a> WorkerEmbedding<'a> {
                 report.local_updates + report.remote_writebacks,
             );
             r.gauge_set(names::EMBED_PENDING_ROWS, self.pending_rows as f64);
+        }
+        if let Some(t) = &self.tracer {
+            if report.deferred > 0 {
+                t.worker_instant(
+                    self.worker as usize,
+                    names::TRACE_DEFER,
+                    &[
+                        ("deferred", Json::U64(report.deferred)),
+                        ("pending_rows", Json::U64(self.pending_rows as u64)),
+                    ],
+                );
+            }
         }
         report
     }

@@ -8,7 +8,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use hetgmp_bigraph::Bigraph;
-use hetgmp_telemetry::{names, Recorder};
+use hetgmp_telemetry::{names, Json, Recorder, TraceCollector};
 
 use crate::metrics::PartitionMetrics;
 use crate::onedee::{OneDeeConfig, OneDeeState};
@@ -60,6 +60,7 @@ pub struct RoundStats {
 pub struct HybridPartitioner {
     config: HybridConfig,
     recorder: Option<Arc<dyn Recorder>>,
+    tracer: Option<Arc<TraceCollector>>,
 }
 
 impl HybridPartitioner {
@@ -68,6 +69,7 @@ impl HybridPartitioner {
         Self {
             config,
             recorder: None,
+            tracer: None,
         }
     }
 
@@ -76,11 +78,30 @@ impl HybridPartitioner {
         &self.config
     }
 
+    /// The same partitioner — attached recorder and tracer included — with
+    /// a different configuration. Used when the topology supplies the
+    /// weight matrix at partition time.
+    pub fn reconfigured(&self, config: HybridConfig) -> Self {
+        Self {
+            config,
+            recorder: self.recorder.clone(),
+            tracer: self.tracer.clone(),
+        }
+    }
+
     /// Attaches a telemetry recorder: every run then emits `partition.*`
     /// metrics (per-round score/improvement, moves, replication budget and
     /// replicas created, wall time).
     pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
         self.recorder = Some(recorder);
+        self
+    }
+
+    /// Attaches a trace collector: every 1D round becomes a
+    /// `trace.partition.round` span on the driver track (partitioning runs
+    /// before simulated time starts, so spans use wall-clock durations).
+    pub fn with_tracer(mut self, tracer: Arc<TraceCollector>) -> Self {
+        self.tracer = Some(tracer);
         self
     }
 
@@ -127,9 +148,24 @@ impl HybridPartitioner {
             .recorder
             .as_ref()
             .map(|_| PartitionMetrics::compute(g, &part, None).remote_fetches);
+        let mut round_start_secs = start.elapsed().as_secs_f64();
         for round in 1..=self.config.rounds {
             let moved = state.sweep(g, &mut part);
             let metrics = PartitionMetrics::compute(g, &part, None);
+            if let Some(t) = &self.tracer {
+                let end_secs = start.elapsed().as_secs_f64();
+                t.driver_span(
+                    names::TRACE_PARTITION_ROUND,
+                    round_start_secs,
+                    end_secs - round_start_secs,
+                    &[
+                        ("round", Json::U64(round as u64)),
+                        ("moved", Json::U64(moved as u64)),
+                        ("remote_fetches", Json::U64(metrics.remote_fetches)),
+                    ],
+                );
+                round_start_secs = end_secs;
+            }
             if let Some(r) = &self.recorder {
                 r.counter_add(names::PARTITION_ROUNDS, 1);
                 r.counter_add(names::PARTITION_MOVES, moved as u64);
@@ -308,6 +344,29 @@ mod tests {
         b.move_primary(0, (a.primary_of(0) + 1) % 4);
         b.move_primary(5, (a.primary_of(5) + 1) % 4);
         assert_eq!(migration_cost(&a, &b), 2);
+    }
+
+    #[test]
+    fn traced_rounds_land_on_the_driver_track() {
+        use hetgmp_telemetry::{TraceLevel, TraceTrack};
+        let g = graph();
+        let tracer = Arc::new(TraceCollector::new(0, TraceLevel::Batch));
+        let partitioner =
+            HybridPartitioner::new(HybridConfig::default()).with_tracer(Arc::clone(&tracer));
+        let (_, rounds) = partitioner.partition_rounds(&g, 4);
+        let events = tracer.events();
+        let round_spans: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == names::TRACE_PARTITION_ROUND)
+            .collect();
+        assert_eq!(round_spans.len(), rounds.len());
+        for (i, span) in round_spans.iter().enumerate() {
+            assert_eq!(span.track, TraceTrack::Driver);
+            assert!(span.dur_us >= 0.0);
+            if i > 0 {
+                assert!(span.ts_us >= round_spans[i - 1].ts_us);
+            }
+        }
     }
 
     #[test]

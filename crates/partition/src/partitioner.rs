@@ -97,7 +97,9 @@ impl Partitioner for HybridPartitioner {
         if self.config().onedee.weights.is_none() {
             let mut cfg = self.config().clone();
             cfg.onedee.weights = Some(topo.weight_matrix());
-            HybridPartitioner::new(cfg)
+            // `reconfigured`, not `new`: an attached recorder/tracer must
+            // survive the weight-matrix injection.
+            self.reconfigured(cfg)
                 .partition_rounds(g, topo.num_workers())
                 .0
         } else {

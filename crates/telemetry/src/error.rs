@@ -46,6 +46,12 @@ pub enum HetGmpError {
         /// What was wrong with the invocation.
         reason: String,
     },
+    /// A strict-mode protocol audit detected a consistency violation at
+    /// runtime (a read served beyond the configured staleness bound).
+    Audit {
+        /// What invariant was violated.
+        reason: String,
+    },
 }
 
 impl HetGmpError {
@@ -98,12 +104,21 @@ impl HetGmpError {
         }
     }
 
+    /// Strict-audit consistency violation.
+    pub fn audit(reason: impl Into<String>) -> Self {
+        Self::Audit {
+            reason: reason.into(),
+        }
+    }
+
     /// Process exit code for this error, following BSD `sysexits.h`
-    /// conventions: 2 = usage, 65 = bad data, 74 = I/O, 78 = bad config.
+    /// conventions: 2 = usage, 65 = bad data, 70 = internal invariant
+    /// (audit) failure, 74 = I/O, 78 = bad config.
     pub fn exit_code(&self) -> u8 {
         match self {
             Self::Usage { .. } => 2,
             Self::Data { .. } | Self::Checkpoint { .. } => 65,
+            Self::Audit { .. } => 70,
             Self::Io { .. } => 74,
             Self::Config { .. } => 78,
         }
@@ -114,7 +129,7 @@ impl HetGmpError {
         match self {
             Self::Io { path, .. } | Self::Checkpoint { path, .. } => Some(path),
             Self::Data { path, .. } => path.as_deref(),
-            Self::Config { .. } | Self::Usage { .. } => None,
+            Self::Config { .. } | Self::Usage { .. } | Self::Audit { .. } => None,
         }
     }
 }
@@ -142,6 +157,7 @@ impl fmt::Display for HetGmpError {
                 write!(f, "invalid config `{param}`: {reason}")
             }
             Self::Usage { reason } => write!(f, "usage error: {reason}"),
+            Self::Audit { reason } => write!(f, "audit failure: {reason}"),
         }
     }
 }
@@ -169,13 +185,14 @@ mod tests {
             74
         );
         assert_eq!(HetGmpError::config("dim", "x").exit_code(), 78);
+        assert_eq!(HetGmpError::audit("stale read").exit_code(), 70);
     }
 
     #[test]
     fn display_includes_location() {
-        let e = HetGmpError::data("train.libsvm", 17, "empty feature list");
+        let e = HetGmpError::data("data/train.libsvm", 17, "empty feature list");
         let msg = e.to_string();
-        assert!(msg.contains("train.libsvm"), "{msg}");
+        assert!(msg.contains("data/train.libsvm"), "{msg}");
         assert!(msg.contains("line 17"), "{msg}");
         let e = HetGmpError::data_unattributed(0, "short row");
         assert_eq!(e.to_string(), "malformed data: short row");

@@ -17,24 +17,62 @@ use std::path::{Path, PathBuf};
 /// {"event":"epoch","epoch":1,"counters":{...},...}
 /// {"event":"final","counters":{...},...}
 /// ```
+///
+/// The path `-` writes to stdout instead of a file, so telemetry and
+/// traces can be piped straight into `jq` and friends. For file paths,
+/// missing parent directories are created.
 #[derive(Debug)]
 pub struct JsonlWriter {
     path: PathBuf,
-    out: BufWriter<File>,
+    out: Sink,
+}
+
+#[derive(Debug)]
+enum Sink {
+    File(BufWriter<File>),
+    Stdout(std::io::Stdout),
+}
+
+impl Sink {
+    fn write_all(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        match self {
+            Sink::File(f) => f.write_all(bytes),
+            Sink::Stdout(s) => s.lock().write_all(bytes),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Sink::File(f) => f.flush(),
+            Sink::Stdout(s) => s.lock().flush(),
+        }
+    }
 }
 
 impl JsonlWriter {
-    /// Creates (or truncates) the file at `path`.
+    /// Creates (or truncates) the file at `path`, creating missing parent
+    /// directories. The special path `-` writes to stdout.
     pub fn create(path: impl AsRef<Path>) -> Result<Self, HetGmpError> {
         let path = path.as_ref().to_path_buf();
+        if path == Path::new("-") {
+            return Ok(Self {
+                path,
+                out: Sink::Stdout(std::io::stdout()),
+            });
+        }
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| HetGmpError::io(&path, e))?;
+            }
+        }
         let file = File::create(&path).map_err(|e| HetGmpError::io(&path, e))?;
         Ok(Self {
             path,
-            out: BufWriter::new(file),
+            out: Sink::File(BufWriter::new(file)),
         })
     }
 
-    /// The file being written.
+    /// The file being written (`-` for stdout).
     pub fn path(&self) -> &Path {
         &self.path
     }
@@ -120,9 +158,46 @@ mod tests {
     }
 
     #[test]
+    fn create_makes_missing_parent_directories() {
+        let dir = std::env::temp_dir().join(format!(
+            "hetgmp-telemetry-parents-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("deep/nested/out.jsonl");
+
+        let mut w = JsonlWriter::create(&path).unwrap();
+        w.write_record(&Json::obj([("ok", Json::Bool(true))])).unwrap();
+        w.flush().unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"ok\":true}\n");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dash_path_writes_to_stdout_without_touching_disk() {
+        let mut w = JsonlWriter::create("-").unwrap();
+        assert_eq!(w.path(), std::path::Path::new("-"));
+        w.write_record(&Json::obj([("event", Json::from("stdout-test"))]))
+            .unwrap();
+        w.flush().unwrap();
+        assert!(!std::path::Path::new("-").exists());
+    }
+
+    #[test]
     fn create_on_bad_path_is_io_error_with_path() {
-        let err = JsonlWriter::create("/nonexistent-dir-xyz/out.jsonl").unwrap_err();
+        // A *file* in the parent-directory position still fails: the
+        // directory chain cannot be created through it.
+        let dir = std::env::temp_dir().join(format!(
+            "hetgmp-telemetry-badpath-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let blocker = dir.join("blocker");
+        std::fs::write(&blocker, b"not a directory").unwrap();
+
+        let err = JsonlWriter::create(blocker.join("out.jsonl")).unwrap_err();
         assert_eq!(err.exit_code(), 74);
-        assert!(err.path().unwrap().to_string_lossy().contains("nonexistent"));
+        assert!(err.path().unwrap().to_string_lossy().contains("blocker"));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

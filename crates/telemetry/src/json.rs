@@ -138,14 +138,14 @@ mod tests {
     #[test]
     fn renders_nested_compact_json() {
         let doc = Json::obj([
-            ("name", Json::from("traffic.bytes")),
+            ("name", Json::from("net.bytes")),
             ("value", Json::from(1024u64)),
             ("ratio", Json::from(0.5)),
             ("tags", Json::Arr(vec![Json::from("a"), Json::Null])),
         ]);
         assert_eq!(
             doc.render(),
-            r#"{"name":"traffic.bytes","value":1024,"ratio":0.5,"tags":["a",null]}"#
+            r#"{"name":"net.bytes","value":1024,"ratio":0.5,"tags":["a",null]}"#
         );
     }
 

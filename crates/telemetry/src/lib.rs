@@ -16,12 +16,19 @@
 //! ([`JsonlWriter`]) or a pretty table
 //! ([`TelemetrySnapshot::render_table`]).
 //!
+//! Beside the aggregate pipeline sit two event-level observers: a
+//! [`TraceCollector`] of typed [`TraceEvent`]s in bounded per-worker ring
+//! buffers, exported as Chrome trace-event JSON (`chrome://tracing` /
+//! Perfetto), and a [`ProtocolAuditor`] that turns the bounded-async
+//! staleness guarantee into a checked runtime invariant.
+//!
 //! Metric names are dotted paths; the taxonomy (names, units, labels) is
 //! documented in `TELEMETRY.md` at the repository root.
 //!
 //! This crate is also the home of [`HetGmpError`], the workspace-wide
 //! error type mapped to process exit codes by the CLI.
 
+pub mod audit;
 pub mod error;
 pub mod export;
 pub mod json;
@@ -29,14 +36,17 @@ pub mod memory;
 pub mod recorder;
 pub mod registry;
 pub mod snapshot;
+pub mod trace;
 
+pub use audit::{AuditMode, AuditSummary, ProtocolAuditor};
 pub use error::HetGmpError;
 pub use export::JsonlWriter;
 pub use json::Json;
 pub use memory::MemoryRecorder;
-pub use recorder::{NoopRecorder, Recorder, SpanGuard};
+pub use recorder::{NoopRecorder, Recorder, SimTimeCell, SpanGuard};
 pub use registry::MetricsRegistry;
 pub use snapshot::{HistogramSummary, TelemetrySnapshot};
+pub use trace::{TraceCollector, TraceEvent, TraceLevel, TraceTrack};
 
 /// Canonical metric names used across the workspace, so call sites and
 /// tests never drift apart on spelling. See `TELEMETRY.md` for semantics.
@@ -96,6 +106,39 @@ pub mod names {
     pub const TRAIN_SIM_TIME: &str = "train.sim_time_secs";
     /// Evaluation AUC after each epoch (gauge; last write = final AUC).
     pub const TRAIN_AUC: &str = "train.auc";
+
+    /// Current simulated time in seconds (gauge, written by `SimClock`).
+    pub const CLOCK_NOW: &str = "clock.now_secs";
+
+    /// Raw intra-embedding clock gap observed at each read (histogram).
+    pub const PROTOCOL_GAP_INTRA: &str = "protocol.gap.intra";
+    /// Raw inter-embedding normalised clock gap per check (histogram).
+    pub const PROTOCOL_GAP_INTER: &str = "protocol.gap.inter";
+    /// Reads served with an intra gap above the staleness bound.
+    pub const PROTOCOL_VIOLATION_INTRA: &str = "protocol.violation.intra";
+    /// Reads served with an inter gap above the staleness bound.
+    pub const PROTOCOL_VIOLATION_INTER: &str = "protocol.violation.inter";
+
+    /// Trace span: one trainer epoch on a worker's timeline.
+    pub const TRACE_EPOCH: &str = "trace.epoch";
+    /// Trace span: one training batch (assemble + read + compute + sync).
+    pub const TRACE_BATCH: &str = "trace.batch";
+    /// Trace span: occupancy of an interconnect link by one transfer.
+    pub const TRACE_LINK_TRANSFER: &str = "trace.link.transfer";
+    /// Trace span: dense-gradient all-reduce on the link timeline.
+    pub const TRACE_ALLREDUCE: &str = "trace.allreduce";
+    /// Trace span: one partitioner refinement round (driver timeline).
+    pub const TRACE_PARTITION_ROUND: &str = "trace.partition.round";
+    /// Trace instant: per-batch embedding read mix (sync level).
+    pub const TRACE_READ: &str = "trace.read";
+    /// Trace instant: intra/inter synchronisation decision (sync level).
+    pub const TRACE_SYNC: &str = "trace.sync";
+    /// Trace instant: gradient-deferral decision (sync level).
+    pub const TRACE_DEFER: &str = "trace.defer";
+    /// Trace instant: traffic-ledger charge (sync level).
+    pub const TRACE_TRAFFIC: &str = "trace.traffic";
+    /// Trace instant: point-to-point mailbox send (sync level).
+    pub const TRACE_MAILBOX_SEND: &str = "trace.mailbox.send";
 }
 
 #[cfg(test)]

@@ -3,7 +3,21 @@
 use crate::json::Json;
 use std::collections::BTreeMap;
 
-/// Aggregate view of one histogram.
+/// Number of fixed log-spaced percentile bins: one underflow bin
+/// (values `< BIN_LO`, including 0 and negatives), 64 bins spanning
+/// `BIN_LO..BIN_HI` at 4 per decade, and one overflow bin.
+const NUM_BINS: usize = 66;
+/// Lower edge of the log-spaced range.
+const BIN_LO: f64 = 1e-9;
+/// Upper edge of the log-spaced range.
+const BIN_HI: f64 = 1e7;
+/// Log-spaced bin resolution.
+const BINS_PER_DECADE: f64 = 4.0;
+
+/// Aggregate view of one histogram: exact count/sum/min/max plus fixed
+/// log-spaced bins for p50/p95/p99 estimates. Estimates are accurate to
+/// one bin width (a factor of `10^(1/4) ≈ 1.78`) within
+/// `[1e-9, 1e7)` and clamped to the exact `[min, max]`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HistogramSummary {
     /// Number of observations.
@@ -14,6 +28,8 @@ pub struct HistogramSummary {
     pub min: f64,
     /// Largest observed value.
     pub max: f64,
+    /// Log-spaced observation counts backing the percentile estimates.
+    pub bins: [u64; NUM_BINS],
 }
 
 impl HistogramSummary {
@@ -24,7 +40,32 @@ impl HistogramSummary {
             sum: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            bins: [0; NUM_BINS],
         }
+    }
+
+    fn bin_index(value: f64) -> usize {
+        if value.is_nan() || value < BIN_LO {
+            // NaN, negatives, zero, and sub-BIN_LO values underflow.
+            return 0;
+        }
+        if value >= BIN_HI {
+            return NUM_BINS - 1;
+        }
+        let i = ((value / BIN_LO).log10() * BINS_PER_DECADE).floor() as usize;
+        (i + 1).min(NUM_BINS - 2)
+    }
+
+    /// Geometric midpoint of a log-spaced bin, the representative value
+    /// a percentile landing in that bin reports.
+    fn bin_value(&self, index: usize) -> f64 {
+        if index == 0 {
+            return self.min;
+        }
+        if index == NUM_BINS - 1 {
+            return self.max;
+        }
+        BIN_LO * 10f64.powf((index as f64 - 0.5) / BINS_PER_DECADE)
     }
 
     /// Folds one observation in.
@@ -33,6 +74,7 @@ impl HistogramSummary {
         self.sum += value;
         self.min = self.min.min(value);
         self.max = self.max.max(value);
+        self.bins[Self::bin_index(value)] += 1;
     }
 
     /// Combines with another summary (as if both observation streams had
@@ -42,6 +84,9 @@ impl HistogramSummary {
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        for (mine, theirs) in self.bins.iter_mut().zip(other.bins.iter()) {
+            *mine += theirs;
+        }
     }
 
     /// Mean observation, or 0.0 when empty.
@@ -51,6 +96,38 @@ impl HistogramSummary {
         } else {
             self.sum / self.count as f64
         }
+    }
+
+    /// Estimated `q`-quantile (`0.0..=1.0`) from the log-spaced bins,
+    /// clamped to the exact observed `[min, max]`. 0.0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, n) in self.bins.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= target {
+                return self.bin_value(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Estimated median.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// Estimated 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// Estimated 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
     }
 }
 
@@ -148,6 +225,9 @@ impl TelemetrySnapshot {
                             ("min", Json::F64(if h.count == 0 { 0.0 } else { h.min })),
                             ("max", Json::F64(if h.count == 0 { 0.0 } else { h.max })),
                             ("mean", Json::F64(h.mean())),
+                            ("p50", Json::F64(h.p50())),
+                            ("p95", Json::F64(h.p95())),
+                            ("p99", Json::F64(h.p99())),
                         ]),
                     )
                 })
@@ -182,10 +262,13 @@ impl TelemetrySnapshot {
         }
         for (k, h) in &self.histograms {
             out.push_str(&format!(
-                "{k:<width$}  n={} sum={:.6} mean={:.6}\n",
+                "{k:<width$}  n={} sum={:.6} mean={:.6} p50={:.6} p95={:.6} p99={:.6}\n",
                 h.count,
                 h.sum,
-                h.mean()
+                h.mean(),
+                h.p50(),
+                h.p95(),
+                h.p99()
             ));
         }
         out
@@ -236,6 +319,52 @@ mod tests {
         assert!(rendered.contains(r#""traffic.bytes.embed_data":100"#), "{rendered}");
         assert!(rendered.contains(r#""count":2"#), "{rendered}");
         assert!(rendered.contains(r#""mean":3.0"#), "{rendered}");
+    }
+
+    #[test]
+    fn quantiles_are_bin_accurate() {
+        let mut h = HistogramSummary::empty();
+        for i in 1..=1000 {
+            h.observe(i as f64 * 1e-3); // 0.001 .. 1.000
+        }
+        // One log-spaced bin is a factor of 10^(1/4) ≈ 1.78 wide; accept
+        // up to one bin of relative error on each side.
+        let tol = 10f64.powf(0.25);
+        for (q, exact) in [(0.50, 0.5), (0.95, 0.95), (0.99, 0.99)] {
+            let est = h.quantile(q);
+            assert!(
+                est >= exact / tol && est <= exact * tol,
+                "q={q}: estimate {est} too far from {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_clamp_to_observed_range_and_handle_edges() {
+        let mut single = HistogramSummary::empty();
+        single.observe(3.0);
+        assert_eq!(single.p50(), 3.0);
+        assert_eq!(single.p99(), 3.0);
+
+        let mut zeros = HistogramSummary::empty();
+        zeros.observe(0.0);
+        zeros.observe(0.0);
+        assert_eq!(zeros.p50(), 0.0);
+        assert_eq!(zeros.p99(), 0.0);
+
+        assert_eq!(HistogramSummary::empty().p95(), 0.0);
+
+        let mut merged = HistogramSummary::empty();
+        for _ in 0..95 {
+            merged.observe(1.0);
+        }
+        let mut tail = HistogramSummary::empty();
+        for _ in 0..5 {
+            tail.observe(100.0);
+        }
+        merged.merge(&tail);
+        assert!(merged.p50() < 2.0, "median near 1: {}", merged.p50());
+        assert!(merged.p99() > 50.0, "p99 near the tail: {}", merged.p99());
     }
 
     #[test]

@@ -3,17 +3,20 @@
 //! ```text
 //! het-gmp gen        --preset avazu|criteo|company --scale 0.1 --out data.svm
 //! het-gmp partition  --in data.svm --fields 22 --workers 8 --algo hybrid|random|bicut|multilevel
-//! het-gmp train      --preset criteo --scale 0.1 --system het-gmp --staleness 100 [--telemetry out.jsonl]
+//! het-gmp train      --preset criteo --scale 0.1 --system het-gmp --staleness 100
+//!                    [--telemetry out.jsonl] [--trace out.trace.json] [--audit[=strict]]
 //! het-gmp capacity   --workers 24 --mem-gb 32 --dim 128
 //! het-gmp experiment fig1|fig3|fig7|fig8|fig9|fig10|table2|table3|ablation|all [--telemetry out.jsonl]
 //! ```
 //!
 //! Errors surface as [`HetGmpError`] with BSD `sysexits`-style exit codes:
-//! 2 = usage, 65 = bad data/checkpoint, 74 = I/O, 78 = bad config.
+//! 2 = usage, 65 = bad data/checkpoint, 70 = audit violation (strict),
+//! 74 = I/O, 78 = bad config.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use het_gmp::cluster::Topology;
 use het_gmp::core::experiments;
@@ -26,7 +29,9 @@ use het_gmp::partition::{
     BiCutPartitioner, HybridConfig, HybridPartitioner, MultilevelPartitioner, PartitionMetrics,
     Partitioner, RandomPartitioner,
 };
-use het_gmp::telemetry::{HetGmpError, Json, JsonlWriter};
+use het_gmp::telemetry::{
+    AuditMode, HetGmpError, Json, JsonlWriter, TraceCollector, TraceLevel,
+};
 
 mod cli;
 use cli::Args;
@@ -36,8 +41,15 @@ const USAGE: &str = "usage: het-gmp <gen|partition|train|capacity|experiment> [-
   partition  (--in FILE --fields N | --preset P --scale F) --workers N --algo hybrid|random|bicut|multilevel [--rounds N]
   train      (--in FILE --fields N | --preset P --scale F) --system tf-ps|parallax|hugectr|het-mp|het-gmp
              [--staleness N] [--workers N] [--epochs N] [--model wdl|dcn|deepfm|din] [--telemetry FILE.jsonl]
+             [--trace FILE.trace.json] [--trace-level batch|sync] [--audit[=count|strict]]
   capacity   --workers N --mem-gb G --dim D [--replication F]
-  experiment fig1|fig3|fig7|fig8|fig9|fig10|table2|table3|ablation|all [--scale F] [--telemetry FILE.jsonl]";
+  experiment fig1|fig3|fig7|fig8|fig9|fig10|table2|table3|ablation|all [--scale F] [--telemetry FILE.jsonl]
+             [--trace FILE.trace.json] [--trace-level batch|sync] [--audit[=count|strict]]
+
+  --telemetry/--trace accept '-' to write to stdout. --trace captures a
+  Chrome trace-event timeline (open in Perfetto); --audit checks every
+  embedding read against the staleness bound (strict mode fails the run
+  on the first violation, exit code 70).";
 
 fn main() -> ExitCode {
     let args = Args::parse(std::env::args().skip(1));
@@ -103,12 +115,59 @@ fn load_dataset(args: &Args) -> Result<CtrDataset, HetGmpError> {
     }
 }
 
-/// Opens the `--telemetry FILE.jsonl` sink when requested.
+/// Opens the `--telemetry FILE.jsonl` sink when requested (`-` = stdout).
 fn telemetry_sink(args: &Args) -> Result<Option<JsonlWriter>, HetGmpError> {
     match args.get("telemetry") {
         Some("") => Err(HetGmpError::usage("--telemetry requires a file path")),
         other => other.map(JsonlWriter::create).transpose(),
     }
+}
+
+/// Builds the `--trace FILE` collector when requested (`-` = stdout).
+/// `--trace-level batch|sync` picks the event granularity (default batch:
+/// epoch/batch/link spans only; sync adds per-read protocol instants).
+fn trace_collector(
+    args: &Args,
+    num_workers: usize,
+) -> Result<Option<(Arc<TraceCollector>, String)>, HetGmpError> {
+    let Some(path) = args.get("trace") else {
+        if args.has("trace-level") {
+            return Err(HetGmpError::usage("--trace-level requires --trace FILE"));
+        }
+        return Ok(None);
+    };
+    if path.is_empty() {
+        return Err(HetGmpError::usage("--trace requires a file path"));
+    }
+    let level = match args.get("trace-level") {
+        None => TraceLevel::Batch,
+        Some(s) => TraceLevel::parse(s).ok_or_else(|| {
+            HetGmpError::usage(format!("unknown trace level {s:?} (batch|sync)"))
+        })?,
+    };
+    let collector = Arc::new(TraceCollector::new(num_workers, level));
+    Ok(Some((collector, path.to_string())))
+}
+
+/// Parses `--audit[=count|strict|off]`; a bare `--audit` means count.
+fn audit_mode(args: &Args) -> Result<AuditMode, HetGmpError> {
+    match args.get("audit") {
+        None => Ok(AuditMode::Off),
+        Some(s) => AuditMode::parse(s).ok_or_else(|| {
+            HetGmpError::usage(format!("unknown audit mode {s:?} (count|strict|off)"))
+        }),
+    }
+}
+
+/// Exports a collected trace, reporting where it went (unless stdout).
+fn write_trace(trace: &Option<(Arc<TraceCollector>, String)>) -> Result<(), HetGmpError> {
+    if let Some((t, path)) = trace {
+        t.write_chrome_trace(path)?;
+        if path != "-" {
+            println!("trace: {path}");
+        }
+    }
+    Ok(())
 }
 
 fn cmd_gen(args: &Args) -> Result<(), HetGmpError> {
@@ -209,7 +268,12 @@ fn cmd_train(args: &Args) -> Result<(), HetGmpError> {
         .batch_size(args.get_or("batch", 256))
         .dim(args.get_or("dim", 16))
         .build()?;
-    let trainer = Trainer::new(&data, Topology::pcie_island(n), strat, cfg);
+    let trace = trace_collector(args, n)?;
+    let mut trainer = Trainer::new(&data, Topology::pcie_island(n), strat, cfg)
+        .with_audit(audit_mode(args)?);
+    if let Some((t, _)) = &trace {
+        trainer = trainer.with_tracer(Arc::clone(t));
+    }
     let r = trainer.run();
     println!(
         "{} ({}): final AUC {:.4}, {:.0} samples/s simulated, comm share {:.0}%",
@@ -225,6 +289,13 @@ fn cmd_train(args: &Args) -> Result<(), HetGmpError> {
     if let Some(w) = telemetry.as_mut() {
         dump_train_telemetry(w, &r)?;
         println!("telemetry: {}", w.path().display());
+    }
+    write_trace(&trace)?;
+    if let Some(a) = &r.audit {
+        println!("{}", a.render());
+        if let Some(e) = a.to_error() {
+            return Err(e);
+        }
     }
     Ok(())
 }
@@ -257,6 +328,12 @@ fn cmd_experiment(args: &Args) -> Result<(), HetGmpError> {
         .ok_or_else(|| HetGmpError::usage("experiment name required"))?;
     let scale: f64 = args.get_or("scale", 0.15);
     let mut telemetry = telemetry_sink(args)?;
+    // Experiment runners use 8-worker topologies throughout.
+    let trace = trace_collector(args, 8)?;
+    let hooks = experiments::Hooks {
+        tracer: trace.as_ref().map(|(t, _)| Arc::clone(t)),
+        audit: audit_mode(args)?,
+    };
     match which {
         "fig1" => println!("{}", experiments::overhead::run(scale)),
         "fig3" => {
@@ -267,7 +344,7 @@ fn cmd_experiment(args: &Args) -> Result<(), HetGmpError> {
         "fig7" => println!("{}", experiments::convergence::run(scale, 3)),
         "fig8" => println!(
             "{}",
-            experiments::comm_breakdown::run_with(scale, telemetry.as_mut())
+            experiments::comm_breakdown::run_instrumented(scale, telemetry.as_mut(), &hooks)
         ),
         "fig9" => {
             for r in experiments::hierarchy::run(scale) {
@@ -281,7 +358,7 @@ fn cmd_experiment(args: &Args) -> Result<(), HetGmpError> {
         }
         "table2" => println!(
             "{}",
-            experiments::staleness::run_with(scale, 3, telemetry.as_mut())
+            experiments::staleness::run_instrumented(scale, 3, telemetry.as_mut(), &hooks)
         ),
         "table3" => {
             for r in experiments::partitioners::run(scale) {
@@ -289,7 +366,8 @@ fn cmd_experiment(args: &Args) -> Result<(), HetGmpError> {
             }
         }
         "ablation" => {
-            let (st, rep, bal) = experiments::ablation::run_with(scale, telemetry.as_mut());
+            let (st, rep, bal) =
+                experiments::ablation::run_instrumented(scale, telemetry.as_mut(), &hooks);
             println!("{st}\n\n{rep}\n\n{bal}");
         }
         "all" => {
@@ -302,11 +380,11 @@ fn cmd_experiment(args: &Args) -> Result<(), HetGmpError> {
             }
             println!(
                 "{}",
-                experiments::comm_breakdown::run_with(scale, telemetry.as_mut())
+                experiments::comm_breakdown::run_instrumented(scale, telemetry.as_mut(), &hooks)
             );
             println!(
                 "{}",
-                experiments::staleness::run_with(scale, 3, telemetry.as_mut())
+                experiments::staleness::run_instrumented(scale, 3, telemetry.as_mut(), &hooks)
             );
             for r in experiments::hierarchy::run(scale) {
                 println!("{r}\n");
@@ -325,5 +403,6 @@ fn cmd_experiment(args: &Args) -> Result<(), HetGmpError> {
         w.flush()?;
         println!("telemetry: {}", w.path().display());
     }
+    write_trace(&trace)?;
     Ok(())
 }
