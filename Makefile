@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: build test clippy lint-metrics verify bench clean
+.PHONY: build test clippy lint-metrics fault-matrix verify bench clean
 
 build:
 	$(CARGO) build --release --offline --workspace
@@ -19,9 +19,14 @@ clippy:
 lint-metrics:
 	sh scripts/check_metric_names.sh
 
+# Fault-injection smoke matrix: crash (with checkpoint/restore), stall,
+# and link degradation through the release CLI under --audit=strict.
+fault-matrix: build
+	sh scripts/fault_matrix.sh
+
 # The gate every change must pass: release build, full test suite, clippy
-# with warnings denied, and metric-name lint.
-verify: build test clippy lint-metrics
+# with warnings denied, metric-name lint, and the fault-injection matrix.
+verify: build test clippy lint-metrics fault-matrix
 
 bench:
 	$(CARGO) bench --offline --workspace

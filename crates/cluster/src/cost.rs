@@ -8,6 +8,9 @@
 //! FLOP-rate compute term — because the paper's phenomena are bandwidth
 //! phenomena.
 
+use std::sync::Arc;
+
+use crate::fault::{FaultSchedule, RetryPolicy};
 use crate::topology::{LinkClass, Topology, WorkerId};
 
 /// Compute-side constants for one simulated accelerator.
@@ -53,6 +56,9 @@ pub struct CostModel {
     pub topology: Topology,
     /// The accelerator compute model.
     pub compute: ComputeModel,
+    /// Injected link faults, consulted by the `*_at` variants. `None`
+    /// means every link is permanently healthy.
+    faults: Option<Arc<FaultSchedule>>,
 }
 
 impl CostModel {
@@ -61,13 +67,43 @@ impl CostModel {
         Self {
             topology,
             compute: ComputeModel::default(),
+            faults: None,
         }
+    }
+
+    /// Attaches a fault schedule: the time-aware transfer methods
+    /// ([`CostModel::transfer_time_at`], [`CostModel::allreduce_time_at`])
+    /// then honour link degradations and partitions active at the queried
+    /// simulated instant.
+    pub fn with_faults(mut self, faults: Arc<FaultSchedule>) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// α-β time for one message of `bytes` from `src` to `dst`.
     pub fn transfer_time(&self, src: WorkerId, dst: WorkerId, bytes: u64) -> f64 {
         let link = self.topology.link(src, dst);
         link.latency() + bytes as f64 / link.bandwidth()
+    }
+
+    /// [`CostModel::transfer_time`] evaluated at simulated instant `now`,
+    /// honouring any attached [`FaultSchedule`]. A degraded link multiplies
+    /// the healthy α-β time; a partitioned link first costs a bounded
+    /// exponential-backoff retry wait ([`RetryPolicy`]) until the partition
+    /// heals, then the transfer at whatever slowdown is active at that
+    /// point. Without a schedule this is exactly `transfer_time`.
+    pub fn transfer_time_at(&self, src: WorkerId, dst: WorkerId, bytes: u64, now: f64) -> f64 {
+        let base = self.transfer_time(src, dst, bytes);
+        let Some(f) = &self.faults else { return base };
+        if src == dst {
+            return base;
+        }
+        if let Some(heal) = f.partition_heal_time(src, dst, now) {
+            let policy = RetryPolicy::with_base(self.topology.link(src, dst).latency());
+            let wait = policy.wait_for_heal(heal - now);
+            return wait + f.degrade_factor(src, dst, now + wait) * base;
+        }
+        f.degrade_factor(src, dst, now) * base
     }
 
     /// Time for a message over an explicit link class (e.g. the CPU
@@ -92,6 +128,32 @@ impl CostModel {
         let depth = (n as f64).log2().ceil();
         let lat_term = 2.0 * depth * self.worst_latency();
         bw_term + lat_term
+    }
+
+    /// [`CostModel::allreduce_time`] evaluated at simulated instant `now`.
+    /// The ring spans every link, so the collective runs at the worst
+    /// active slowdown across worker pairs, and a partition anywhere stalls
+    /// the whole ring until its heal (every worker blocks in a collective).
+    pub fn allreduce_time_at(&self, bytes: u64, now: f64) -> f64 {
+        let base = self.allreduce_time(bytes);
+        let Some(f) = &self.faults else { return base };
+        let n = self.topology.num_workers();
+        let mut wait: f64 = 0.0;
+        let mut factor: f64 = 1.0;
+        for a in 0..n {
+            for b in a + 1..n {
+                if let Some(heal) = f.partition_heal_time(a, b, now) {
+                    wait = wait.max(heal - now);
+                }
+            }
+        }
+        let resume = now + wait;
+        for a in 0..n {
+            for b in a + 1..n {
+                factor = factor.max(f.degrade_factor(a, b, resume));
+            }
+        }
+        wait + factor * base
     }
 
     /// AllGather time for `bytes` contributed per worker: `(N−1)` steps each
@@ -188,5 +250,41 @@ mod tests {
         let m = CostModel::new(Topology::pcie_island(4));
         let t = m.link_transfer_time(LinkClass::HostPcie, 1 << 20);
         assert!(t > 0.0);
+    }
+
+    #[test]
+    fn faultless_at_variants_match_base() {
+        let m = CostModel::new(Topology::pcie_island(4));
+        assert_eq!(m.transfer_time_at(0, 1, 1 << 20, 5.0), m.transfer_time(0, 1, 1 << 20));
+        assert_eq!(m.allreduce_time_at(1 << 20, 5.0), m.allreduce_time(1 << 20));
+    }
+
+    #[test]
+    fn degraded_link_slows_transfers_only_in_window() {
+        let f = FaultSchedule::parse("degrade@0-1:1.0:1.0:8", 4, 0).unwrap();
+        let m = CostModel::new(Topology::pcie_island(4)).with_faults(Arc::new(f));
+        let healthy = m.transfer_time(0, 1, 1 << 20);
+        assert_eq!(m.transfer_time_at(0, 1, 1 << 20, 0.5), healthy);
+        assert_eq!(m.transfer_time_at(0, 1, 1 << 20, 1.5), 8.0 * healthy);
+        assert_eq!(m.transfer_time_at(0, 1, 1 << 20, 2.5), healthy);
+        // Other pairs unaffected.
+        assert_eq!(m.transfer_time_at(2, 3, 1 << 20, 1.5), m.transfer_time(2, 3, 1 << 20));
+        // The collective sees the worst pair.
+        assert!(m.allreduce_time_at(1 << 20, 1.5) > m.allreduce_time(1 << 20));
+    }
+
+    #[test]
+    fn partitioned_link_charges_backoff_until_heal() {
+        let f = FaultSchedule::parse("partition@0-1:0.0:0.5", 4, 0).unwrap();
+        let m = CostModel::new(Topology::pcie_island(4)).with_faults(Arc::new(f));
+        let healthy = m.transfer_time(0, 1, 1 << 20);
+        let t = m.transfer_time_at(0, 1, 1 << 20, 0.1);
+        // Must at least wait out the 0.4 s of remaining outage, then pay the
+        // healthy transfer.
+        assert!(t >= 0.4 + healthy, "t = {t}");
+        // After the heal the link is healthy again.
+        assert_eq!(m.transfer_time_at(0, 1, 1 << 20, 0.6), healthy);
+        // An allreduce during the outage parks the whole ring.
+        assert!(m.allreduce_time_at(1 << 20, 0.1) >= 0.4);
     }
 }

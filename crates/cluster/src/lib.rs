@@ -24,9 +24,11 @@
 //! its weight matrix directly from [`Topology::weight_matrix`].
 
 pub mod cost;
+pub mod fault;
 pub mod simclock;
 pub mod topology;
 
 pub use cost::{ComputeModel, CostModel};
+pub use fault::{FaultSchedule, RetryPolicy, WorkerFault, WorkerFaultKind};
 pub use simclock::{SimClock, TimeBreakdown, TimeCategory};
 pub use topology::{LinkClass, Topology, WorkerId};

@@ -26,6 +26,9 @@ pub enum TimeCategory {
     AllReduceComm,
     /// Host↔device input pipeline.
     HostIo,
+    /// Injected-fault downtime: stalls, lost-work replay, crash-recovery
+    /// restore and restart overhead.
+    Fault,
 }
 
 impl TimeCategory {
@@ -37,6 +40,7 @@ impl TimeCategory {
             TimeCategory::MetaComm => "time.meta_comm_secs",
             TimeCategory::AllReduceComm => "time.allreduce_comm_secs",
             TimeCategory::HostIo => "time.host_io_secs",
+            TimeCategory::Fault => "time.fault_secs",
         }
     }
 }
@@ -54,12 +58,19 @@ pub struct TimeBreakdown {
     pub allreduce_comm: f64,
     /// Input-pipeline seconds.
     pub host_io: f64,
+    /// Injected-fault downtime seconds (stalls + crash recovery).
+    pub fault: f64,
 }
 
 impl TimeBreakdown {
     /// Total time across every category.
     pub fn total(&self) -> f64 {
-        self.compute + self.embed_comm + self.meta_comm + self.allreduce_comm + self.host_io
+        self.compute
+            + self.embed_comm
+            + self.meta_comm
+            + self.allreduce_comm
+            + self.host_io
+            + self.fault
     }
 
     /// Communication time only (everything except compute and host IO).
@@ -86,6 +97,7 @@ impl TimeBreakdown {
             meta_comm: self.meta_comm + other.meta_comm,
             allreduce_comm: self.allreduce_comm + other.allreduce_comm,
             host_io: self.host_io + other.host_io,
+            fault: self.fault + other.fault,
         }
     }
 }
@@ -196,6 +208,7 @@ impl SimClock {
             TimeCategory::MetaComm => self.breakdown.meta_comm += seconds,
             TimeCategory::AllReduceComm => self.breakdown.allreduce_comm += seconds,
             TimeCategory::HostIo => self.breakdown.host_io += seconds,
+            TimeCategory::Fault => self.breakdown.fault += seconds,
         }
         self.cell.set(self.now);
         if let Some(r) = &self.recorder {
@@ -295,6 +308,19 @@ mod tests {
         let h = rec.snapshot().histogram("time.batch_secs");
         assert_eq!(h.count, 1);
         assert!((h.sum - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_time_counts_in_total_not_communication() {
+        let mut c = SimClock::new();
+        c.advance(TimeCategory::Fault, 2.0);
+        c.advance(TimeCategory::Compute, 1.0);
+        assert_eq!(c.breakdown().fault, 2.0);
+        assert_eq!(c.breakdown().total(), 3.0);
+        assert_eq!(c.breakdown().communication(), 0.0);
+        assert_eq!(TimeCategory::Fault.metric(), "time.fault_secs");
+        let merged = c.breakdown().merged(c.breakdown());
+        assert_eq!(merged.fault, 4.0);
     }
 
     #[test]

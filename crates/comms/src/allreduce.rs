@@ -17,8 +17,15 @@ struct State {
     /// Element-wise combine op for the current round (all participants of a
     /// round must use the same op).
     op: Op,
-    /// Accumulated sum for the current generation.
+    /// Combined result for the current generation.
     sum: Vec<f32>,
+    /// Buffered per-participant contributions for `Sum` rounds; the round's
+    /// last arrival reduces them in a value-sorted order so the float
+    /// result depends only on the *multiset* of contributions, never on
+    /// thread arrival order (float addition is not associative — arrival-
+    /// order accumulation would make same-seed runs diverge by ulps that
+    /// chaos-amplify over thousands of iterations).
+    parts: Vec<Vec<f32>>,
     /// Number of contributions received this generation.
     arrived: usize,
     /// Number of participants that have collected the result.
@@ -46,6 +53,7 @@ impl AllReduceGroup {
             state: Mutex::new(State {
                 op: Op::Sum,
                 sum: Vec::new(),
+                parts: Vec::new(),
                 arrived: 0,
                 collected: 0,
                 generation: 0,
@@ -92,27 +100,38 @@ impl AllReduceGroup {
             st.op = op;
             st.sum.clear();
             st.sum.extend_from_slice(data);
+            st.parts.clear();
         } else {
             assert_eq!(st.sum.len(), data.len(), "allreduce length mismatch");
             assert_eq!(st.op, op, "mixed ops within one allreduce round");
-            match op {
-                Op::Sum => {
-                    for (s, &x) in st.sum.iter_mut().zip(data.iter()) {
-                        *s += x;
-                    }
-                }
-                Op::Max => {
-                    for (s, &x) in st.sum.iter_mut().zip(data.iter()) {
-                        if x > *s {
-                            *s = x;
-                        }
+            if op == Op::Max {
+                // Max is exact and commutative: accumulate in place.
+                for (s, &x) in st.sum.iter_mut().zip(data.iter()) {
+                    if x > *s {
+                        *s = x;
                     }
                 }
             }
         }
+        if op == Op::Sum && self.n > 1 {
+            st.parts.push(data.to_vec());
+        }
         st.arrived += 1;
 
         if st.arrived == self.n {
+            if op == Op::Sum && self.n > 1 {
+                // Deterministic reduction: sum each element's contributions
+                // in ascending value order (see `State::parts`).
+                let st = &mut *st;
+                let mut col = vec![0.0f32; self.n];
+                for (i, s) in st.sum.iter_mut().enumerate() {
+                    for (c, p) in col.iter_mut().zip(st.parts.iter()) {
+                        *c = p[i];
+                    }
+                    col.sort_by(f32::total_cmp);
+                    *s = col.iter().sum();
+                }
+            }
             // Round complete: open the collection phase.
             self.cv.notify_all();
         } else {
@@ -141,6 +160,29 @@ impl AllReduceGroup {
         for x in data {
             *x *= inv;
         }
+    }
+
+    /// Collective OR: every participant contributes a vote and all of them
+    /// receive `true` iff *any* participant voted `true`. This is the
+    /// abort/recovery agreement used at iteration boundaries — a worker
+    /// that must stop (strict-audit trip) or that just recovered from a
+    /// fault announces it here, so the whole group leaves the loop at the
+    /// same boundary and nobody strands a peer inside a blocking
+    /// collective.
+    pub fn agree(&self, vote: bool) -> bool {
+        let mut flag = [if vote { 1.0f32 } else { 0.0 }];
+        self.allreduce_max(&mut flag);
+        flag[0] > 0.0
+    }
+
+    /// Pure thread rendezvous: returns once every participant has arrived.
+    /// Charges nothing and moves no data — the trainer uses it to fence
+    /// phases *within* an iteration (all reads drain before any gradient
+    /// lands in the shared table; a crash rollback completes before any
+    /// peer reads), which makes same-seed runs reproducible.
+    pub fn barrier(&self) {
+        let mut z = [0.0f32];
+        self.allreduce_max(&mut z);
     }
 }
 
@@ -227,5 +269,48 @@ mod tests {
     #[should_panic(expected = "at least one participant")]
     fn zero_participants_panics() {
         AllReduceGroup::new(0);
+    }
+
+    #[test]
+    fn agree_is_a_collective_or() {
+        let g = Arc::new(AllReduceGroup::new(3));
+        // One dissenting vote flips everyone.
+        let handles: Vec<_> = (0..3)
+            .map(|k| {
+                let g = Arc::clone(&g);
+                std::thread::spawn(move || {
+                    let unanimous_no = g.agree(false);
+                    let one_yes = g.agree(k == 1);
+                    (unanimous_no, one_yes)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (no, yes) = h.join().unwrap();
+            assert!(!no);
+            assert!(yes);
+        }
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let g = Arc::new(AllReduceGroup::new(4));
+        let arrived = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let g = Arc::clone(&g);
+                let arrived = Arc::clone(&arrived);
+                std::thread::spawn(move || {
+                    arrived.fetch_add(1, Ordering::SeqCst);
+                    g.barrier();
+                    // After the barrier every pre-barrier increment is visible.
+                    arrived.load(Ordering::SeqCst)
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 4);
+        }
     }
 }

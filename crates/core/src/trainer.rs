@@ -21,16 +21,22 @@
 //! barrier is applied and every sparse access pays the CPU host link — so
 //! they are time-starved exactly as measured in Figure 7.
 
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use hetgmp_bigraph::Bigraph;
-use hetgmp_cluster::{CostModel, LinkClass, SimClock, TimeBreakdown, TimeCategory, Topology};
+use hetgmp_cluster::{
+    CostModel, FaultSchedule, LinkClass, SimClock, TimeBreakdown, TimeCategory, Topology,
+    WorkerFaultKind,
+};
 use hetgmp_comms::{AllReduceGroup, TrafficClass, TrafficLedger};
 use hetgmp_data::CtrDataset;
 use hetgmp_embedding::{
-    CachedWorkerEmbedding, EmbeddingWorker, ShardedTable, SparseOpt, StalenessBound,
-    WorkerEmbedding,
+    load_run, run_encoded_len, save_run, CachedWorkerEmbedding, EmbeddingWorker, RunState,
+    ShardedTable, SparseOpt, StalenessBound, WorkerEmbedding, WorkerState,
 };
 use hetgmp_partition::{Partition, PartitionMetrics};
 use hetgmp_telemetry::{
@@ -80,6 +86,17 @@ pub struct TrainerConfig {
     pub hetero_aware_batching: bool,
     /// RNG seed (model init, shuffling).
     pub seed: u64,
+    /// Write a run checkpoint every this many epochs (0 disables
+    /// checkpointing). Requires `checkpoint_dir`.
+    pub checkpoint_every: usize,
+    /// Directory receiving `ckpt-epoch-<N>.hgmr` run-checkpoint files.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume training from this run-checkpoint file: the embedding table
+    /// (values + clocks), dense models, shard cursors and simulated clocks
+    /// are restored and the epoch loop continues after the checkpointed
+    /// epoch. The dataset, topology, strategy and hyper-parameters must
+    /// match the run that wrote the checkpoint.
+    pub resume_from: Option<PathBuf>,
 }
 
 impl Default for TrainerConfig {
@@ -99,6 +116,9 @@ impl Default for TrainerConfig {
             compute_scales: None,
             hetero_aware_batching: false,
             seed: 42,
+            checkpoint_every: 0,
+            checkpoint_dir: None,
+            resume_from: None,
         }
     }
 }
@@ -207,6 +227,24 @@ impl TrainerConfigBuilder {
         self
     }
 
+    /// Checkpoint period in epochs (0 disables).
+    pub fn checkpoint_every(mut self, every: usize) -> Self {
+        self.cfg.checkpoint_every = every;
+        self
+    }
+
+    /// Directory for run checkpoints.
+    pub fn checkpoint_dir(mut self, dir: Option<PathBuf>) -> Self {
+        self.cfg.checkpoint_dir = dir;
+        self
+    }
+
+    /// Run-checkpoint file to resume from.
+    pub fn resume_from(mut self, path: Option<PathBuf>) -> Self {
+        self.cfg.resume_from = path;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<TrainerConfig, HetGmpError> {
         let c = &self.cfg;
@@ -235,6 +273,18 @@ impl TrainerConfigBuilder {
                     "every slowdown factor must be positive and finite",
                 ));
             }
+        }
+        if c.checkpoint_every > 0 && c.checkpoint_dir.is_none() {
+            return Err(HetGmpError::config(
+                "checkpoint_every",
+                "periodic checkpointing requires a checkpoint_dir",
+            ));
+        }
+        if c.checkpoint_dir.is_some() && c.checkpoint_every == 0 {
+            return Err(HetGmpError::config(
+                "checkpoint_dir",
+                "checkpoint_dir is set but checkpoint_every is 0 (checkpointing disabled)",
+            ));
         }
         Ok(self.cfg)
     }
@@ -288,6 +338,9 @@ pub struct TrainResult {
     /// Bounded-async protocol audit summary (`None` unless auditing was
     /// enabled with [`Trainer::with_audit`]).
     pub audit: Option<AuditSummary>,
+    /// Batches whose training loss came back non-finite (NaN/∞). Non-zero
+    /// means the run diverged; the CLI treats it as a data error.
+    pub nonfinite_batches: u64,
 }
 
 /// The distributed trainer for one (dataset, topology, strategy) triple.
@@ -298,6 +351,7 @@ pub struct Trainer<'d> {
     config: TrainerConfig,
     tracer: Option<Arc<TraceCollector>>,
     audit: AuditMode,
+    faults: Option<Arc<FaultSchedule>>,
 }
 
 impl<'d> Trainer<'d> {
@@ -320,6 +374,7 @@ impl<'d> Trainer<'d> {
             config,
             tracer: None,
             audit: AuditMode::Off,
+            faults: None,
         }
     }
 
@@ -338,6 +393,17 @@ impl<'d> Trainer<'d> {
     /// aborts training at the next iteration boundary after a violation.
     pub fn with_audit(mut self, mode: AuditMode) -> Self {
         self.audit = mode;
+        self
+    }
+
+    /// Injects a deterministic fault schedule: workers crash or stall and
+    /// links degrade at the scheduled simulated times. Crash recovery rolls
+    /// the failed worker back to the last checkpoint image and charges the
+    /// restore, replica refresh and replay to its simulated clock as
+    /// `time.fault_secs`. The schedule must cover this trainer's worker
+    /// count.
+    pub fn with_faults(mut self, faults: Arc<FaultSchedule>) -> Self {
+        self.faults = Some(faults);
         self
     }
 
@@ -365,10 +431,34 @@ impl<'d> Trainer<'d> {
     }
 
     /// Runs training and returns the measurements.
+    ///
+    /// # Panics
+    /// Panics on configuration or checkpoint I/O errors; use
+    /// [`Trainer::try_run`] to handle them.
     pub fn run(&self) -> TrainResult {
+        self.try_run()
+            .unwrap_or_else(|e| panic!("training run failed: {e}"))
+    }
+
+    /// Runs training and returns the measurements, or an error when the
+    /// fault schedule does not match the topology or checkpoint I/O fails.
+    pub fn try_run(&self) -> Result<TrainResult, HetGmpError> {
         let cfg = &self.config;
         let n = self.topology.num_workers();
-        let cost = CostModel::new(self.topology.clone());
+        let faults = self
+            .faults
+            .clone()
+            .unwrap_or_else(|| Arc::new(FaultSchedule::empty(n)));
+        if faults.num_workers() != n {
+            return Err(HetGmpError::config(
+                "faults",
+                format!(
+                    "fault schedule covers {} workers but topology has {n}",
+                    faults.num_workers()
+                ),
+            ));
+        }
+        let cost = CostModel::new(self.topology.clone()).with_faults(Arc::clone(&faults));
         // One registry for the whole run: the partitioner records globally,
         // each worker thread records into its own recorder (no hot-path
         // contention), and the final snapshot merges everything.
@@ -462,6 +552,14 @@ impl<'d> Trainer<'d> {
             if let Some(t) = &self.tracer {
                 emb.attach_tracer(Arc::clone(t));
             }
+            // Hooks must survive every construction path (a regression here
+            // once silently dropped the auditor when a cache design rebuilt
+            // its inner worker).
+            debug_assert_eq!(
+                emb.hooks_attached(),
+                (true, auditor.is_some(), self.tracer.is_some()),
+                "telemetry hooks dropped on worker {w}"
+            );
         }
         let mut models: Vec<CtrModel> = (0..n)
             .map(|_| {
@@ -501,6 +599,63 @@ impl<'d> Trainer<'d> {
             .map(|w| SimClock::with_recorder(registry.worker(w)))
             .collect();
         let mut cursors: Vec<usize> = vec![0; n];
+        let mut fault_states: Vec<WorkerFaultState> =
+            (0..n).map(|_| WorkerFaultState::default()).collect();
+        let nonfinite = AtomicU64::new(0);
+        let num_dense = models[0].num_dense_params();
+
+        // ---- Resume ----------------------------------------------------------
+        let mut start_epoch = 1usize;
+        if let Some(path) = &cfg.resume_from {
+            let file = File::open(path).map_err(|e| HetGmpError::io(path.clone(), e))?;
+            let state = load_run(&table, &mut BufReader::new(file))
+                .map_err(|e| e.into_workspace(path.clone()))?;
+            if state.workers.len() != n {
+                return Err(HetGmpError::config(
+                    "resume_from",
+                    format!(
+                        "checkpoint has {} workers but topology has {n}",
+                        state.workers.len()
+                    ),
+                ));
+            }
+            for (w, ws) in state.workers.iter().enumerate() {
+                if ws.dense_params.len() != num_dense {
+                    return Err(HetGmpError::config(
+                        "resume_from",
+                        format!(
+                            "checkpoint dense model has {} parameters but this \
+                             configuration has {num_dense}",
+                            ws.dense_params.len()
+                        ),
+                    ));
+                }
+                models[w].load_params(&ws.dense_params);
+                cursors[w] = ws.cursor as usize;
+                // Seeding the resumed clock is a free forward jump: the time
+                // before the checkpoint was already charged by the original
+                // run.
+                clocks[w].wait_until(ws.sim_time);
+                // Skip fault events the original run already took.
+                let events = faults.worker_faults(w);
+                while fault_states[w].next < events.len()
+                    && events[fault_states[w].next].at <= ws.sim_time
+                {
+                    fault_states[w].next += 1;
+                }
+            }
+            start_epoch = state.epoch as usize + 1;
+        }
+
+        // In-memory image crashes roll back to; refreshed at every
+        // checkpoint save. Only materialised when the schedule can crash.
+        let mut ckpt_image: Option<Arc<CheckpointImage>> = faults
+            .has_crashes()
+            .then(|| Arc::new(CheckpointImage::capture(&table, &clocks, num_dense)));
+
+        let worker_recorders: Vec<Arc<dyn Recorder>> = (0..n)
+            .map(|w| registry.worker(w) as Arc<dyn Recorder>)
+            .collect();
 
         let strategy = &self.strategy;
         let dataset = self.dataset;
@@ -513,24 +668,31 @@ impl<'d> Trainer<'d> {
         let loss_batches_ref = &loss_batches;
         let tracer_ref: Option<&TraceCollector> = self.tracer.as_deref();
         let auditor_ref: Option<&ProtocolAuditor> = auditor.as_deref();
+        let faults_ref: &FaultSchedule = &faults;
+        let nonfinite_ref = &nonfinite;
+        let table_ref = &table;
+        let partition_ref = &partition;
 
         // ---- Epoch loop ------------------------------------------------------
         let mut curve: Vec<EvalPoint> = Vec::with_capacity(cfg.epochs);
         let mut time_to_target: Option<f64> = None;
-        for epoch in 1..=cfg.epochs {
+        for epoch in start_epoch..=cfg.epochs {
             loss_sum_micro.store(0, Ordering::Relaxed);
             loss_batches.store(0, Ordering::Relaxed);
             std::thread::scope(|scope| {
                 // Move disjoint &mut of per-worker state into threads.
-                for (w, ((emb, model), (clock, cursor))) in embeddings
+                for (w, (((emb, model), (clock, cursor)), fstate)) in embeddings
                     .iter_mut()
                     .zip(models.iter_mut())
                     .zip(clocks.iter_mut().zip(cursors.iter_mut()))
+                    .zip(fault_states.iter_mut())
                     .enumerate()
                 {
                     let shard = &shards[w];
                     let compute_scale = compute_scales[w];
                     let batch_size = batch_sizes[w];
+                    let image = ckpt_image.clone();
+                    let recorder = Arc::clone(&worker_recorders[w]);
                     scope.spawn(move || {
                         run_worker_epoch(WorkerEpoch {
                             w,
@@ -557,6 +719,13 @@ impl<'d> Trainer<'d> {
                             batch_size,
                             tracer: tracer_ref,
                             auditor: auditor_ref,
+                            table: table_ref,
+                            partition: partition_ref,
+                            faults: faults_ref,
+                            fstate,
+                            image,
+                            nonfinite: nonfinite_ref,
+                            recorder,
                         });
                     });
                 }
@@ -577,14 +746,83 @@ impl<'d> Trainer<'d> {
                     let mut t = 0.0;
                     for (dst, &bytes) in rep.data_bytes_by_dst.iter().enumerate() {
                         if bytes > 0 {
-                            t += cost.transfer_time(w, dst, bytes);
+                            t += cost.transfer_time_at(w, dst, bytes, clock.now());
                         }
                     }
                     clock.advance(TimeCategory::EmbedComm, t);
                     ledger.record(w, TrafficClass::EmbedData, rep.data_bytes, rep.messages);
-                    ledger.record(w, TrafficClass::KeysClocks, rep.meta_bytes, 0);
+                    ledger.record(w, TrafficClass::KeysClocks, rep.meta_bytes, rep.messages);
                 }
             }
+            // Second pass, after *every* worker has flushed: re-prime local
+            // replicas from the now-final table. This makes the state
+            // entering the next epoch identical to what a checkpoint resume
+            // reconstructs (resumed workers warm-load replicas from the
+            // restored table), so a resumed run replays the uninterrupted
+            // run's math.
+            for (w, (emb, clock)) in embeddings.iter_mut().zip(clocks.iter_mut()).enumerate() {
+                let refreshed = emb.sync_replicas();
+                if refreshed > 0 {
+                    let bytes = refreshed.saturating_mul((cfg.dim * 4) as u64);
+                    clock.advance(TimeCategory::EmbedComm, mean_link_time(w, &cost, bytes));
+                    ledger.record(w, TrafficClass::EmbedData, bytes, refreshed);
+                }
+            }
+
+            // ---- Periodic checkpoint ----------------------------------------
+            // Written at the epoch boundary, after the flush above: nothing is
+            // pending, so the file captures an exact, resumable state.
+            if cfg.checkpoint_every > 0 && epoch % cfg.checkpoint_every == 0 {
+                let dir = cfg
+                    .checkpoint_dir
+                    .as_ref()
+                    .expect("validated by TrainerBuilder");
+                std::fs::create_dir_all(dir).map_err(|e| HetGmpError::io(dir.clone(), e))?;
+                let state = RunState {
+                    epoch: epoch as u64,
+                    workers: (0..n)
+                        .map(|w| WorkerState {
+                            sim_time: clocks[w].now(),
+                            cursor: cursors[w] as u64,
+                            dense_params: models[w].flatten_params(),
+                        })
+                        .collect(),
+                };
+                let path = dir.join(format!("ckpt-epoch-{epoch}.hgmr"));
+                let file = File::create(&path).map_err(|e| HetGmpError::io(path.clone(), e))?;
+                let mut writer = BufWriter::new(file);
+                let bytes = save_run(&table, &state, &mut writer)
+                    .map_err(|e| e.into_workspace(path.clone()))?;
+                // Every worker streams its shard of the image over the host
+                // link in parallel; charge each one its share.
+                let io_t =
+                    cost.link_transfer_time(LinkClass::HostPcie, bytes / n.max(1) as u64);
+                let ckpt_start = clocks.iter().map(|c| c.now()).fold(0.0, f64::max);
+                for clock in clocks.iter_mut() {
+                    clock.advance(TimeCategory::HostIo, io_t);
+                }
+                registry.global().counter_add(names::CHECKPOINT_SAVES, 1);
+                registry.global().counter_add(names::CHECKPOINT_BYTES, bytes);
+                if let Some(t) = &self.tracer {
+                    t.driver_span(
+                        names::TRACE_CHECKPOINT,
+                        ckpt_start,
+                        io_t,
+                        &[
+                            ("epoch", Json::U64(epoch as u64)),
+                            ("bytes", Json::U64(bytes)),
+                        ],
+                    );
+                }
+                // Future crashes roll back to this image instead of the
+                // start-of-run one.
+                if ckpt_image.is_some() {
+                    ckpt_image = Some(Arc::new(CheckpointImage::capture(
+                        &table, &clocks, num_dense,
+                    )));
+                }
+            }
+
             let sim_time = clocks.iter().map(|c| c.now()).fold(0.0, f64::max);
             let (auc_v, ll) = self.evaluate(&mut models, &table, &split.test);
             let batches = loss_batches.load(Ordering::Relaxed).max(1);
@@ -620,7 +858,7 @@ impl<'d> Trainer<'d> {
             .counter_add(names::TRAIN_SAMPLES, samples_total);
         registry.global().gauge_set(names::TRAIN_SIM_TIME, sim_time);
         registry.global().gauge_set(names::TRAIN_AUC, final_auc);
-        TrainResult {
+        Ok(TrainResult {
             strategy: self.strategy.name.clone(),
             final_auc,
             sim_time,
@@ -641,8 +879,9 @@ impl<'d> Trainer<'d> {
             partition_metrics,
             telemetry: registry.snapshot(),
             audit: auditor.as_ref().map(|a| a.summary()),
+            nonfinite_batches: nonfinite.load(Ordering::Relaxed),
             curve,
-        }
+        })
     }
 
     /// Evaluates test AUC/log-loss with the mean dense model and the fresh
@@ -723,6 +962,72 @@ struct WorkerEpoch<'a, 'b, 'd> {
     batch_size: usize,
     tracer: Option<&'a TraceCollector>,
     auditor: Option<&'a ProtocolAuditor>,
+    table: &'a ShardedTable,
+    partition: &'a Partition,
+    faults: &'a FaultSchedule,
+    fstate: &'a mut WorkerFaultState,
+    image: Option<Arc<CheckpointImage>>,
+    nonfinite: &'a AtomicU64,
+    recorder: Arc<dyn Recorder>,
+}
+
+/// Per-worker fault-injection cursor and accumulated downtime, persistent
+/// across epochs (the schedule is consumed once per run).
+#[derive(Debug, Default)]
+struct WorkerFaultState {
+    /// Index of the next unconsumed event in `faults.worker_faults(w)`.
+    next: usize,
+    /// Total stall seconds charged so far (gauge source).
+    stall_secs: f64,
+    /// Total crash-recovery seconds charged so far (gauge source).
+    recovery_secs: f64,
+}
+
+/// In-memory copy of the last checkpoint: per-row values + clocks of the
+/// whole embedding table and each worker's simulated time at capture. Crash
+/// recovery rolls the crashed worker's primary rows back to this image.
+/// Dense parameters are *not* stored: a recovering worker copies them from
+/// any live peer (replicated under BSP), which is charged but needs no data.
+struct CheckpointImage {
+    clocks: Vec<u64>,
+    values: Vec<f32>,
+    /// Per-row Adagrad accumulators at capture time (`None` if the table
+    /// held no optimizer state yet, i.e. the accumulators were all zero).
+    /// Rollback must restore these alongside the values: an accumulator
+    /// that kept post-crash curvature would shrink the replayed steps and
+    /// diverge from the uninterrupted run.
+    accums: Option<Vec<f32>>,
+    sim_times: Vec<f64>,
+    /// Serialized size of the equivalent on-disk checkpoint; used to charge
+    /// restore transfer time.
+    bytes: u64,
+}
+
+impl CheckpointImage {
+    fn capture(table: &ShardedTable, clocks: &[SimClock], dense_len: usize) -> Self {
+        let rows = table.num_rows();
+        let dim = table.dim();
+        let mut row_clocks = Vec::with_capacity(rows);
+        let mut values = vec![0.0f32; rows * dim];
+        for r in 0..rows as u32 {
+            let c = table.read_row(r, &mut values[r as usize * dim..(r as usize + 1) * dim]);
+            row_clocks.push(c);
+        }
+        let accums = table.has_optimizer_state().then(|| {
+            let mut a = vec![0.0f32; rows * dim];
+            for r in 0..rows as u32 {
+                table.read_accum(r, &mut a[r as usize * dim..(r as usize + 1) * dim]);
+            }
+            a
+        });
+        Self {
+            clocks: row_clocks,
+            values,
+            accums,
+            sim_times: clocks.iter().map(|c| c.now()).collect(),
+            bytes: run_encoded_len(table, clocks.len(), dense_len),
+        }
+    }
 }
 
 fn run_worker_epoch(ctx: WorkerEpoch<'_, '_, '_>) {
@@ -751,6 +1056,13 @@ fn run_worker_epoch(ctx: WorkerEpoch<'_, '_, '_>) {
         batch_size,
         tracer,
         auditor,
+        table,
+        partition,
+        faults,
+        fstate,
+        image,
+        nonfinite,
+        recorder,
     } = ctx;
     let dim = cfg.dim;
     let fields = dataset.num_fields;
@@ -759,6 +1071,119 @@ fn run_worker_epoch(ctx: WorkerEpoch<'_, '_, '_>) {
     let epoch_start = clock.now();
 
     for _ in 0..iters {
+        // ---- Injected faults (iteration boundary). -------------------------
+        // Faults fire inside the affected worker's own thread, between
+        // collectives: the worker never abandons a rendezvous, so peers are
+        // never stranded — they simply absorb the downtime through the BSP
+        // simulated-time barrier below.
+        while let Some(f) = faults.worker_faults(w).get(fstate.next) {
+            if f.at > clock.now() {
+                break;
+            }
+            fstate.next += 1;
+            match f.kind {
+                WorkerFaultKind::Stall { duration } => {
+                    let start = clock.now();
+                    clock.advance(TimeCategory::Fault, duration);
+                    fstate.stall_secs += duration;
+                    recorder.counter_add(names::FAULT_STALLS, 1);
+                    recorder.gauge_set(names::FAULT_STALL_SECS, fstate.stall_secs);
+                    if let Some(t) = tracer {
+                        t.worker_span(
+                            w,
+                            names::TRACE_FAULT_STALL,
+                            start,
+                            duration,
+                            &[("duration_secs", Json::F64(duration))],
+                        );
+                    }
+                }
+                WorkerFaultKind::Crash => {
+                    let crash_time = clock.now();
+                    if let Some(t) = tracer {
+                        t.set_worker_time(w, crash_time);
+                        t.worker_instant(w, names::TRACE_FAULT_CRASH, &[]);
+                    }
+                    let image = image
+                        .as_deref()
+                        .expect("crash schedules always capture a checkpoint image");
+                    // The device's state is gone. Roll this worker's primary
+                    // rows back to the checkpoint image (clocks move
+                    // backwards; peers' saturating gap math reads them as
+                    // fresh, so the staleness invariant holds), then discard
+                    // worker-local pendings and re-prime replicas.
+                    let dim = table.dim();
+                    let zero_accum = vec![0.0f32; dim];
+                    let roll_accums = table.has_optimizer_state();
+                    let mut lost = 0u64;
+                    let mut rolled = 0u64;
+                    for e in 0..table.num_rows() as u32 {
+                        if partition.primary_of(e) != w as u32 {
+                            continue;
+                        }
+                        let cur = table.clock(e);
+                        let ck = image.clocks[e as usize];
+                        if cur != ck {
+                            table.restore_row(
+                                e,
+                                &image.values[e as usize * dim..(e as usize + 1) * dim],
+                                ck,
+                            );
+                            // Optimizer state rolls back with the values it
+                            // produced (a `None` capture means it was zero).
+                            if roll_accums {
+                                table.restore_accum(
+                                    e,
+                                    image.accums.as_ref().map_or(&zero_accum[..], |a| {
+                                        &a[e as usize * dim..(e as usize + 1) * dim]
+                                    }),
+                                );
+                            }
+                            rolled += 1;
+                            lost += cur.saturating_sub(ck);
+                        }
+                    }
+                    let refreshed = emb.recover_from_crash();
+                    // Recovery cost: restart, restore this worker's shard of
+                    // the image over the host link, re-fetch refreshed
+                    // replicas from peers, and replay the work done since the
+                    // image was captured.
+                    let n_workers = cost.topology.num_workers() as u64;
+                    let restore_t = cost
+                        .link_transfer_time(LinkClass::HostPcie, image.bytes / n_workers.max(1));
+                    let refresh_t =
+                        mean_link_time(w, cost, refreshed.saturating_mul((dim * 4) as u64));
+                    let replay_t = (crash_time - image.sim_times[w]).max(0.0);
+                    let recovery_t =
+                        faults.restart_overhead() + restore_t + refresh_t + replay_t;
+                    clock.advance(TimeCategory::Fault, recovery_t);
+                    fstate.recovery_secs += recovery_t;
+                    recorder.counter_add(names::FAULT_CRASHES, 1);
+                    recorder.counter_add(names::FAULT_LOST_UPDATES, lost);
+                    recorder.counter_add(names::FAULT_RESTORED_ROWS, rolled + refreshed);
+                    recorder.gauge_set(names::FAULT_RECOVERY_SECS, fstate.recovery_secs);
+                    if let Some(t) = tracer {
+                        t.worker_span(
+                            w,
+                            names::TRACE_FAULT_RECOVERY,
+                            crash_time,
+                            recovery_t,
+                            &[
+                                ("lost_updates", Json::U64(lost)),
+                                ("restored_rows", Json::U64(rolled + refreshed)),
+                            ],
+                        );
+                    }
+                }
+            }
+        }
+
+        // Phase fence: a crash rollback must be fully visible before any
+        // peer reads the shared table this iteration, or same-seed runs
+        // diverge on the rollback/read race. Pure thread rendezvous — no
+        // simulated time, no data.
+        group.barrier();
+
         // Publish the worker's simulated position so instants emitted deeper
         // in the stack (protocol decisions, traffic charges) land at this
         // batch's timestamp on the timeline.
@@ -786,6 +1211,7 @@ fn run_worker_epoch(ctx: WorkerEpoch<'_, '_, '_>) {
         let actual = sample_slices.len();
 
         let mut read_report = Default::default();
+        let mut grad_input: Option<Matrix> = None;
         if actual > 0 {
             // ---- Embedding read under bounded asynchrony. ------------------
             let mut flat = vec![0.0f32; actual * fields * dim];
@@ -799,15 +1225,46 @@ fn run_worker_epoch(ctx: WorkerEpoch<'_, '_, '_>) {
                 .map(|&i| dataset.label(i as usize))
                 .collect();
             let (batch_loss, grad_logits) = bce_with_logits(&logits, &labels);
-            loss_sum_micro.fetch_add((batch_loss.max(0.0) as f64 * 1e6) as u64, Ordering::Relaxed);
-            loss_batches.fetch_add(1, Ordering::Relaxed);
+            if batch_loss.is_finite() {
+                loss_sum_micro
+                    .fetch_add((batch_loss.max(0.0) as f64 * 1e6) as u64, Ordering::Relaxed);
+                loss_batches.fetch_add(1, Ordering::Relaxed);
+            } else {
+                // `max(0.0)` on a NaN would silently yield 0.0 and bury the
+                // divergence in the epoch's mean loss; count it instead.
+                nonfinite.fetch_add(1, Ordering::Relaxed);
+                recorder.counter_add(names::TRAIN_LOSS_NONFINITE, 1);
+            }
             model.zero_grad();
-            let grad_input = model.backward(&grad_logits);
+            grad_input = Some(model.backward(&grad_logits));
+        }
 
-            // ---- Embedding gradient write-back. ----------------------------
-            let up_report =
-                emb.apply_gradients(&sample_slices, grad_input.data(), &cfg.embed_opt);
+        // Phase fence: every worker's reads drain before any gradient lands
+        // in the shared table, so a read never races a peer's same-iteration
+        // write-back. The write-backs themselves then run in rank order, one
+        // worker per sub-round: concurrent updates to a shared row do not
+        // commute under Adagrad (the g² accumulator changes the next step),
+        // so a canonical serialization is what makes same-seed runs — and
+        // checkpoint resumes — reproducible. None of this touches simulated
+        // time; it only pins which of the protocol's legal interleavings the
+        // host threads realize.
+        group.barrier();
+        let mut up_report = None;
+        for rank in 0..group.num_participants() {
+            if rank == w {
+                if let Some(grad_input) = grad_input.take() {
+                    // ---- Embedding gradient write-back. --------------------
+                    up_report = Some(emb.apply_gradients(
+                        &sample_slices,
+                        grad_input.data(),
+                        &cfg.embed_opt,
+                    ));
+                }
+            }
+            group.barrier();
+        }
 
+        if let Some(up_report) = up_report {
             // ---- Charge simulated time. ------------------------------------
             // The straggler factor scales arithmetic throughput, not the
             // fixed launch overhead (a slow accelerator still dispatches
@@ -879,7 +1336,7 @@ fn run_worker_epoch(ctx: WorkerEpoch<'_, '_, '_>) {
 
         match strategy.dense_sync {
             DenseSync::AllReduce => {
-                let t = cost.allreduce_time(dense_bytes);
+                let t = cost.allreduce_time_at(dense_bytes, clock.now());
                 if let Some(tr) = tracer {
                     // The ring's bottleneck hop names the track.
                     let n = topology.num_workers();
@@ -942,9 +1399,7 @@ fn run_worker_epoch(ctx: WorkerEpoch<'_, '_, '_>) {
         // every worker leaves at the same iteration boundary (a unilateral
         // break would strand its peers in the next collective).
         if let Some(a) = auditor {
-            let mut flag = [if a.is_tripped() { 1.0f32 } else { 0.0 }];
-            group.allreduce_max(&mut flag);
-            if flag[0] > 0.0 {
+            if group.agree(a.is_tripped()) {
                 break;
             }
         }
@@ -1025,7 +1480,7 @@ fn charge_embedding_comm(
             let mut t = 0.0;
             for (src, &bytes) in read.data_bytes_by_src.iter().enumerate() {
                 if bytes > 0 {
-                    let dt = cost.transfer_time(w, src, bytes);
+                    let dt = cost.transfer_time_at(w, src, bytes, start_secs + t);
                     if let Some(tr) = tracer {
                         tr.link_span(
                             cost.topology.link(w, src).label(),
@@ -1045,7 +1500,7 @@ fn charge_embedding_comm(
             }
             for (dst, &bytes) in up.data_bytes_by_dst.iter().enumerate() {
                 if bytes > 0 {
-                    let dt = cost.transfer_time(w, dst, bytes);
+                    let dt = cost.transfer_time_at(w, dst, bytes, start_secs + t);
                     if let Some(tr) = tracer {
                         tr.link_span(
                             cost.topology.link(w, dst).label(),
@@ -1388,5 +1843,166 @@ mod tests {
         assert!(r.time_to_target.is_some(), "target never reached");
         // Early stop: fewer curve points than epochs.
         assert!(r.curve.len() <= 8);
+    }
+
+    #[test]
+    fn builder_validates_checkpoint_fields() {
+        // Period without a directory (and vice versa) is a config error.
+        let err = TrainerConfig::builder()
+            .checkpoint_every(2)
+            .build()
+            .unwrap_err();
+        assert_eq!(err.exit_code(), 78, "{err}");
+        assert!(TrainerConfig::builder()
+            .checkpoint_dir(Some(PathBuf::from("/tmp/ckpts")))
+            .build()
+            .is_err());
+        assert!(TrainerConfig::builder()
+            .checkpoint_every(2)
+            .checkpoint_dir(Some(PathBuf::from("/tmp/ckpts")))
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn fault_schedule_must_match_topology() {
+        let data = tiny_dataset();
+        let faults = Arc::new(FaultSchedule::empty(3));
+        let err = Trainer::new(
+            &data,
+            Topology::pcie_island(2),
+            StrategyConfig::het_gmp(100),
+            fast_config(),
+        )
+        .with_faults(faults)
+        .try_run()
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 78, "{err}");
+    }
+
+    #[test]
+    fn normal_run_has_no_nonfinite_batches() {
+        let data = tiny_dataset();
+        let r = Trainer::new(
+            &data,
+            Topology::pcie_island(2),
+            StrategyConfig::het_gmp(100),
+            fast_config(),
+        )
+        .run();
+        assert_eq!(r.nonfinite_batches, 0);
+    }
+
+    #[test]
+    fn faulted_bsp_run_recovers_and_audits_clean() {
+        use hetgmp_telemetry::AuditMode;
+        let data = tiny_dataset();
+        // One stall on worker 0 at t=0 and one crash on worker 1 shortly
+        // after training starts, under the strictest protocol setting
+        // (BSP, strict audit): the run must complete its full curve with
+        // zero violations, and the downtime must appear as fault time.
+        let faults = Arc::new(
+            FaultSchedule::parse("stall@0:0.0:0.003; crash@1:0.000001", 2, 42).unwrap(),
+        );
+        let r = Trainer::new(
+            &data,
+            Topology::pcie_island(2),
+            StrategyConfig::het_gmp(0),
+            fast_config(),
+        )
+        .with_audit(AuditMode::Strict)
+        .with_faults(faults)
+        .run();
+        let audit = r.audit.expect("audit enabled");
+        assert_eq!(audit.total_violations(), 0, "{}", audit.render());
+        assert!(audit.strict_failure.is_none());
+        assert_eq!(r.curve.len(), 2, "faulted run did not complete");
+        assert!(r.breakdown.fault > 0.0, "no fault time charged");
+        assert_eq!(r.telemetry.counter(names::FAULT_CRASHES), 1);
+        assert_eq!(r.telemetry.counter(names::FAULT_STALLS), 1);
+        assert!(r.telemetry.gauge(names::FAULT_RECOVERY_SECS).unwrap_or(0.0) > 0.0);
+        // Faults slow the run down but never change the math's correctness.
+        assert!(r.final_auc > 0.55, "AUC collapsed under faults: {}", r.final_auc);
+    }
+
+    #[test]
+    fn faulted_run_emits_fault_trace_events() {
+        use hetgmp_telemetry::{TraceCollector, TraceLevel, TraceTrack};
+        let data = tiny_dataset();
+        let tracer = Arc::new(TraceCollector::new(2, TraceLevel::Sync));
+        let faults = Arc::new(
+            FaultSchedule::parse("stall@0:0.0:0.002; crash@1:0.000001", 2, 42).unwrap(),
+        );
+        Trainer::new(
+            &data,
+            Topology::pcie_island(2),
+            StrategyConfig::het_gmp(100),
+            fast_config(),
+        )
+        .with_tracer(Arc::clone(&tracer))
+        .with_faults(faults)
+        .run();
+        let events = tracer.events();
+        assert!(events
+            .iter()
+            .any(|e| e.track == TraceTrack::Worker(0) && e.name == names::TRACE_FAULT_STALL));
+        assert!(events
+            .iter()
+            .any(|e| e.track == TraceTrack::Worker(1) && e.name == names::TRACE_FAULT_CRASH));
+        assert!(events
+            .iter()
+            .any(|e| e.track == TraceTrack::Worker(1) && e.name == names::TRACE_FAULT_RECOVERY));
+    }
+
+    #[test]
+    fn checkpointed_run_writes_resumable_files() {
+        let dir = std::env::temp_dir().join(format!(
+            "hetgmp-trainer-ckpt-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let data = tiny_dataset();
+        let cfg = TrainerConfig {
+            checkpoint_every: 1,
+            checkpoint_dir: Some(dir.clone()),
+            ..fast_config()
+        };
+        let r = Trainer::new(
+            &data,
+            Topology::pcie_island(2),
+            StrategyConfig::het_gmp(0),
+            cfg,
+        )
+        .run();
+        assert_eq!(r.telemetry.counter(names::CHECKPOINT_SAVES), 2);
+        assert!(r.telemetry.counter(names::CHECKPOINT_BYTES) > 0);
+        for epoch in 1..=2 {
+            let path = dir.join(format!("ckpt-epoch-{epoch}.hgmr"));
+            assert!(path.is_file(), "missing {}", path.display());
+        }
+        // Resume from epoch 1's checkpoint: the resumed run replays epoch 2
+        // from identical state (the epoch barrier re-primes replicas to
+        // exactly what a resume warm-loads, and the intra-iteration phase
+        // fences plus order-independent AllReduce make the math replayable),
+        // so the final AUC must agree within the acceptance tolerance.
+        let resumed = Trainer::new(
+            &data,
+            Topology::pcie_island(2),
+            StrategyConfig::het_gmp(0),
+            TrainerConfig {
+                resume_from: Some(dir.join("ckpt-epoch-1.hgmr")),
+                ..fast_config()
+            },
+        )
+        .run();
+        assert_eq!(resumed.curve.len(), 1, "resume should only run epoch 2");
+        assert_eq!(resumed.curve[0].epoch, 2);
+        assert!(
+            (resumed.final_auc - r.final_auc).abs() < 0.01,
+            "resumed {} vs uninterrupted {}",
+            resumed.final_auc,
+            r.final_auc
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -87,6 +87,30 @@ impl<'a> CachedWorkerEmbedding<'a> {
         self.cache.len()
     }
 
+    /// Crash recovery: re-primes every cached row from the authoritative
+    /// table (the dynamic cache holds no deferred gradients — write-backs
+    /// are eager — so nothing is lost, but cached values may predate a
+    /// table rollback). Returns the number of rows re-fetched.
+    pub fn recover_from_crash(&mut self) -> u64 {
+        let dim = self.table.dim();
+        let mut buf = vec![0.0f32; dim];
+        let ids = self.cache.cached_ids();
+        for &e in &ids {
+            let clock = self.table.read_row(e, &mut buf);
+            self.cache.refresh(e, &buf, clock);
+        }
+        ids.len() as u64
+    }
+
+    /// Which telemetry hooks are attached: `(recorder, auditor, tracer)`.
+    pub fn hooks_attached(&self) -> (bool, bool, bool) {
+        (
+            self.recorder.is_some(),
+            self.auditor.is_some(),
+            self.tracer.is_some(),
+        )
+    }
+
     /// Reads a batch under intra-embedding bounded staleness with dynamic
     /// admission.
     pub fn read_batch(&mut self, samples: &[&[u32]], out: &mut [f32]) -> ReadReport {

@@ -46,7 +46,10 @@ pub mod worker;
 pub use cache::SecondaryCache;
 pub use cached_worker::CachedWorkerEmbedding;
 pub use capacity::CapacityPlan;
-pub use checkpoint::{load_table, save_table, CheckpointError};
+pub use checkpoint::{
+    load_run, load_table, run_encoded_len, save_run, save_table, table_encoded_len,
+    CheckpointError, RunState, WorkerState,
+};
 pub use lfu::LfuCache;
 pub use report::{ReadReport, UpdateReport};
 pub use sparse_optim::SparseOpt;
@@ -69,6 +72,16 @@ pub trait EmbeddingWorker: Send {
     ) -> UpdateReport;
     /// Flushes any deferred state (epoch/evaluation barriers).
     fn flush_all(&mut self, opt: &SparseOpt) -> UpdateReport;
+    /// Refreshes every worker-local replica / cached row from the
+    /// authoritative table. Called at epoch barriers *after* all workers
+    /// have flushed, so the in-memory state entering the next epoch is
+    /// exactly what a checkpoint resume reconstructs (resumed runs warm-
+    /// load replicas from the restored table). Returns the number of rows
+    /// re-fetched; the caller charges their transfer. Default is a no-op
+    /// for implementations that hold no local copies.
+    fn sync_replicas(&mut self) -> u64 {
+        0
+    }
     /// Attaches a telemetry recorder for `embedding.*` metrics. Default is a
     /// no-op so trivial implementations stay trivial.
     fn attach_recorder(&mut self, recorder: std::sync::Arc<dyn hetgmp_telemetry::Recorder>) {
@@ -83,6 +96,22 @@ pub trait EmbeddingWorker: Send {
     /// Default is a no-op.
     fn attach_tracer(&mut self, tracer: std::sync::Arc<hetgmp_telemetry::TraceCollector>) {
         let _ = tracer;
+    }
+    /// Discards any state lost with the worker's device (pending deferred
+    /// gradients, stale replicas) and re-primes local replicas from the
+    /// authoritative table, as crash recovery does after the table has been
+    /// rolled back to a checkpoint. Returns the number of rows re-fetched
+    /// (the caller charges their transfer to the simulated clock). Default
+    /// is a no-op for implementations that hold no worker-local state.
+    fn recover_from_crash(&mut self) -> u64 {
+        0
+    }
+    /// Reports which telemetry hooks are attached as
+    /// `(recorder, auditor, tracer)` — used by debug assertions to verify
+    /// that hooks survive every construction/injection path. Default claims
+    /// none.
+    fn hooks_attached(&self) -> (bool, bool, bool) {
+        (false, false, false)
     }
 }
 
@@ -101,6 +130,9 @@ impl EmbeddingWorker for WorkerEmbedding<'_> {
     fn flush_all(&mut self, opt: &SparseOpt) -> UpdateReport {
         WorkerEmbedding::flush_all(self, opt)
     }
+    fn sync_replicas(&mut self) -> u64 {
+        WorkerEmbedding::sync_all(self) as u64
+    }
     fn attach_recorder(&mut self, recorder: std::sync::Arc<dyn hetgmp_telemetry::Recorder>) {
         WorkerEmbedding::attach_recorder(self, recorder)
     }
@@ -109,6 +141,12 @@ impl EmbeddingWorker for WorkerEmbedding<'_> {
     }
     fn attach_tracer(&mut self, tracer: std::sync::Arc<hetgmp_telemetry::TraceCollector>) {
         WorkerEmbedding::attach_tracer(self, tracer)
+    }
+    fn recover_from_crash(&mut self) -> u64 {
+        WorkerEmbedding::recover_from_crash(self)
+    }
+    fn hooks_attached(&self) -> (bool, bool, bool) {
+        WorkerEmbedding::hooks_attached(self)
     }
 }
 
@@ -128,6 +166,11 @@ impl EmbeddingWorker for CachedWorkerEmbedding<'_> {
         // Dynamic caching writes back eagerly; nothing is deferred.
         UpdateReport::default()
     }
+    fn sync_replicas(&mut self) -> u64 {
+        // Same mechanics as crash recovery: the dynamic cache defers
+        // nothing, so "recovery" is exactly a full cached-row refresh.
+        CachedWorkerEmbedding::recover_from_crash(self)
+    }
     fn attach_recorder(&mut self, recorder: std::sync::Arc<dyn hetgmp_telemetry::Recorder>) {
         CachedWorkerEmbedding::attach_recorder(self, recorder)
     }
@@ -136,5 +179,11 @@ impl EmbeddingWorker for CachedWorkerEmbedding<'_> {
     }
     fn attach_tracer(&mut self, tracer: std::sync::Arc<hetgmp_telemetry::TraceCollector>) {
         CachedWorkerEmbedding::attach_tracer(self, tracer)
+    }
+    fn recover_from_crash(&mut self) -> u64 {
+        CachedWorkerEmbedding::recover_from_crash(self)
+    }
+    fn hooks_attached(&self) -> (bool, bool, bool) {
+        CachedWorkerEmbedding::hooks_attached(self)
     }
 }

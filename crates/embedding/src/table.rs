@@ -144,6 +144,62 @@ impl ShardedTable {
         guard.data[slot..slot + self.dim].copy_from_slice(values);
     }
 
+    /// Overwrites `row` with explicit values *and* clock — checkpoint
+    /// restore and crash-recovery rollback, where the row must rejoin the
+    /// protocol exactly as it was saved. Unlike [`ShardedTable::write_row`],
+    /// the stored clock replaces the current one (it may move backwards:
+    /// rolling back lost updates shrinks the clock, and staleness gaps are
+    /// computed with saturating subtraction precisely so replicas that
+    /// observed the lost updates read as "fresh", not as violations).
+    pub fn restore_row(&self, row: u32, values: &[f32], clock: u64) {
+        self.write_row(row, values);
+        self.clocks[row as usize].store(clock, Ordering::Release);
+    }
+
+    /// True if any shard holds allocated optimizer (Adagrad) state.
+    pub fn has_optimizer_state(&self) -> bool {
+        self.shards.iter().any(|s| s.read().accum.is_some())
+    }
+
+    /// Reads `row`'s Adagrad accumulator into `out`. Returns `false` (and
+    /// zero-fills `out`) if the row's shard has never taken an Adagrad
+    /// update — the accumulator is implicitly zero.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != dim` or `row` out of range.
+    pub fn read_accum(&self, row: u32, out: &mut [f32]) -> bool {
+        assert_eq!(out.len(), self.dim, "output buffer length != dim");
+        assert!((row as usize) < self.num_rows, "row {row} out of range");
+        let (shard, slot) = self.locate(row);
+        let guard = self.shards[shard].read();
+        match &guard.accum {
+            Some(a) => {
+                out.copy_from_slice(&a[slot..slot + self.dim]);
+                true
+            }
+            None => {
+                out.fill(0.0);
+                false
+            }
+        }
+    }
+
+    /// Overwrites `row`'s Adagrad accumulator, allocating shard state as
+    /// needed (checkpoint restore and crash rollback: optimizer state must
+    /// move with the values it produced, or a restored Adagrad run re-takes
+    /// the early large steps and diverges from the uninterrupted one).
+    pub fn restore_accum(&self, row: u32, values: &[f32]) {
+        assert_eq!(values.len(), self.dim, "values length != dim");
+        assert!((row as usize) < self.num_rows, "row {row} out of range");
+        let (shard, slot) = self.locate(row);
+        let mut guard = self.shards[shard].write();
+        if guard.accum.is_none() {
+            guard.accum = Some(vec![0.0; guard.data.len()]);
+        }
+        let accum = guard.accum.as_mut().expect("accumulator allocated above");
+        accum[slot..slot + self.dim].copy_from_slice(values);
+    }
+
     /// Sum of all clocks — total updates applied to the table.
     pub fn total_updates(&self) -> u64 {
         self.clocks
@@ -223,6 +279,21 @@ mod tests {
         t.write_row(1, &[7.0, 8.0]);
         let mut row = vec![0.0; 2];
         assert_eq!(t.read_row(1, &mut row), 0);
+        assert_eq!(row, vec![7.0, 8.0]);
+    }
+
+    #[test]
+    fn restore_row_sets_values_and_clock() {
+        let t = ShardedTable::new(4, 2, 0.0, 9);
+        let opt = SparseOpt::Sgd { lr: 0.1 };
+        for _ in 0..5 {
+            t.apply_grad(1, &[1.0, 1.0], &opt);
+        }
+        assert_eq!(t.clock(1), 5);
+        // Roll back to a checkpointed state: clock may move backwards.
+        t.restore_row(1, &[7.0, 8.0], 2);
+        let mut row = vec![0.0; 2];
+        assert_eq!(t.read_row(1, &mut row), 2);
         assert_eq!(row, vec![7.0, 8.0]);
     }
 

@@ -568,6 +568,34 @@ impl<'a> WorkerEmbedding<'a> {
         }
         ids.len()
     }
+
+    /// Crash recovery: pending deferred gradients lived in (simulated)
+    /// device memory and die with the worker — they are *discarded*, not
+    /// flushed — then every secondary replica is re-primed from the
+    /// authoritative table (which the trainer has already rolled back to
+    /// the checkpoint). Returns the number of rows re-fetched.
+    pub fn recover_from_crash(&mut self) -> u64 {
+        let dim = self.table.dim();
+        let mut discard = vec![0.0f32; dim];
+        for e in self.cache.rows_with_pending() {
+            self.cache.take_pending(e, &mut discard);
+            self.cache.note_flush(e);
+        }
+        self.pending_rows = 0;
+        if let Some(r) = &self.recorder {
+            r.gauge_set(names::EMBED_PENDING_ROWS, 0.0);
+        }
+        self.sync_all() as u64
+    }
+
+    /// Which telemetry hooks are attached: `(recorder, auditor, tracer)`.
+    pub fn hooks_attached(&self) -> (bool, bool, bool) {
+        (
+            self.recorder.is_some(),
+            self.auditor.is_some(),
+            self.tracer.is_some(),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -863,6 +891,50 @@ mod tests {
         assert_eq!(r.intra_syncs, 1);
         // Value includes all four updates: −0.4.
         assert!((out[0] + 0.4).abs() < 1e-6, "got {}", out[0]);
+    }
+
+    #[test]
+    fn recover_from_crash_discards_pending_and_refreshes() {
+        let table = ShardedTable::new(4, 2, 0.0, 1);
+        let part = setup(&table);
+        let freq = freq4();
+        let mut w0 =
+            WorkerEmbedding::new(0, &table, &part, &freq, StalenessBound::Bounded(100));
+        let samples: Vec<&[u32]> = vec![&[2]];
+        let grads = vec![1.0, 0.0];
+        let opt = SparseOpt::sgd(0.1);
+        // Two deferred updates die with the "device"; a peer's update lands
+        // at the primary.
+        w0.apply_gradients(&samples, &grads, &opt);
+        w0.apply_gradients(&samples, &grads, &opt);
+        table.apply_grad(2, &[1.0, 0.0], &opt);
+        let refreshed = w0.recover_from_crash();
+        assert_eq!(refreshed, 1); // one secondary replica re-primed
+        // The discarded gradients never reach the primary...
+        assert_eq!(table.clock(2), 1);
+        // ...and the local replica now mirrors the primary exactly.
+        let mut out = vec![0.0; 2];
+        let r = w0.read_batch(&samples, &mut out);
+        assert_eq!(r.local_fresh, 1);
+        let mut primary = vec![0.0; 2];
+        table.read_row(2, &mut primary);
+        assert_eq!(out, primary);
+        // Nothing pending remains.
+        assert_eq!(w0.flush_all(&opt).remote_writebacks, 0);
+    }
+
+    #[test]
+    fn hooks_attached_reports_truthfully() {
+        let table = ShardedTable::new(4, 2, 0.0, 1);
+        let part = setup(&table);
+        let freq = freq4();
+        let mut w0 = WorkerEmbedding::new(0, &table, &part, &freq, StalenessBound::Bounded(1));
+        assert_eq!(w0.hooks_attached(), (false, false, false));
+        w0.attach_auditor(Arc::new(ProtocolAuditor::new(
+            f64::INFINITY,
+            hetgmp_telemetry::AuditMode::Count,
+        )));
+        assert_eq!(w0.hooks_attached(), (false, true, false));
     }
 
     #[test]

@@ -82,11 +82,29 @@ impl HybridPartitioner {
     /// a different configuration. Used when the topology supplies the
     /// weight matrix at partition time.
     pub fn reconfigured(&self, config: HybridConfig) -> Self {
-        Self {
+        let next = Self {
             config,
             recorder: self.recorder.clone(),
             tracer: self.tracer.clone(),
-        }
+        };
+        // Telemetry hooks must survive reconfiguration: a previous rewrite
+        // rebuilt the partitioner here and silently dropped them.
+        debug_assert_eq!(
+            (next.has_recorder(), next.has_tracer()),
+            (self.has_recorder(), self.has_tracer()),
+            "reconfigured() dropped telemetry hooks"
+        );
+        next
+    }
+
+    /// Whether a telemetry recorder is attached (hook-survival assertions).
+    pub fn has_recorder(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Whether a trace collector is attached (hook-survival assertions).
+    pub fn has_tracer(&self) -> bool {
+        self.tracer.is_some()
     }
 
     /// Attaches a telemetry recorder: every run then emits `partition.*`
@@ -374,5 +392,21 @@ mod tests {
         let g = graph();
         let (p, _) = HybridPartitioner::new(HybridConfig::default()).partition_rounds(&g, 8);
         assert!(p.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn reconfigured_keeps_telemetry_hooks() {
+        use hetgmp_telemetry::{MemoryRecorder, TraceLevel};
+        let recorder: Arc<dyn Recorder> = Arc::new(MemoryRecorder::new());
+        let tracer = Arc::new(TraceCollector::new(0, TraceLevel::Batch));
+        let p = HybridPartitioner::new(HybridConfig::default())
+            .with_recorder(recorder)
+            .with_tracer(tracer);
+        assert!(p.has_recorder() && p.has_tracer());
+        let q = p.reconfigured(HybridConfig { rounds: 1, ..HybridConfig::default() });
+        assert!(q.has_recorder() && q.has_tracer());
+        let bare = HybridPartitioner::new(HybridConfig::default());
+        let r = bare.reconfigured(HybridConfig::default());
+        assert!(!r.has_recorder() && !r.has_tracer());
     }
 }

@@ -139,6 +139,38 @@ pub mod names {
     pub const TRACE_TRAFFIC: &str = "trace.traffic";
     /// Trace instant: point-to-point mailbox send (sync level).
     pub const TRACE_MAILBOX_SEND: &str = "trace.mailbox.send";
+
+    /// Counter: batches whose loss came back non-finite (NaN/∞). Non-zero
+    /// means the run diverged; the CLI fails such runs.
+    pub const TRAIN_LOSS_NONFINITE: &str = "train.loss.nonfinite";
+
+    /// Counter: injected worker crashes taken.
+    pub const FAULT_CRASHES: &str = "fault.crashes";
+    /// Counter: injected worker stalls taken.
+    pub const FAULT_STALLS: &str = "fault.stalls";
+    /// Gauge: total stall downtime charged to simulated clocks, seconds.
+    pub const FAULT_STALL_SECS: &str = "fault.stall_secs";
+    /// Gauge: total crash-recovery time (restore + replay + restart
+    /// overhead) charged to simulated clocks, seconds.
+    pub const FAULT_RECOVERY_SECS: &str = "fault.recovery_secs";
+    /// Counter: embedding updates rolled back (lost work) across crashes.
+    pub const FAULT_LOST_UPDATES: &str = "fault.lost_updates";
+    /// Counter: embedding rows restored from checkpoint during recovery.
+    pub const FAULT_RESTORED_ROWS: &str = "fault.restored_rows";
+
+    /// Counter: run checkpoints written.
+    pub const CHECKPOINT_SAVES: &str = "checkpoint.saves";
+    /// Counter: total checkpoint bytes written.
+    pub const CHECKPOINT_BYTES: &str = "checkpoint.bytes";
+
+    /// Trace instant: an injected crash takes a worker down.
+    pub const TRACE_FAULT_CRASH: &str = "trace.fault.crash";
+    /// Trace span: an injected stall parks a worker.
+    pub const TRACE_FAULT_STALL: &str = "trace.fault.stall";
+    /// Trace span: crash recovery (checkpoint restore + replay).
+    pub const TRACE_FAULT_RECOVERY: &str = "trace.fault.recovery";
+    /// Trace span: writing a run checkpoint (driver timeline).
+    pub const TRACE_CHECKPOINT: &str = "trace.checkpoint";
 }
 
 #[cfg(test)]

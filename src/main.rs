@@ -18,7 +18,7 @@ use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use het_gmp::cluster::Topology;
+use het_gmp::cluster::{FaultSchedule, Topology};
 use het_gmp::core::experiments;
 use het_gmp::core::models::ModelKind;
 use het_gmp::core::strategy::StrategyConfig;
@@ -40,8 +40,10 @@ const USAGE: &str = "usage: het-gmp <gen|partition|train|capacity|experiment> [-
   gen        --preset avazu|criteo|company|tiny --scale F --out FILE
   partition  (--in FILE --fields N | --preset P --scale F) --workers N --algo hybrid|random|bicut|multilevel [--rounds N]
   train      (--in FILE --fields N | --preset P --scale F) --system tf-ps|parallax|hugectr|het-mp|het-gmp
-             [--staleness N] [--workers N] [--epochs N] [--model wdl|dcn|deepfm|din] [--telemetry FILE.jsonl]
-             [--trace FILE.trace.json] [--trace-level batch|sync] [--audit[=count|strict]]
+             [--staleness N] [--workers N] [--epochs N] [--model wdl|dcn|deepfm|din] [--seed N]
+             [--telemetry FILE.jsonl] [--trace FILE.trace.json] [--trace-level batch|sync]
+             [--audit[=count|strict]] [--faults SPEC] [--checkpoint-every N --checkpoint-dir DIR]
+             [--resume FILE.hgmr]
   capacity   --workers N --mem-gb G --dim D [--replication F]
   experiment fig1|fig3|fig7|fig8|fig9|fig10|table2|table3|ablation|all [--scale F] [--telemetry FILE.jsonl]
              [--trace FILE.trace.json] [--trace-level batch|sync] [--audit[=count|strict]]
@@ -49,7 +51,18 @@ const USAGE: &str = "usage: het-gmp <gen|partition|train|capacity|experiment> [-
   --telemetry/--trace accept '-' to write to stdout. --trace captures a
   Chrome trace-event timeline (open in Perfetto); --audit checks every
   embedding read against the staleness bound (strict mode fails the run
-  on the first violation, exit code 70).";
+  on the first violation, exit code 70).
+
+  --faults injects a deterministic fault schedule at simulated times;
+  clauses are separated by ';':
+    crash@W:T          worker W (or '*') crashes at T seconds
+    stall@W:T:D        worker W stalls for D seconds at T
+    degrade@A-B:T:D:F  link A-B runs F x slower for D seconds from T
+    partition@A-B:T:D  link A-B is cut for D seconds from T
+    restart=S          process-restart overhead charged per crash
+  Crash recovery restores from the last checkpoint image, so schedules
+  with crashes pair naturally with --checkpoint-every N --checkpoint-dir
+  DIR (writes DIR/ckpt-epoch-N.hgmr; resume with --resume FILE).";
 
 fn main() -> ExitCode {
     let args = Args::parse(std::env::args().skip(1));
@@ -262,19 +275,33 @@ fn cmd_train(args: &Args) -> Result<(), HetGmpError> {
         "din" => ModelKind::Din,
         other => return Err(HetGmpError::usage(format!("unknown model {other:?}"))),
     };
+    let seed: u64 = args.get_or("seed", 42);
     let cfg = TrainerConfig::builder()
         .model(model)
         .epochs(args.get_or("epochs", 3))
         .batch_size(args.get_or("batch", 256))
         .dim(args.get_or("dim", 16))
+        .seed(seed)
+        .checkpoint_every(args.get_or("checkpoint-every", 0usize))
+        .checkpoint_dir(args.get("checkpoint-dir").map(std::path::PathBuf::from))
+        .resume_from(args.get("resume").map(std::path::PathBuf::from))
         .build()?;
+    let faults = match args.get("faults") {
+        None => None,
+        Some(spec) => Some(Arc::new(FaultSchedule::parse(spec, n, seed).map_err(
+            |e| HetGmpError::usage(format!("bad --faults spec: {e}")),
+        )?)),
+    };
     let trace = trace_collector(args, n)?;
     let mut trainer = Trainer::new(&data, Topology::pcie_island(n), strat, cfg)
         .with_audit(audit_mode(args)?);
     if let Some((t, _)) = &trace {
         trainer = trainer.with_tracer(Arc::clone(t));
     }
-    let r = trainer.run();
+    if let Some(f) = &faults {
+        trainer = trainer.with_faults(Arc::clone(f));
+    }
+    let r = trainer.try_run()?;
     println!(
         "{} ({}): final AUC {:.4}, {:.0} samples/s simulated, comm share {:.0}%",
         r.strategy,
@@ -286,6 +313,14 @@ fn cmd_train(args: &Args) -> Result<(), HetGmpError> {
     for p in &r.curve {
         println!("  epoch {}: sim {:.4}s AUC {:.4}", p.epoch, p.sim_time, p.auc);
     }
+    if faults.is_some() {
+        let crashes = r.telemetry.counter("fault.crashes");
+        let stalls = r.telemetry.counter("fault.stalls");
+        println!(
+            "faults: {crashes} crash(es), {stalls} stall(s), {:.4}s downtime simulated",
+            r.breakdown.fault
+        );
+    }
     if let Some(w) = telemetry.as_mut() {
         dump_train_telemetry(w, &r)?;
         println!("telemetry: {}", w.path().display());
@@ -296,6 +331,15 @@ fn cmd_train(args: &Args) -> Result<(), HetGmpError> {
         if let Some(e) = a.to_error() {
             return Err(e);
         }
+    }
+    if r.nonfinite_batches > 0 {
+        return Err(HetGmpError::data_unattributed(
+            0,
+            format!(
+                "{} batch(es) produced a non-finite training loss; the run diverged",
+                r.nonfinite_batches
+            ),
+        ));
     }
     Ok(())
 }

@@ -1,14 +1,18 @@
 //! Degenerate-input and failure-injection tests: the system must stay
-//! correct on pathological datasets, extreme partitions and skewed shards.
+//! correct on pathological datasets, extreme partitions, skewed shards,
+//! and under injected worker faults (crash/stall/link degradation).
+
+use std::sync::Arc;
 
 use het_gmp::bigraph::Bigraph;
-use het_gmp::cluster::Topology;
+use het_gmp::cluster::{FaultSchedule, Topology};
 use het_gmp::core::strategy::StrategyConfig;
 use het_gmp::core::trainer::{Trainer, TrainerConfig};
 use het_gmp::data::{generate, CtrDataset, DatasetSpec};
 use het_gmp::partition::{
     random_partition, HybridConfig, HybridPartitioner, PartitionMetrics, ReplicationBudget,
 };
+use het_gmp::telemetry::AuditMode;
 
 fn tiny_config() -> TrainerConfig {
     TrainerConfig {
@@ -161,4 +165,171 @@ fn label_constant_dataset_does_not_crash() {
     )
     .run();
     assert!((r.final_auc - 0.5).abs() < 1e-9);
+}
+
+// ---- Injected faults (crash / stall / degradation) -------------------------
+
+/// A config small enough to run many faulted variants, but with enough
+/// epochs that a crash early in the run leaves time to recover and learn.
+fn fault_config() -> TrainerConfig {
+    TrainerConfig {
+        epochs: 2,
+        batch_size: 16,
+        dim: 4,
+        hidden: vec![8],
+        max_eval_samples: 64,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn crash_recovery_matches_uninterrupted_run() {
+    let dir = std::env::temp_dir().join(format!("hetgmp-it-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let data = generate(&DatasetSpec::tiny());
+    // Baseline: same seed, no faults, no checkpointing overhead.
+    let baseline = Trainer::new(
+        &data,
+        Topology::pcie_island(2),
+        StrategyConfig::het_gmp(0),
+        fault_config(),
+    )
+    .run();
+    // Faulted: worker 1 crashes just after training starts; it restores
+    // from the in-memory image, replays, and rejoins. The final quality
+    // must match the undisturbed run within the acceptance tolerance.
+    let faults = Arc::new(FaultSchedule::parse("crash@1:0.000001", 2, 7).unwrap());
+    let faulted = Trainer::new(
+        &data,
+        Topology::pcie_island(2),
+        StrategyConfig::het_gmp(0),
+        TrainerConfig {
+            checkpoint_every: 1,
+            checkpoint_dir: Some(dir.clone()),
+            ..fault_config()
+        },
+    )
+    .with_audit(AuditMode::Strict)
+    .with_faults(faults)
+    .run();
+    let audit = faulted.audit.expect("audit enabled");
+    assert_eq!(audit.total_violations(), 0, "{}", audit.render());
+    assert_eq!(faulted.curve.len(), 2, "faulted run did not complete");
+    assert_eq!(faulted.telemetry.counter("fault.crashes"), 1);
+    assert!(faulted.breakdown.fault > 0.0, "no recovery time charged");
+    assert!(
+        (faulted.final_auc - baseline.final_auc).abs() < 0.05,
+        "crash recovery changed quality: {} vs {}",
+        faulted.final_auc,
+        baseline.final_auc
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resumed_run_is_deterministic_under_bsp() {
+    // Checkpoint after epoch 1, then resume twice: both resumed runs and
+    // the uninterrupted run must land on the same final AUC (the epoch
+    // barrier plus deterministic collectives make epoch 2 replayable).
+    let dir = std::env::temp_dir().join(format!("hetgmp-it-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let data = generate(&DatasetSpec::tiny());
+    let full = Trainer::new(
+        &data,
+        Topology::pcie_island(2),
+        StrategyConfig::het_gmp(0),
+        TrainerConfig {
+            checkpoint_every: 1,
+            checkpoint_dir: Some(dir.clone()),
+            ..fault_config()
+        },
+    )
+    .run();
+    let resume = || {
+        Trainer::new(
+            &data,
+            Topology::pcie_island(2),
+            StrategyConfig::het_gmp(0),
+            TrainerConfig {
+                resume_from: Some(dir.join("ckpt-epoch-1.hgmr")),
+                ..fault_config()
+            },
+        )
+        .run()
+    };
+    let a = resume();
+    let b = resume();
+    assert_eq!(a.curve.len(), 1);
+    assert_eq!(a.curve[0].epoch, 2);
+    assert!((a.final_auc - full.final_auc).abs() < 0.01, "{} vs {}", a.final_auc, full.final_auc);
+    assert!(
+        (a.final_auc - b.final_auc).abs() < 1e-12,
+        "two identical resumes diverged: {} vs {}",
+        a.final_auc,
+        b.final_auc
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stall_and_degradation_hold_under_strict_audit() {
+    // A stalled worker plus a degraded link stretch the simulated clock but
+    // must not break the staleness protocol, even at s = 0.
+    let data = generate(&DatasetSpec::tiny());
+    let faults = Arc::new(
+        FaultSchedule::parse("stall@0:0.0:0.004; degrade@0-1:0.0:0.05:8", 2, 42).unwrap(),
+    );
+    let clean = Trainer::new(
+        &data,
+        Topology::pcie_island(2),
+        StrategyConfig::het_gmp(0),
+        fault_config(),
+    )
+    .run();
+    let r = Trainer::new(
+        &data,
+        Topology::pcie_island(2),
+        StrategyConfig::het_gmp(0),
+        fault_config(),
+    )
+    .with_audit(AuditMode::Strict)
+    .with_faults(faults)
+    .run();
+    let audit = r.audit.expect("audit enabled");
+    assert_eq!(audit.total_violations(), 0, "{}", audit.render());
+    assert_eq!(r.telemetry.counter("fault.stalls"), 1);
+    assert!(r.telemetry.gauge("fault.stall_secs").unwrap_or(0.0) > 0.0);
+    assert!(r.sim_time > clean.sim_time, "faults did not slow the run down");
+}
+
+#[test]
+fn fault_trace_and_metrics_surface_through_result() {
+    use het_gmp::telemetry::{names, TraceCollector, TraceLevel, TraceTrack};
+    let data = generate(&DatasetSpec::tiny());
+    let tracer = Arc::new(TraceCollector::new(2, TraceLevel::Sync));
+    let faults = Arc::new(
+        FaultSchedule::parse("stall@0:0.0:0.002; crash@1:0.000001", 2, 42).unwrap(),
+    );
+    let r = Trainer::new(
+        &data,
+        Topology::pcie_island(2),
+        StrategyConfig::het_gmp(100),
+        fault_config(),
+    )
+    .with_tracer(Arc::clone(&tracer))
+    .with_faults(faults)
+    .run();
+    assert_eq!(r.telemetry.counter(names::FAULT_CRASHES), 1);
+    assert_eq!(r.telemetry.counter(names::FAULT_STALLS), 1);
+    assert!(r.telemetry.gauge(names::FAULT_RECOVERY_SECS).unwrap_or(0.0) > 0.0);
+    let events = tracer.events();
+    assert!(events
+        .iter()
+        .any(|e| e.track == TraceTrack::Worker(0) && e.name == names::TRACE_FAULT_STALL));
+    assert!(events
+        .iter()
+        .any(|e| e.track == TraceTrack::Worker(1) && e.name == names::TRACE_FAULT_CRASH));
+    assert!(events
+        .iter()
+        .any(|e| e.track == TraceTrack::Worker(1) && e.name == names::TRACE_FAULT_RECOVERY));
 }
