@@ -3,7 +3,8 @@
 
 CARGO ?= cargo
 
-.PHONY: build test clippy lint-metrics fault-matrix verify bench clean
+.PHONY: build test clippy lint-metrics fault-matrix verify bench \
+	bench-baseline bench-smoke bench-schema clean
 
 build:
 	$(CARGO) build --release --offline --workspace
@@ -25,11 +26,28 @@ fault-matrix: build
 	sh scripts/fault_matrix.sh
 
 # The gate every change must pass: release build, full test suite, clippy
-# with warnings denied, metric-name lint, and the fault-injection matrix.
-verify: build test clippy lint-metrics fault-matrix
+# with warnings denied, metric-name lint, the fault-injection matrix, and
+# the perf-baseline schema check.
+verify: build test clippy lint-metrics fault-matrix bench-schema
 
 bench:
 	$(CARGO) bench --offline --workspace
+
+# The perf baseline: criterion microbenchmarks plus the fixed-seed hot-path
+# run that writes BENCH_hotpath.json (batched vs per-row table ops and
+# end-to-end training throughput).
+bench-baseline: build
+	$(CARGO) bench --offline -p hetgmp-bench --bench bench_embedding
+	$(CARGO) run --release --offline -p hetgmp-bench --bin bench_hotpath
+
+# Five-second subset: same BENCH_hotpath.json schema, shrunk workload.
+bench-smoke: build
+	$(CARGO) run --release --offline -p hetgmp-bench --bin bench_hotpath -- --smoke
+
+# Schema gate for the perf baseline (runs the smoke bench to produce a
+# fresh file, then validates its shape).
+bench-schema: bench-smoke
+	sh scripts/check_bench_schema.sh
 
 clean:
 	$(CARGO) clean

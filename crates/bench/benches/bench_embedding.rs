@@ -2,7 +2,7 @@
 //! gradient write-back, and the underlying sharded store.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hetgmp_embedding::{ShardedTable, SparseOpt, StalenessBound, WorkerEmbedding};
+use hetgmp_embedding::{BatchScratch, ShardedTable, SparseOpt, StalenessBound, WorkerEmbedding};
 use hetgmp_partition::Partition;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -60,6 +60,25 @@ fn bench(c: &mut Criterion) {
             i = (i + 1) % ROWS as u32;
             table.apply_grad(i, &grad, &opt)
         });
+    });
+
+    // Batched table API vs the per-row loops above: same rows, one shard
+    // lock per group instead of one per row.
+    let batch_rows: Vec<u32> = (0..BATCH as u32).map(|i| (i * 37) % ROWS as u32).collect();
+
+    group.bench_function("table_read_rows_batched", |b| {
+        let mut scratch = BatchScratch::default();
+        let mut out = vec![0.0f32; BATCH * DIM];
+        let mut clocks = vec![0u64; BATCH];
+        b.iter(|| table.read_rows(&batch_rows, &mut out, &mut clocks, &mut scratch));
+    });
+
+    group.bench_function("table_apply_grads_batched", |b| {
+        let mut scratch = BatchScratch::default();
+        let grads = vec![0.01f32; BATCH * DIM];
+        let opt = SparseOpt::adagrad(0.05);
+        let mut clocks = vec![0u64; BATCH];
+        b.iter(|| table.apply_grads(&batch_rows, &grads, &opt, &mut clocks, &mut scratch));
     });
 
     group.bench_function("read_batch_s100", |b| {

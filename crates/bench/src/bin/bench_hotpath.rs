@@ -1,0 +1,253 @@
+//! Hot-path perf baseline: batched vs per-row embedding-table ops, plus a
+//! fixed-seed end-to-end training throughput run.
+//!
+//! Emits `BENCH_hotpath.json` (schema checked by
+//! `scripts/check_bench_schema.sh`):
+//!
+//! ```text
+//! { "config": {...},
+//!   "per_row":  { "rows_per_sec", "lock_acquisitions", "wall_secs" },
+//!   "batched":  { "rows_per_sec", "lock_acquisitions", "wall_secs" },
+//!   "speedup":  batched.rows_per_sec / per_row.rows_per_sec,
+//!   "end_to_end": { "samples_per_sec", "lock_acquisitions",
+//!                   "samples_processed", "wall_secs", "final_auc" } }
+//! ```
+//!
+//! The microbench drives *identical* fixed-seed workloads (same row ids,
+//! same gradients, same optimizer) through the per-row loop and the batched
+//! API, with several threads sharing one table as the trainer does — the
+//! differential proptests guarantee the two paths produce bit-identical
+//! tables, so the comparison is purely mechanical overhead: lock traffic
+//! under contention and per-call bookkeeping. `--smoke` shrinks everything
+//! to run in a few seconds for CI schema checks.
+
+use std::time::Instant;
+
+use hetgmp_cluster::Topology;
+use hetgmp_core::strategy::StrategyConfig;
+use hetgmp_core::trainer::{Trainer, TrainerConfig};
+use hetgmp_data::{generate, DatasetSpec, Zipf};
+use hetgmp_embedding::{BatchScratch, ShardedTable, SparseOpt};
+use hetgmp_telemetry::{names, Json};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SEED: u64 = 0xB45E11;
+
+struct MicroConfig {
+    rows: usize,
+    dim: usize,
+    batch: usize,
+    batches: usize,
+    /// Worker threads hammering one shared table — the trainer's actual
+    /// shape, and where per-row locking pays for contention.
+    threads: usize,
+    /// Measurement repetitions over the same workload (fresh table each).
+    reps: usize,
+}
+
+/// One side's measurement: wall time and lock traffic for the whole
+/// workload, repeated `reps` times over fresh tables.
+struct Measure {
+    rows_per_sec: f64,
+    lock_acquisitions: u64,
+    wall_secs: f64,
+}
+
+/// The fixed-seed workload: per-thread Zipf-skewed row id batches
+/// (embedding access patterns are power-law; skew also creates the shard
+/// collisions batching amortises) and deterministic gradients. Both sides
+/// of the comparison consume the identical workload.
+struct Workload {
+    /// `per_thread[t]` = that thread's batches of row ids.
+    per_thread: Vec<Vec<Vec<u32>>>,
+    grads: Vec<f32>,
+    opt: SparseOpt,
+}
+
+fn build_workload(cfg: &MicroConfig) -> Workload {
+    let zipf = Zipf::new(cfg.rows, 1.05);
+    let per_thread: Vec<Vec<Vec<u32>>> = (0..cfg.threads)
+        .map(|t| {
+            let mut rng = StdRng::seed_from_u64(SEED ^ (t as u64).wrapping_mul(0x9E3779B9));
+            (0..cfg.batches)
+                .map(|_| {
+                    (0..cfg.batch)
+                        .map(|_| zipf.sample(&mut rng) as u32)
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let grads: Vec<f32> = (0..cfg.batch * cfg.dim)
+        .map(|_| rng.gen_range(-0.5f32..0.5))
+        .collect();
+    Workload {
+        per_thread,
+        grads,
+        opt: SparseOpt::adagrad(0.05),
+    }
+}
+
+/// Runs `per_thread_work` once per thread against one shared fresh table,
+/// `reps` times, keeping the best wall time (and the lock count, which is
+/// identical across reps).
+fn run_contended<F>(cfg: &MicroConfig, per_thread_work: F) -> Measure
+where
+    F: Fn(&ShardedTable, usize) + Sync,
+{
+    let mut best = f64::INFINITY;
+    let mut locks = 0;
+    for _ in 0..cfg.reps {
+        let table = ShardedTable::new(cfg.rows, cfg.dim, 0.05, SEED);
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for t in 0..cfg.threads {
+                let table = &table;
+                let work = &per_thread_work;
+                scope.spawn(move || work(table, t));
+            }
+        });
+        best = best.min(start.elapsed().as_secs_f64());
+        locks = table.lock_acquisitions();
+    }
+    // 2 table ops per workload row (one read + one apply).
+    let total_rows = (cfg.batch * cfg.batches * cfg.threads * 2) as f64;
+    Measure {
+        rows_per_sec: total_rows / best.max(1e-12),
+        lock_acquisitions: locks,
+        wall_secs: best,
+    }
+}
+
+fn run_per_row(cfg: &MicroConfig, w: &Workload) -> Measure {
+    run_contended(cfg, |table, t| {
+        let mut row = vec![0.0f32; cfg.dim];
+        for batch in &w.per_thread[t] {
+            for &r in batch {
+                std::hint::black_box(table.read_row(r, &mut row));
+            }
+            for (k, &r) in batch.iter().enumerate() {
+                table.apply_grad(r, &w.grads[k * cfg.dim..(k + 1) * cfg.dim], &w.opt);
+            }
+        }
+    })
+}
+
+fn run_batched(cfg: &MicroConfig, w: &Workload) -> Measure {
+    run_contended(cfg, |table, t| {
+        let mut scratch = BatchScratch::default();
+        let mut out = vec![0.0f32; cfg.batch * cfg.dim];
+        let mut clocks = vec![0u64; cfg.batch];
+        for batch in &w.per_thread[t] {
+            table.read_rows(batch, &mut out, &mut clocks, &mut scratch);
+            std::hint::black_box(&out);
+            table.apply_grads(batch, &w.grads, &w.opt, &mut clocks, &mut scratch);
+        }
+    })
+}
+
+fn measure_json(m: &Measure) -> Json {
+    Json::obj([
+        ("rows_per_sec", Json::F64(m.rows_per_sec)),
+        ("lock_acquisitions", Json::U64(m.lock_acquisitions)),
+        ("wall_secs", Json::F64(m.wall_secs)),
+    ])
+}
+
+fn end_to_end(smoke: bool) -> Json {
+    let mut spec = DatasetSpec::avazu_like(if smoke { 0.02 } else { 0.08 });
+    spec.cluster_affinity = 0.9;
+    let data = generate(&spec);
+    let r = Trainer::new(
+        &data,
+        Topology::pcie_island(4),
+        StrategyConfig::het_gmp(100),
+        TrainerConfig {
+            epochs: if smoke { 1 } else { 3 },
+            dim: 16,
+            batch_size: 256,
+            hidden: vec![32, 16],
+            seed: SEED,
+            ..Default::default()
+        },
+    )
+    .run();
+    Json::obj([
+        (
+            "samples_per_sec",
+            Json::F64(r.telemetry.gauge(names::HOTPATH_SAMPLES_PER_SEC).unwrap_or(0.0)),
+        ),
+        (
+            "lock_acquisitions",
+            Json::F64(r.telemetry.gauge(names::HOTPATH_LOCK_ACQUISITIONS).unwrap_or(0.0)),
+        ),
+        ("samples_processed", Json::U64(r.samples_processed)),
+        (
+            "batched_read_rows",
+            Json::U64(r.telemetry.counter(names::HOTPATH_BATCH_READ_ROWS)),
+        ),
+        (
+            "batched_apply_rows",
+            Json::U64(r.telemetry.counter(names::HOTPATH_BATCH_APPLY_ROWS)),
+        ),
+        ("final_auc", Json::F64(r.final_auc)),
+    ])
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke" || a == "smoke");
+    let cfg = if smoke {
+        MicroConfig { rows: 20_000, dim: 16, batch: 1024, batches: 50, threads: 4, reps: 2 }
+    } else {
+        MicroConfig { rows: 200_000, dim: 16, batch: 4096, batches: 100, threads: 4, reps: 5 }
+    };
+    let w = build_workload(&cfg);
+    eprintln!(
+        "hotpath microbench: {} rows x dim {}, {} threads x {} batches of {} ({} reps){}",
+        cfg.rows,
+        cfg.dim,
+        cfg.threads,
+        cfg.batches,
+        cfg.batch,
+        cfg.reps,
+        if smoke { " [smoke]" } else { "" },
+    );
+    let per_row = run_per_row(&cfg, &w);
+    let batched = run_batched(&cfg, &w);
+    let speedup = batched.rows_per_sec / per_row.rows_per_sec.max(1e-12);
+    eprintln!(
+        "per-row {:.2e} rows/s ({} locks) | batched {:.2e} rows/s ({} locks) | speedup {:.2}x",
+        per_row.rows_per_sec,
+        per_row.lock_acquisitions,
+        batched.rows_per_sec,
+        batched.lock_acquisitions,
+        speedup,
+    );
+    eprintln!("end-to-end fixed-seed training run...");
+    let e2e = end_to_end(smoke);
+
+    let doc = Json::obj([
+        (
+            "config",
+            Json::obj([
+                ("seed", Json::U64(SEED)),
+                ("rows", Json::U64(cfg.rows as u64)),
+                ("dim", Json::U64(cfg.dim as u64)),
+                ("batch", Json::U64(cfg.batch as u64)),
+                ("batches", Json::U64(cfg.batches as u64)),
+                ("threads", Json::U64(cfg.threads as u64)),
+                ("reps", Json::U64(cfg.reps as u64)),
+                ("smoke", Json::Bool(smoke)),
+            ]),
+        ),
+        ("per_row", measure_json(&per_row)),
+        ("batched", measure_json(&batched)),
+        ("speedup", Json::F64(speedup)),
+        ("end_to_end", e2e),
+    ]);
+    let path = "BENCH_hotpath.json";
+    std::fs::write(path, doc.render() + "\n").expect("write BENCH_hotpath.json");
+    println!("wrote {path} (speedup {speedup:.2}x)");
+}

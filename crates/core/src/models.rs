@@ -320,8 +320,15 @@ impl CtrModel {
     /// Flattens dense gradients into one vector.
     pub fn flatten_grads(&mut self) -> Vec<f32> {
         let mut out = Vec::new();
-        self.visit_params(&mut |_, g| out.extend_from_slice(g));
+        self.flatten_grads_into(&mut out);
         out
+    }
+
+    /// Flattens dense gradients into a caller-owned buffer (cleared first),
+    /// so the training loop reuses one allocation across iterations.
+    pub fn flatten_grads_into(&mut self, out: &mut Vec<f32>) {
+        out.clear();
+        self.visit_params(&mut |_, g| out.extend_from_slice(g));
     }
 
     /// Loads dense parameters from a flat vector.

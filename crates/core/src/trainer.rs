@@ -26,6 +26,7 @@ use std::io::{BufReader, BufWriter};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use hetgmp_bigraph::Bigraph;
 use hetgmp_cluster::{
@@ -676,6 +677,9 @@ impl<'d> Trainer<'d> {
         // ---- Epoch loop ------------------------------------------------------
         let mut curve: Vec<EvalPoint> = Vec::with_capacity(cfg.epochs);
         let mut time_to_target: Option<f64> = None;
+        // Wall-clock throughput baseline (hotpath.*): simulated time measures
+        // the modelled cluster; wall time measures this implementation.
+        let wall_start = Instant::now();
         for epoch in start_epoch..=cfg.epochs {
             loss_sum_micro.store(0, Ordering::Relaxed);
             loss_batches.store(0, Ordering::Relaxed);
@@ -773,10 +777,16 @@ impl<'d> Trainer<'d> {
             // Written at the epoch boundary, after the flush above: nothing is
             // pending, so the file captures an exact, resumable state.
             if cfg.checkpoint_every > 0 && epoch % cfg.checkpoint_every == 0 {
-                let dir = cfg
-                    .checkpoint_dir
-                    .as_ref()
-                    .expect("validated by TrainerBuilder");
+                // TrainerBuilder validates this pairing, but TrainerConfig's
+                // fields are public — a hand-built config can reach here with
+                // no directory, and that must surface as a config error, not
+                // a panic.
+                let dir = cfg.checkpoint_dir.as_ref().ok_or_else(|| {
+                    HetGmpError::config(
+                        "checkpoint_dir",
+                        "checkpoint_every > 0 but checkpoint_dir is unset",
+                    )
+                })?;
                 std::fs::create_dir_all(dir).map_err(|e| HetGmpError::io(dir.clone(), e))?;
                 let state = RunState {
                     epoch: epoch as u64,
@@ -858,6 +868,19 @@ impl<'d> Trainer<'d> {
             .counter_add(names::TRAIN_SAMPLES, samples_total);
         registry.global().gauge_set(names::TRAIN_SIM_TIME, sim_time);
         registry.global().gauge_set(names::TRAIN_AUC, final_auc);
+        let wall_secs = wall_start.elapsed().as_secs_f64();
+        registry.global().gauge_set(
+            names::HOTPATH_SAMPLES_PER_SEC,
+            if wall_secs > 0.0 {
+                samples_total as f64 / wall_secs
+            } else {
+                0.0
+            },
+        );
+        registry.global().gauge_set(
+            names::HOTPATH_LOCK_ACQUISITIONS,
+            table.lock_acquisitions() as f64,
+        );
         Ok(TrainResult {
             strategy: self.strategy.name.clone(),
             final_auc,
@@ -1070,6 +1093,15 @@ fn run_worker_epoch(ctx: WorkerEpoch<'_, '_, '_>) {
         && matches!(strategy.embed_home, EmbedHome::Gpu);
     let epoch_start = clock.now();
 
+    // Reusable per-iteration scratch: the inner loop runs thousands of
+    // times per epoch, so batch assembly and the flat embedding input reuse
+    // one allocation each instead of reallocating per batch.
+    let mut batch_idx: Vec<u32> = Vec::with_capacity(batch_size);
+    let mut sample_slices: Vec<&[u32]> = Vec::with_capacity(batch_size);
+    let mut labels: Vec<f32> = Vec::with_capacity(batch_size);
+    let mut input = Matrix::zeros(0, 0);
+    let mut dense_grads: Vec<f32> = Vec::new();
+
     for _ in 0..iters {
         // ---- Injected faults (iteration boundary). -------------------------
         // Faults fire inside the affected worker's own thread, between
@@ -1193,37 +1225,30 @@ fn run_worker_epoch(ctx: WorkerEpoch<'_, '_, '_>) {
         let batch_start = clock.now();
         // ---- Assemble the batch (wrap-around over the local shard). --------
         let bs = batch_size.min(shard.len().max(1));
-        let mut batch_idx = Vec::with_capacity(bs);
-        if shard.is_empty() {
-            // Degenerate single-worker shard corner: skip math, still join
-            // collectives so peers don't deadlock.
-            batch_idx.clear();
-        } else {
+        batch_idx.clear();
+        if !shard.is_empty() {
+            // (Degenerate empty-shard corner: skip math, still join
+            // collectives so peers don't deadlock.)
             for _ in 0..bs {
                 batch_idx.push(shard[*cursor % shard.len()]);
                 *cursor += 1;
             }
         }
-        let sample_slices: Vec<&[u32]> = batch_idx
-            .iter()
-            .map(|&i| dataset.sample(i as usize))
-            .collect();
+        sample_slices.clear();
+        sample_slices.extend(batch_idx.iter().map(|&i| dataset.sample(i as usize)));
         let actual = sample_slices.len();
 
         let mut read_report = Default::default();
         let mut grad_input: Option<Matrix> = None;
         if actual > 0 {
             // ---- Embedding read under bounded asynchrony. ------------------
-            let mut flat = vec![0.0f32; actual * fields * dim];
-            read_report = emb.read_batch(&sample_slices, &mut flat);
+            input.reset(actual, fields * dim);
+            read_report = emb.read_batch(&sample_slices, input.data_mut());
 
             // ---- Dense forward/backward (real math). ----------------------
-            let input = Matrix::from_vec(actual, fields * dim, flat);
             let logits = model.forward(&input);
-            let labels: Vec<f32> = batch_idx
-                .iter()
-                .map(|&i| dataset.label(i as usize))
-                .collect();
+            labels.clear();
+            labels.extend(batch_idx.iter().map(|&i| dataset.label(i as usize)));
             let (batch_loss, grad_logits) = bce_with_logits(&logits, &labels);
             if batch_loss.is_finite() {
                 loss_sum_micro
@@ -1315,18 +1340,18 @@ fn run_worker_epoch(ctx: WorkerEpoch<'_, '_, '_>) {
         let _ = &read_report;
 
         // ---- Dense synchronisation. ----------------------------------------
-        let mut grads = model.flatten_grads();
-        group.allreduce_mean(&mut grads);
+        model.flatten_grads_into(&mut dense_grads);
+        group.allreduce_mean(&mut dense_grads);
         if let Some(clip) = cfg.grad_clip {
-            let norm = grads.iter().map(|g| g * g).sum::<f32>().sqrt();
+            let norm = dense_grads.iter().map(|g| g * g).sum::<f32>().sqrt();
             if norm > clip {
                 let scale = clip / norm;
-                for g in &mut grads {
+                for g in &mut dense_grads {
                     *g *= scale;
                 }
             }
         }
-        model.load_grads(&grads);
+        model.load_grads(&dense_grads);
         // SGD step on the (replicated) dense parameters.
         model.visit_params(&mut |p, g| {
             for (pi, gi) in p.iter_mut().zip(g.iter()) {
@@ -1862,6 +1887,51 @@ mod tests {
             .checkpoint_dir(Some(PathBuf::from("/tmp/ckpts")))
             .build()
             .is_ok());
+    }
+
+    #[test]
+    fn hand_built_config_missing_checkpoint_dir_is_an_error_not_a_panic() {
+        // TrainerConfig's fields are public, so a caller can bypass
+        // TrainerBuilder's validation entirely; the trainer must still
+        // surface the broken pairing as a config error, not a panic at the
+        // first checkpoint boundary.
+        let data = tiny_dataset();
+        let err = Trainer::new(
+            &data,
+            Topology::pcie_island(2),
+            StrategyConfig::het_gmp(100),
+            TrainerConfig {
+                checkpoint_every: 1,
+                checkpoint_dir: None,
+                ..fast_config()
+            },
+        )
+        .try_run()
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 78, "{err}");
+        assert!(err.to_string().contains("checkpoint_dir"), "{err}");
+    }
+
+    #[test]
+    fn run_records_hotpath_baseline_metrics() {
+        let data = tiny_dataset();
+        let r = Trainer::new(
+            &data,
+            Topology::pcie_island(2),
+            StrategyConfig::het_gmp(100),
+            fast_config(),
+        )
+        .run();
+        assert!(r.telemetry.counter(names::HOTPATH_BATCH_READ_ROWS) > 0);
+        assert!(r.telemetry.counter(names::HOTPATH_BATCH_APPLY_ROWS) > 0);
+        assert!(
+            r.telemetry.gauge(names::HOTPATH_LOCK_ACQUISITIONS).unwrap_or(0.0) > 0.0,
+            "lock gauge missing"
+        );
+        assert!(
+            r.telemetry.gauge(names::HOTPATH_SAMPLES_PER_SEC).unwrap_or(0.0) > 0.0,
+            "throughput gauge missing"
+        );
     }
 
     #[test]

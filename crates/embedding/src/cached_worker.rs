@@ -20,7 +20,18 @@ use crate::lfu::LfuCache;
 use crate::report::{ReadReport, UpdateReport, META_ENTRY_BYTES};
 use crate::sparse_optim::SparseOpt;
 use crate::table::ShardedTable;
-use crate::worker::StalenessBound;
+use crate::worker::{HotScratch, StalenessBound};
+
+/// What to do with a fetched row once the shard-grouped read lands.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum FillAction {
+    /// Scatter to the output only (local primary).
+    None,
+    /// Re-install into the cache at the observed clock (staleness sync).
+    Refresh,
+    /// Fill a row already admitted with placeholder data.
+    Admit,
+}
 
 /// One worker's dynamically-cached embedding interface.
 pub struct CachedWorkerEmbedding<'a> {
@@ -31,6 +42,9 @@ pub struct CachedWorkerEmbedding<'a> {
     cache: LfuCache,
     scratch_ids: HashMap<u32, usize>,
     scratch_rows: Vec<f32>,
+    scratch: HotScratch,
+    /// Per-fetch cache action, aligned with `scratch.fetch_ids`.
+    fill_actions: Vec<FillAction>,
     recorder: Option<Arc<dyn Recorder>>,
     auditor: Option<Arc<ProtocolAuditor>>,
     tracer: Option<Arc<TraceCollector>>,
@@ -58,6 +72,11 @@ impl<'a> CachedWorkerEmbedding<'a> {
             cache: LfuCache::new(table.dim(), capacity),
             scratch_ids: HashMap::new(),
             scratch_rows: Vec::new(),
+            scratch: HotScratch {
+                row_buf: vec![0.0f32; table.dim()],
+                ..HotScratch::default()
+            },
+            fill_actions: Vec::new(),
             recorder: None,
             auditor: None,
             tracer: None,
@@ -121,6 +140,14 @@ impl<'a> CachedWorkerEmbedding<'a> {
         self.scratch_ids.clear();
         self.scratch_rows.clear();
 
+        // Classification runs strictly in batch order — LFU touches and
+        // admission decisions are stateful, so they stay at decision time —
+        // while the primary-table reads are collected and fetched in one
+        // shard-grouped call. Missed rows are admitted with placeholder data
+        // (identical victim selection) and filled when the fetch lands.
+        self.scratch.fetch_ids.clear();
+        self.scratch.fetch_slots.clear();
+        self.fill_actions.clear();
         for sample in samples {
             for &e in *sample {
                 if self.scratch_ids.contains_key(&e) {
@@ -130,8 +157,9 @@ impl<'a> CachedWorkerEmbedding<'a> {
                 self.scratch_rows.resize(slot + dim, 0.0);
                 self.cache.touch(e);
                 if self.part.primary_of(e) == self.worker {
-                    self.table
-                        .read_row(e, &mut self.scratch_rows[slot..slot + dim]);
+                    self.scratch.fetch_ids.push(e);
+                    self.scratch.fetch_slots.push(slot);
+                    self.fill_actions.push(FillAction::None);
                     report.local_primary += 1;
                 } else if self.cache.contains(e) {
                     let fresh = match self.bound {
@@ -165,9 +193,9 @@ impl<'a> CachedWorkerEmbedding<'a> {
                             .read(e, &mut self.scratch_rows[slot..slot + dim]);
                         report.local_fresh += 1;
                     } else {
-                        let buf = &mut self.scratch_rows[slot..slot + dim];
-                        let clock = self.table.read_row(e, buf);
-                        self.cache.refresh(e, buf, clock);
+                        self.scratch.fetch_ids.push(e);
+                        self.scratch.fetch_slots.push(slot);
+                        self.fill_actions.push(FillAction::Refresh);
                         report.intra_syncs += 1;
                         report.data_bytes += (dim * 4) as u64;
                         report.add_src_bytes(
@@ -178,8 +206,9 @@ impl<'a> CachedWorkerEmbedding<'a> {
                         report.messages += 1;
                     }
                 } else {
-                    let buf = &mut self.scratch_rows[slot..slot + dim];
-                    let clock = self.table.read_row(e, buf);
+                    self.scratch.fetch_ids.push(e);
+                    self.scratch.fetch_slots.push(slot);
+                    self.fill_actions.push(FillAction::Admit);
                     report.remote_fetches += 1;
                     report.data_bytes += (dim * 4) as u64;
                     report.add_src_bytes(
@@ -190,11 +219,59 @@ impl<'a> CachedWorkerEmbedding<'a> {
                     report.meta_bytes += META_ENTRY_BYTES;
                     report.messages += 1;
                     // Dynamic admission: the fetch already paid the traffic.
-                    let values = buf.to_vec();
-                    self.cache.admit(e, &values, clock);
+                    // Admission happens *now* (placeholder values, clock as
+                    // observed here) so LFU victim selection matches the
+                    // per-row order exactly; the data fills in below.
+                    let clock = self.table.clock(e);
+                    self.scratch.row_buf.fill(0.0);
+                    self.cache.admit(e, &self.scratch.row_buf, clock);
                 }
                 self.scratch_ids.insert(e, slot);
             }
+        }
+
+        // One shard-grouped fetch, scattered to the output scratch; synced
+        // rows re-install at the clock observed by the read, admitted rows
+        // fill their placeholder (a no-op if a later admission in the same
+        // batch already evicted them).
+        let nfetch = self.scratch.fetch_ids.len();
+        if nfetch > 0 {
+            let table = self.table;
+            let HotScratch {
+                batch,
+                fetch_ids,
+                fetch_slots,
+                fetch_buf,
+                fetch_clocks,
+                ..
+            } = &mut self.scratch;
+            fetch_buf.clear();
+            fetch_buf.resize(nfetch * dim, 0.0);
+            fetch_clocks.clear();
+            fetch_clocks.resize(nfetch, 0);
+            table.read_rows(fetch_ids, fetch_buf, fetch_clocks, batch);
+            for k in 0..nfetch {
+                let slot = fetch_slots[k];
+                let row = &fetch_buf[k * dim..(k + 1) * dim];
+                self.scratch_rows[slot..slot + dim].copy_from_slice(row);
+                match self.fill_actions[k] {
+                    FillAction::None => {}
+                    // A later admission in the same batch may have evicted a
+                    // sync victim — the per-row order refreshed it first and
+                    // evicted it after, landing in the same final state.
+                    FillAction::Refresh => {
+                        if self.cache.contains(fetch_ids[k]) {
+                            self.cache.refresh(fetch_ids[k], row, fetch_clocks[k]);
+                        }
+                    }
+                    FillAction::Admit => {
+                        self.cache.fill(fetch_ids[k], row);
+                    }
+                }
+            }
+        }
+        if let Some(r) = &self.recorder {
+            r.counter_add(names::HOTPATH_BATCH_READ_ROWS, nfetch as u64);
         }
 
         let mut cursor = 0usize;
@@ -254,33 +331,65 @@ impl<'a> CachedWorkerEmbedding<'a> {
         let total: usize = samples.iter().map(|s| s.len()).sum();
         assert_eq!(grads.len(), total * dim, "gradient buffer size mismatch");
 
-        let mut reduced: HashMap<u32, Vec<f32>> = HashMap::new();
-        let mut cursor = 0usize;
-        for sample in samples {
-            for &e in *sample {
-                let g = &grads[cursor..cursor + dim];
-                match reduced.get_mut(&e) {
-                    Some(acc) => {
-                        for (a, &x) in acc.iter_mut().zip(g) {
-                            *a += x;
+        // Local reduction into a flat reusable buffer — no per-row Vec
+        // allocations on the hot path.
+        {
+            let HotScratch {
+                reduce_slots,
+                reduce_buf,
+                ..
+            } = &mut self.scratch;
+            reduce_slots.clear();
+            reduce_buf.clear();
+            let mut cursor = 0usize;
+            for sample in samples {
+                for &e in *sample {
+                    let g = &grads[cursor..cursor + dim];
+                    match reduce_slots.get(&e) {
+                        Some(&slot) => {
+                            for (a, &x) in reduce_buf[slot..slot + dim].iter_mut().zip(g) {
+                                *a += x;
+                            }
+                        }
+                        None => {
+                            reduce_slots.insert(e, reduce_buf.len());
+                            reduce_buf.extend_from_slice(g);
                         }
                     }
-                    None => {
-                        reduced.insert(e, g.to_vec());
-                    }
+                    cursor += dim;
                 }
-                cursor += dim;
             }
         }
 
         let mut report = UpdateReport::default();
-        let mut ids: Vec<u32> = reduced.keys().copied().collect();
-        ids.sort_unstable();
+        // HET writes back eagerly: every reduced gradient hits the primary
+        // table, so the whole batch goes through one shard-grouped apply.
+        let HotScratch {
+            batch,
+            reduce_slots,
+            reduce_buf,
+            reduce_ids,
+            apply_buf,
+            apply_clocks,
+            ..
+        } = &mut self.scratch;
+        reduce_ids.clear();
+        reduce_ids.extend(reduce_slots.keys().copied());
+        reduce_ids.sort_unstable();
+        apply_buf.clear();
+        for &e in reduce_ids.iter() {
+            let slot = reduce_slots[&e];
+            apply_buf.extend_from_slice(&reduce_buf[slot..slot + dim]);
+        }
+        apply_clocks.clear();
+        apply_clocks.resize(reduce_ids.len(), 0);
+        self.table
+            .apply_grads(reduce_ids, apply_buf, opt, apply_clocks, batch);
         let lr = opt.learning_rate();
-        let mut delta = vec![0.0f32; dim];
-        for e in ids {
-            let g = &reduced[&e];
-            self.table.apply_grad(e, g, opt);
+        let delta = &mut self.scratch.row_buf;
+        for &e in self.scratch.reduce_ids.iter() {
+            let slot = self.scratch.reduce_slots[&e];
+            let g = &self.scratch.reduce_buf[slot..slot + dim];
             if self.part.primary_of(e) == self.worker {
                 report.local_updates += 1;
             } else {
@@ -298,7 +407,7 @@ impl<'a> CachedWorkerEmbedding<'a> {
                 for (d, &x) in delta.iter_mut().zip(g) {
                     *d = -lr * x;
                 }
-                self.cache.apply_local_delta(e, &delta);
+                self.cache.apply_local_delta(e, delta);
             }
         }
         if let Some(r) = &self.recorder {
@@ -306,6 +415,10 @@ impl<'a> CachedWorkerEmbedding<'a> {
             r.counter_add(
                 names::EMBED_UPDATE_DIRECT,
                 report.local_updates + report.remote_writebacks,
+            );
+            r.counter_add(
+                names::HOTPATH_BATCH_APPLY_ROWS,
+                self.scratch.reduce_ids.len() as u64,
             );
         }
         report

@@ -171,6 +171,23 @@ impl LfuCache {
         self.install_at(s, row, values, primary_clock);
     }
 
+    /// Overwrites a cached row's values without touching its clock or
+    /// frequency bookkeeping. The batched read path admits rows with
+    /// placeholder data at classification time (so LFU victim selection is
+    /// identical to the per-row order) and fills the values once the
+    /// shard-grouped fetch lands. Returns false when the row is no longer
+    /// cached — evicted by a later admission in the same batch.
+    pub fn fill(&mut self, row: u32, values: &[f32]) -> bool {
+        assert_eq!(values.len(), self.dim, "values length != dim");
+        match self.slots.get(&row) {
+            Some(&s) => {
+                self.data[s * self.dim..(s + 1) * self.dim].copy_from_slice(values);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Currently cached row ids (sorted).
     pub fn cached_ids(&self) -> Vec<u32> {
         let mut ids: Vec<u32> = self.slots.keys().copied().collect();
@@ -247,6 +264,19 @@ mod tests {
         let mut buf = [0.0];
         c.read(7, &mut buf);
         assert_eq!(buf, [2.0]);
+    }
+
+    #[test]
+    fn fill_overwrites_data_only() {
+        let mut c = LfuCache::new(2, 1);
+        c.admit(3, &[0.0, 0.0], 7);
+        c.apply_local_delta(3, &[1.0, 1.0]);
+        assert!(c.fill(3, &[5.0, 6.0]));
+        assert_eq!(c.effective_clock(3), Some(8), "clock untouched by fill");
+        let mut buf = [0.0; 2];
+        c.read(3, &mut buf);
+        assert_eq!(buf, [5.0, 6.0]);
+        assert!(!c.fill(9, &[0.0, 0.0]), "absent row is a no-op");
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub use checkpoint::{
 pub use lfu::LfuCache;
 pub use report::{ReadReport, UpdateReport};
 pub use sparse_optim::SparseOpt;
-pub use table::ShardedTable;
+pub use table::{BatchScratch, ShardedTable};
 pub use worker::{StalenessBound, WorkerEmbedding};
 
 /// A worker-side embedding interface: batch reads under some consistency

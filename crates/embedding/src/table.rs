@@ -34,6 +34,24 @@ pub struct ShardedTable {
     num_rows: usize,
     shards: Vec<RwLock<Shard>>,
     clocks: Vec<AtomicU64>,
+    /// Data-path shard lock acquisitions (reads, updates, writes — both the
+    /// per-row and the batched API). The `hotpath.*` metrics and the bench
+    /// harness read this to show how much the batched path amortises.
+    lock_acquisitions: AtomicU64,
+}
+
+/// Reusable scratch for the batched table API ([`ShardedTable::read_rows`],
+/// [`ShardedTable::apply_grads`], [`ShardedTable::write_rows`]). Callers keep
+/// one per worker so grouping a batch by shard allocates nothing once the
+/// buffer has warmed up.
+#[derive(Default)]
+pub struct BatchScratch {
+    /// Permutation of `0..rows.len()` ordered by `(shard, original index)`:
+    /// shard-grouped, original order preserved within a shard so duplicate
+    /// rows apply in exactly the order the caller gave them.
+    perm: Vec<u32>,
+    /// Per-shard counters/offsets for the counting sort.
+    offsets: Vec<u32>,
 }
 
 impl ShardedTable {
@@ -56,6 +74,55 @@ impl ShardedTable {
             num_rows,
             shards,
             clocks,
+            lock_acquisitions: AtomicU64::new(0),
+        }
+    }
+
+    /// Total data-path shard lock acquisitions since construction. One
+    /// per-row call costs one acquisition; one batched call costs one per
+    /// *distinct shard touched* — the quantity the hot path amortises.
+    pub fn lock_acquisitions(&self) -> u64 {
+        self.lock_acquisitions.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn count_lock(&self) {
+        self.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Orders `scratch.perm` by `(shard, original index)` and validates every
+    /// row index. Within a shard the caller's order is preserved, so a batch
+    /// with duplicate rows applies them in exactly the sequence a per-row
+    /// loop would.
+    fn group_by_shard(&self, rows: &[u32], scratch: &mut BatchScratch) {
+        assert!(
+            rows.len() <= u32::MAX as usize,
+            "batch too large for u32 permutation"
+        );
+        for &row in rows {
+            assert!((row as usize) < self.num_rows, "row {row} out of range");
+        }
+        // Counting sort by shard: O(n + SHARDS) per batch, and stable —
+        // original indices land in submission order within each shard, which
+        // is what keeps duplicate-row applies bit-identical to a per-row
+        // loop. (A comparison sort here dominated the batched path's cost.)
+        scratch.offsets.clear();
+        scratch.offsets.resize(SHARDS, 0);
+        for &row in rows {
+            scratch.offsets[row as usize % SHARDS] += 1;
+        }
+        let mut start = 0u32;
+        for off in scratch.offsets.iter_mut() {
+            let count = *off;
+            *off = start;
+            start += count;
+        }
+        scratch.perm.clear();
+        scratch.perm.resize(rows.len(), 0);
+        for (i, &row) in rows.iter().enumerate() {
+            let off = &mut scratch.offsets[row as usize % SHARDS];
+            scratch.perm[*off as usize] = i as u32;
+            *off += 1;
         }
     }
 
@@ -94,9 +161,52 @@ impl ShardedTable {
         assert!((row as usize) < self.num_rows, "row {row} out of range");
         let clock = self.clock(row);
         let (shard, slot) = self.locate(row);
+        self.count_lock();
         let guard = self.shards[shard].read();
         out.copy_from_slice(&guard.data[slot..slot + self.dim]);
         clock
+    }
+
+    /// Batched [`ShardedTable::read_row`]: reads `rows[k]` into
+    /// `out[k*dim..(k+1)*dim]` and stores each row's pre-read clock in
+    /// `clocks[k]`, taking each shard lock once per batch instead of once
+    /// per row. Bit-identical to a per-row loop (rows are disjoint slices).
+    ///
+    /// # Panics
+    /// Panics if `out.len() != rows.len() * dim`, `clocks.len() !=
+    /// rows.len()`, or any row is out of range.
+    pub fn read_rows(
+        &self,
+        rows: &[u32],
+        out: &mut [f32],
+        clocks: &mut [u64],
+        scratch: &mut BatchScratch,
+    ) {
+        assert_eq!(
+            out.len(),
+            rows.len() * self.dim,
+            "output buffer length != rows * dim"
+        );
+        assert_eq!(clocks.len(), rows.len(), "clocks length != rows");
+        self.group_by_shard(rows, scratch);
+        let dim = self.dim;
+        let mut i = 0;
+        while i < scratch.perm.len() {
+            let shard = rows[scratch.perm[i] as usize] as usize % SHARDS;
+            self.count_lock();
+            let guard = self.shards[shard].read();
+            while i < scratch.perm.len() {
+                let k = scratch.perm[i] as usize;
+                let row = rows[k];
+                if row as usize % SHARDS != shard {
+                    break;
+                }
+                clocks[k] = self.clock(row);
+                let slot = (row as usize / SHARDS) * dim;
+                out[k * dim..(k + 1) * dim].copy_from_slice(&guard.data[slot..slot + dim]);
+                i += 1;
+            }
+        }
     }
 
     /// Applies one gradient `grad` to `row` under `opt`, increments the
@@ -106,33 +216,87 @@ impl ShardedTable {
         assert!((row as usize) < self.num_rows, "row {row} out of range");
         let (shard, slot) = self.locate(row);
         {
+            self.count_lock();
             let mut guard = self.shards[shard].write();
-            match *opt {
-                SparseOpt::Sgd { lr } => {
-                    let data = &mut guard.data[slot..slot + self.dim];
-                    for (p, &g) in data.iter_mut().zip(grad) {
-                        *p -= lr * g;
-                    }
+            Self::apply_in_shard(&mut guard, slot, self.dim, grad, opt);
+        }
+        self.clocks[row as usize].fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// The single-row update body shared by [`ShardedTable::apply_grad`] and
+    /// [`ShardedTable::apply_grads`], so the two paths are the same FP
+    /// operation sequence by construction.
+    #[inline]
+    fn apply_in_shard(guard: &mut Shard, slot: usize, dim: usize, grad: &[f32], opt: &SparseOpt) {
+        match *opt {
+            SparseOpt::Sgd { lr } => {
+                let data = &mut guard.data[slot..slot + dim];
+                for (p, &g) in data.iter_mut().zip(grad) {
+                    *p -= lr * g;
                 }
-                SparseOpt::Adagrad { lr, eps } => {
-                    if guard.accum.is_none() {
-                        guard.accum = Some(vec![0.0; guard.data.len()]);
-                    }
-                    let shard_mut = &mut *guard;
-                    let accum = shard_mut
-                        .accum
-                        .as_mut()
-                        .expect("accumulator allocated above");
-                    let data = &mut shard_mut.data[slot..slot + self.dim];
-                    let acc = &mut accum[slot..slot + self.dim];
-                    for ((p, &g), a) in data.iter_mut().zip(grad).zip(acc.iter_mut()) {
-                        *a += g * g;
-                        *p -= lr * g / (a.sqrt() + eps);
-                    }
+            }
+            SparseOpt::Adagrad { lr, eps } => {
+                if guard.accum.is_none() {
+                    guard.accum = Some(vec![0.0; guard.data.len()]);
+                }
+                let shard_mut = &mut *guard;
+                let accum = shard_mut
+                    .accum
+                    .as_mut()
+                    .expect("accumulator allocated above");
+                let data = &mut shard_mut.data[slot..slot + dim];
+                let acc = &mut accum[slot..slot + dim];
+                for ((p, &g), a) in data.iter_mut().zip(grad).zip(acc.iter_mut()) {
+                    *a += g * g;
+                    *p -= lr * g / (a.sqrt() + eps);
                 }
             }
         }
-        self.clocks[row as usize].fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Batched [`ShardedTable::apply_grad`]: applies `grads[k*dim..(k+1)*dim]`
+    /// to `rows[k]` under `opt`, ticking each row's clock and storing the new
+    /// clock in `clocks[k]`. Each shard lock is taken once per batch; within
+    /// a shard, rows apply in the caller's order, so duplicate rows (and the
+    /// resulting Adagrad accumulator sequence) are bit-identical to a
+    /// per-row loop over `apply_grad`.
+    ///
+    /// # Panics
+    /// Panics if `grads.len() != rows.len() * dim`, `clocks.len() !=
+    /// rows.len()`, or any row is out of range.
+    pub fn apply_grads(
+        &self,
+        rows: &[u32],
+        grads: &[f32],
+        opt: &SparseOpt,
+        clocks: &mut [u64],
+        scratch: &mut BatchScratch,
+    ) {
+        assert_eq!(
+            grads.len(),
+            rows.len() * self.dim,
+            "gradients length != rows * dim"
+        );
+        assert_eq!(clocks.len(), rows.len(), "clocks length != rows");
+        self.group_by_shard(rows, scratch);
+        let dim = self.dim;
+        let mut i = 0;
+        while i < scratch.perm.len() {
+            let shard = rows[scratch.perm[i] as usize] as usize % SHARDS;
+            self.count_lock();
+            let mut guard = self.shards[shard].write();
+            while i < scratch.perm.len() {
+                let k = scratch.perm[i] as usize;
+                let row = rows[k];
+                if row as usize % SHARDS != shard {
+                    break;
+                }
+                let slot = (row as usize / SHARDS) * dim;
+                Self::apply_in_shard(&mut guard, slot, dim, &grads[k * dim..(k + 1) * dim], opt);
+                clocks[k] = self.clocks[row as usize].fetch_add(1, Ordering::AcqRel) + 1;
+                i += 1;
+            }
+        }
     }
 
     /// Overwrites `row` with explicit values (used by tests and by model
@@ -140,8 +304,43 @@ impl ShardedTable {
     pub fn write_row(&self, row: u32, values: &[f32]) {
         assert_eq!(values.len(), self.dim, "values length != dim");
         let (shard, slot) = self.locate(row);
+        self.count_lock();
         let mut guard = self.shards[shard].write();
         guard.data[slot..slot + self.dim].copy_from_slice(values);
+    }
+
+    /// Batched [`ShardedTable::write_row`]: overwrites `rows[k]` with
+    /// `values[k*dim..(k+1)*dim]`, one shard lock per batch per shard. Does
+    /// not advance clocks. Duplicate rows write in the caller's order (last
+    /// write wins, same as a per-row loop).
+    ///
+    /// # Panics
+    /// Panics if `values.len() != rows.len() * dim` or any row is out of
+    /// range.
+    pub fn write_rows(&self, rows: &[u32], values: &[f32], scratch: &mut BatchScratch) {
+        assert_eq!(
+            values.len(),
+            rows.len() * self.dim,
+            "values length != rows * dim"
+        );
+        self.group_by_shard(rows, scratch);
+        let dim = self.dim;
+        let mut i = 0;
+        while i < scratch.perm.len() {
+            let shard = rows[scratch.perm[i] as usize] as usize % SHARDS;
+            self.count_lock();
+            let mut guard = self.shards[shard].write();
+            while i < scratch.perm.len() {
+                let k = scratch.perm[i] as usize;
+                let row = rows[k];
+                if row as usize % SHARDS != shard {
+                    break;
+                }
+                let slot = (row as usize / SHARDS) * dim;
+                guard.data[slot..slot + dim].copy_from_slice(&values[k * dim..(k + 1) * dim]);
+                i += 1;
+            }
+        }
     }
 
     /// Overwrites `row` with explicit values *and* clock — checkpoint
@@ -349,6 +548,112 @@ mod tests {
         let t = ShardedTable::new(4, 2, 0.0, 1);
         let mut row = vec![0.0; 3];
         t.read_row(0, &mut row);
+    }
+
+    #[test]
+    fn read_rows_matches_per_row_loop() {
+        let t = ShardedTable::new(600, 8, 0.1, 7);
+        let rows: Vec<u32> = vec![0, 599, 257, 1, 257, 42, 300];
+        let mut scratch = BatchScratch::default();
+        let mut out = vec![0.0f32; rows.len() * 8];
+        let mut clocks = vec![0u64; rows.len()];
+        t.read_rows(&rows, &mut out, &mut clocks, &mut scratch);
+        let mut expect = vec![0.0f32; 8];
+        for (k, &r) in rows.iter().enumerate() {
+            let c = t.read_row(r, &mut expect);
+            assert_eq!(&out[k * 8..(k + 1) * 8], &expect[..], "row {r}");
+            assert_eq!(clocks[k], c, "row {r} clock");
+        }
+    }
+
+    #[test]
+    fn apply_grads_bit_identical_to_per_row_loop() {
+        // Duplicate rows included on purpose: the batched path must preserve
+        // the caller's order within a shard so accumulator sequences match.
+        let rows: Vec<u32> = vec![3, 259, 3, 514, 2, 3, 258];
+        let dim = 4;
+        let grads: Vec<f32> = (0..rows.len() * dim).map(|i| (i as f32) * 0.3 - 2.0).collect();
+        for opt in [
+            SparseOpt::Sgd { lr: 0.07 },
+            SparseOpt::Adagrad { lr: 0.5, eps: 1e-8 },
+        ] {
+            let batched = ShardedTable::new(600, dim, 0.1, 99);
+            let serial = ShardedTable::new(600, dim, 0.1, 99);
+            let mut scratch = BatchScratch::default();
+            let mut clocks = vec![0u64; rows.len()];
+            batched.apply_grads(&rows, &grads, &opt, &mut clocks, &mut scratch);
+            let mut serial_clocks = vec![0u64; rows.len()];
+            for (k, &r) in rows.iter().enumerate() {
+                serial_clocks[k] = serial.apply_grad(r, &grads[k * dim..(k + 1) * dim], &opt);
+            }
+            let mut a = vec![0.0f32; dim];
+            let mut b = vec![0.0f32; dim];
+            for r in 0..600u32 {
+                batched.read_row(r, &mut a);
+                serial.read_row(r, &mut b);
+                assert_eq!(
+                    a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    b.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    "row {r} data"
+                );
+                let ha = batched.read_accum(r, &mut a);
+                let hb = serial.read_accum(r, &mut b);
+                assert_eq!(ha, hb);
+                assert_eq!(
+                    a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    b.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    "row {r} accum"
+                );
+                assert_eq!(batched.clock(r), serial.clock(r), "row {r} clock");
+            }
+            // A duplicated row's clocks reflect sequential application. Row 3
+            // appears at positions 0, 2, 5.
+            assert_eq!(
+                [clocks[0], clocks[2], clocks[5]],
+                [serial_clocks[0], serial_clocks[2], serial_clocks[5]]
+            );
+        }
+    }
+
+    #[test]
+    fn write_rows_last_write_wins() {
+        let t = ShardedTable::new(300, 2, 0.0, 1);
+        let rows = vec![5u32, 261, 5];
+        let values = vec![1.0f32, 2.0, 9.0, 9.0, 3.0, 4.0];
+        let mut scratch = BatchScratch::default();
+        t.write_rows(&rows, &values, &mut scratch);
+        let mut out = vec![0.0f32; 2];
+        t.read_row(5, &mut out);
+        assert_eq!(out, vec![3.0, 4.0]); // duplicate applied in caller order
+        t.read_row(261, &mut out);
+        assert_eq!(out, vec![9.0, 9.0]);
+        assert_eq!(t.clock(5), 0, "write_rows must not tick clocks");
+    }
+
+    #[test]
+    fn batched_ops_amortise_lock_acquisitions() {
+        let t = ShardedTable::new(1024, 4, 0.0, 1);
+        let rows: Vec<u32> = (0..512u32).collect(); // 256 shards, 2 rows each
+        let mut scratch = BatchScratch::default();
+        let mut out = vec![0.0f32; rows.len() * 4];
+        let mut clocks = vec![0u64; rows.len()];
+        let before = t.lock_acquisitions();
+        t.read_rows(&rows, &mut out, &mut clocks, &mut scratch);
+        assert_eq!(t.lock_acquisitions() - before, 256);
+        let before = t.lock_acquisitions();
+        for &r in &rows {
+            t.read_row(r, &mut out[..4]);
+        }
+        assert_eq!(t.lock_acquisitions() - before, 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn read_rows_out_of_range_panics() {
+        let t = ShardedTable::new(4, 2, 0.0, 1);
+        let mut out = vec![0.0f32; 4];
+        let mut clocks = vec![0u64; 2];
+        t.read_rows(&[0, 4], &mut out, &mut clocks, &mut BatchScratch::default());
     }
 
     #[test]

@@ -11,7 +11,42 @@ use hetgmp_telemetry::{names, Json, ProtocolAuditor, Recorder, TraceCollector};
 use crate::cache::SecondaryCache;
 use crate::report::{ReadReport, UpdateReport, META_ENTRY_BYTES};
 use crate::sparse_optim::SparseOpt;
-use crate::table::ShardedTable;
+use crate::table::{BatchScratch, ShardedTable};
+
+/// Reusable hot-path scratch: every buffer the per-batch gather/update path
+/// needs, allocated once per worker and recycled so steady-state iterations
+/// allocate nothing.
+#[derive(Default)]
+pub(crate) struct HotScratch {
+    /// Shard-grouping permutation for the batched table API.
+    pub batch: BatchScratch,
+    /// Rows to fetch from the primary table this batch.
+    pub fetch_ids: Vec<u32>,
+    /// Destination offset in the caller-visible row scratch for each fetch.
+    pub fetch_slots: Vec<usize>,
+    /// Whether each fetched row must be (re-)installed into the cache.
+    pub fetch_install: Vec<bool>,
+    /// Contiguous staging for batched reads (fetch-order, `dim` per row).
+    pub fetch_buf: Vec<f32>,
+    /// Clocks observed by the batched read, fetch-order.
+    pub fetch_clocks: Vec<u64>,
+    /// One-row scratch for pending-gradient flushes.
+    pub row_buf: Vec<f32>,
+    /// One-row scratch for local mirror deltas.
+    pub delta_buf: Vec<f32>,
+    /// Local-reduction index: unique id → offset into `reduce_buf`.
+    pub reduce_slots: HashMap<u32, usize>,
+    /// Reduced (summed) gradients, one `dim` slice per unique id.
+    pub reduce_buf: Vec<f32>,
+    /// Unique ids of the batch, sorted for deterministic application.
+    pub reduce_ids: Vec<u32>,
+    /// Rows routed to the single batched `apply_grads` call.
+    pub apply_ids: Vec<u32>,
+    /// Gradients aligned with `apply_ids`.
+    pub apply_buf: Vec<f32>,
+    /// Clocks returned by the batched apply.
+    pub apply_clocks: Vec<u64>,
+}
 
 /// The staleness bound `s`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +97,8 @@ pub struct WorkerEmbedding<'a> {
     /// Scratch: unique-id → slot in `scratch_rows`.
     scratch_ids: HashMap<u32, usize>,
     scratch_rows: Vec<f32>,
+    /// Batched-path scratch (shard grouping, fetch staging, reduction).
+    scratch: HotScratch,
     /// Rows currently holding a deferred (pending) gradient.
     pending_rows: usize,
     recorder: Option<Arc<dyn Recorder>>,
@@ -109,6 +146,10 @@ impl<'a> WorkerEmbedding<'a> {
             flush_opt: SparseOpt::sgd(0.01),
             scratch_ids: HashMap::new(),
             scratch_rows: Vec::new(),
+            scratch: HotScratch {
+                row_buf: vec![0.0f32; table.dim()],
+                ..HotScratch::default()
+            },
             pending_rows: 0,
             recorder: None,
             auditor: None,
@@ -164,6 +205,16 @@ impl<'a> WorkerEmbedding<'a> {
 
         // Pass 1 — resolve each unique id once: local primary, cached
         // secondary (with intra-embedding staleness check), or remote fetch.
+        // Rows that need the primary table are *collected* during
+        // classification and fetched afterwards in one shard-grouped
+        // `read_rows` call, so a batch pays one lock per shard touched
+        // instead of one per row. Pending flushes still happen at decision
+        // time (before the fetch), so a synced row's fetched value includes
+        // this worker's own deferred updates — same order as the per-row
+        // path.
+        self.scratch.fetch_ids.clear();
+        self.scratch.fetch_slots.clear();
+        self.scratch.fetch_install.clear();
         for sample in samples {
             for &e in *sample {
                 if self.scratch_ids.contains_key(&e) {
@@ -172,8 +223,9 @@ impl<'a> WorkerEmbedding<'a> {
                 let slot = self.scratch_rows.len();
                 self.scratch_rows.resize(slot + dim, 0.0);
                 if self.part.primary_of(e) == self.worker {
-                    self.table
-                        .read_row(e, &mut self.scratch_rows[slot..slot + dim]);
+                    self.scratch.fetch_ids.push(e);
+                    self.scratch.fetch_slots.push(slot);
+                    self.scratch.fetch_install.push(false);
                     report.local_primary += 1;
                 } else if self.cache.contains(e) {
                     match self.bound {
@@ -216,9 +268,9 @@ impl<'a> WorkerEmbedding<'a> {
                                 // Push any deferred gradients first so the
                                 // fetched value includes our own updates.
                                 self.flush_pending_into_read(e, &mut report);
-                                let buf = &mut self.scratch_rows[slot..slot + dim];
-                                let clock = self.table.read_row(e, buf);
-                                self.cache.install(e, buf, clock);
+                                self.scratch.fetch_ids.push(e);
+                                self.scratch.fetch_slots.push(slot);
+                                self.scratch.fetch_install.push(true);
                                 report.intra_syncs += 1;
                                 report.data_bytes += (dim * 4) as u64;
                                 report.add_src_bytes(
@@ -232,8 +284,9 @@ impl<'a> WorkerEmbedding<'a> {
                     }
                 } else {
                     // No local replica: model-parallel remote read.
-                    self.table
-                        .read_row(e, &mut self.scratch_rows[slot..slot + dim]);
+                    self.scratch.fetch_ids.push(e);
+                    self.scratch.fetch_slots.push(slot);
+                    self.scratch.fetch_install.push(false);
                     report.remote_fetches += 1;
                     report.data_bytes += (dim * 4) as u64;
                     report.add_src_bytes(
@@ -246,6 +299,41 @@ impl<'a> WorkerEmbedding<'a> {
                 }
                 self.scratch_ids.insert(e, slot);
             }
+        }
+
+        // One shard-grouped fetch for everything that needs the primary
+        // table, scattered into the resolved-row scratch; synced secondaries
+        // are re-installed at their observed clocks. Bit-identical to the
+        // old per-row reads: each fetched row is written only by its own
+        // flush above, which precedes the read in both orders.
+        let nfetch = self.scratch.fetch_ids.len();
+        if nfetch > 0 {
+            let table = self.table;
+            let HotScratch {
+                batch,
+                fetch_ids,
+                fetch_slots,
+                fetch_install,
+                fetch_buf,
+                fetch_clocks,
+                ..
+            } = &mut self.scratch;
+            fetch_buf.clear();
+            fetch_buf.resize(nfetch * dim, 0.0);
+            fetch_clocks.clear();
+            fetch_clocks.resize(nfetch, 0);
+            table.read_rows(fetch_ids, fetch_buf, fetch_clocks, batch);
+            for k in 0..nfetch {
+                let slot = fetch_slots[k];
+                let row = &fetch_buf[k * dim..(k + 1) * dim];
+                self.scratch_rows[slot..slot + dim].copy_from_slice(row);
+                if fetch_install[k] {
+                    self.cache.install(fetch_ids[k], row, fetch_clocks[k]);
+                }
+            }
+        }
+        if let Some(r) = &self.recorder {
+            r.counter_add(names::HOTPATH_BATCH_READ_ROWS, nfetch as u64);
         }
 
         // Pass 2 — inter-embedding synchronisation: within each sample, all
@@ -382,33 +470,54 @@ impl<'a> WorkerEmbedding<'a> {
         let total: usize = samples.iter().map(|s| s.len()).sum();
         assert_eq!(grads.len(), total * dim, "gradient buffer size mismatch");
 
-        // Local reduction: sum gradients per unique row.
-        let mut reduced: HashMap<u32, Vec<f32>> = HashMap::new();
-        let mut cursor = 0usize;
-        for sample in samples {
-            for &e in *sample {
-                let g = &grads[cursor..cursor + dim];
-                match reduced.get_mut(&e) {
-                    Some(acc) => {
-                        for (a, &x) in acc.iter_mut().zip(g) {
-                            *a += x;
+        // Local reduction: sum gradients per unique row, into a flat
+        // reusable buffer (one `dim` slice per unique id — no per-row Vec
+        // allocations on the hot path).
+        {
+            let HotScratch {
+                reduce_slots,
+                reduce_buf,
+                ..
+            } = &mut self.scratch;
+            reduce_slots.clear();
+            reduce_buf.clear();
+            let mut cursor = 0usize;
+            for sample in samples {
+                for &e in *sample {
+                    let g = &grads[cursor..cursor + dim];
+                    match reduce_slots.get(&e) {
+                        Some(&slot) => {
+                            for (a, &x) in reduce_buf[slot..slot + dim].iter_mut().zip(g) {
+                                *a += x;
+                            }
+                        }
+                        None => {
+                            reduce_slots.insert(e, reduce_buf.len());
+                            reduce_buf.extend_from_slice(g);
                         }
                     }
-                    None => {
-                        reduced.insert(e, g.to_vec());
-                    }
+                    cursor += dim;
                 }
-                cursor += dim;
             }
         }
 
         let mut report = UpdateReport::default();
         self.flush_opt = *opt;
         // Deterministic application order.
-        let mut ids: Vec<u32> = reduced.keys().copied().collect();
+        let mut ids = std::mem::take(&mut self.scratch.reduce_ids);
+        ids.clear();
+        ids.extend(self.scratch.reduce_slots.keys().copied());
         ids.sort_unstable();
         let lr = opt.learning_rate();
-        let mut delta = vec![0.0f32; dim];
+        let mut delta = std::mem::take(&mut self.scratch.delta_buf);
+        delta.clear();
+        delta.resize(dim, 0.0);
+        let reduce_slots = std::mem::take(&mut self.scratch.reduce_slots);
+        let reduce_buf = std::mem::take(&mut self.scratch.reduce_buf);
+        let mut apply_ids = std::mem::take(&mut self.scratch.apply_ids);
+        let mut apply_buf = std::mem::take(&mut self.scratch.apply_buf);
+        apply_ids.clear();
+        apply_buf.clear();
         // Deferral budget: with a positive staleness bound, gradients for
         // locally-replicated rows are *accumulated* in the secondary's
         // stale-gradient buffer (paper §6) and flushed as one merged
@@ -424,11 +533,19 @@ impl<'a> WorkerEmbedding<'a> {
             StalenessBound::Infinite => Some(u64::MAX),
             _ => None,
         };
-        for e in ids {
-            let g = &reduced[&e];
+        // Route every reduced gradient. Direct applies (local primaries and
+        // immediate write-backs) are *collected* and applied in one
+        // shard-grouped `apply_grads` call below; deferred rows still flush
+        // inline when they hit their budget. Rows are distinct after
+        // reduction, so collecting commutes with the old per-row interleave
+        // bit-for-bit.
+        for &e in &ids {
+            let slot = reduce_slots[&e];
+            let g = &reduce_buf[slot..slot + dim];
             let primary_local = self.part.primary_of(e) == self.worker;
             if primary_local {
-                self.table.apply_grad(e, g, opt);
+                apply_ids.push(e);
+                apply_buf.extend_from_slice(g);
                 report.local_updates += 1;
                 continue;
             }
@@ -450,7 +567,8 @@ impl<'a> WorkerEmbedding<'a> {
                 continue;
             }
             // Immediate write-back (no replica, or s = 0).
-            self.table.apply_grad(e, g, opt);
+            apply_ids.push(e);
+            apply_buf.extend_from_slice(g);
             report.remote_writebacks += 1;
             report.data_bytes += (dim * 4) as u64;
             report.add_dst_bytes(
@@ -467,6 +585,24 @@ impl<'a> WorkerEmbedding<'a> {
                 self.cache.apply_local_delta(e, &delta);
             }
         }
+        if !apply_ids.is_empty() {
+            let HotScratch {
+                batch, apply_clocks, ..
+            } = &mut self.scratch;
+            apply_clocks.clear();
+            apply_clocks.resize(apply_ids.len(), 0);
+            self.table
+                .apply_grads(&apply_ids, &apply_buf, opt, apply_clocks, batch);
+        }
+        if let Some(r) = &self.recorder {
+            r.counter_add(names::HOTPATH_BATCH_APPLY_ROWS, apply_ids.len() as u64);
+        }
+        self.scratch.delta_buf = delta;
+        self.scratch.reduce_slots = reduce_slots;
+        self.scratch.reduce_buf = reduce_buf;
+        self.scratch.apply_ids = apply_ids;
+        self.scratch.apply_buf = apply_buf;
+        self.scratch.reduce_ids = ids;
         if let Some(r) = &self.recorder {
             r.counter_add(names::EMBED_UPDATE_DEFERRED, report.deferred);
             r.counter_add(
@@ -494,9 +630,9 @@ impl<'a> WorkerEmbedding<'a> {
     /// write-back into `report`.
     fn flush_row(&mut self, e: u32, opt: &SparseOpt, report: &mut UpdateReport) {
         let dim = self.table.dim();
-        let mut buf = vec![0.0f32; dim];
-        if self.cache.take_pending(e, &mut buf) {
-            self.table.apply_grad(e, &buf, opt);
+        let buf = &mut self.scratch.row_buf;
+        if self.cache.take_pending(e, buf) {
+            self.table.apply_grad(e, buf, opt);
             self.cache.note_flush(e);
             self.pending_rows = self.pending_rows.saturating_sub(1);
             if let Some(r) = &self.recorder {
@@ -518,10 +654,10 @@ impl<'a> WorkerEmbedding<'a> {
     /// accounted into the read report. Returns true if anything was flushed.
     fn flush_pending_into_read(&mut self, e: u32, report: &mut ReadReport) -> bool {
         let dim = self.table.dim();
-        let mut buf = vec![0.0f32; dim];
-        if self.cache.take_pending(e, &mut buf) {
+        let buf = &mut self.scratch.row_buf;
+        if self.cache.take_pending(e, buf) {
             let opt = self.flush_opt;
-            self.table.apply_grad(e, &buf, &opt);
+            self.table.apply_grad(e, buf, &opt);
             self.cache.note_flush(e);
             self.pending_rows = self.pending_rows.saturating_sub(1);
             if let Some(r) = &self.recorder {
@@ -558,15 +694,27 @@ impl<'a> WorkerEmbedding<'a> {
     /// barriers). Returns the number of rows synced.
     pub fn sync_all(&mut self) -> usize {
         let dim = self.table.dim();
-        let mut buf = vec![0.0f32; dim];
-        let ids: Vec<u32> = (0..self.table.num_rows() as u32)
-            .filter(|&e| self.cache.contains(e))
-            .collect();
-        for &e in &ids {
-            let clock = self.table.read_row(e, &mut buf);
-            self.cache.install(e, &buf, clock);
+        let table = self.table;
+        let HotScratch {
+            batch,
+            fetch_ids,
+            fetch_buf,
+            fetch_clocks,
+            ..
+        } = &mut self.scratch;
+        fetch_ids.clear();
+        fetch_ids.extend((0..table.num_rows() as u32).filter(|&e| self.cache.contains(e)));
+        let n = fetch_ids.len();
+        fetch_buf.clear();
+        fetch_buf.resize(n * dim, 0.0);
+        fetch_clocks.clear();
+        fetch_clocks.resize(n, 0);
+        table.read_rows(fetch_ids, fetch_buf, fetch_clocks, batch);
+        for k in 0..n {
+            self.cache
+                .install(fetch_ids[k], &fetch_buf[k * dim..(k + 1) * dim], fetch_clocks[k]);
         }
-        ids.len()
+        n
     }
 
     /// Crash recovery: pending deferred gradients lived in (simulated)

@@ -14,7 +14,7 @@ use crate::metrics::PartitionMetrics;
 use crate::onedee::{OneDeeConfig, OneDeeState};
 use crate::random::random_partition;
 use crate::types::Partition;
-use crate::vertexcut::{replicate_hot_embeddings, ReplicationBudget};
+use crate::vertexcut::{replicate_hot_embeddings_threaded, ReplicationBudget};
 
 /// Configuration of Algorithm 1.
 #[derive(Debug, Clone)]
@@ -201,7 +201,12 @@ impl HybridPartitioner {
             });
         }
         if let Some(budget) = self.config.replication {
-            let created = replicate_hot_embeddings(g, &mut part, budget);
+            let created = replicate_hot_embeddings_threaded(
+                g,
+                &mut part,
+                budget,
+                self.config.onedee.score_threads,
+            );
             if let Some(r) = &self.recorder {
                 r.gauge_set(
                     names::PARTITION_REPLICATION_BUDGET,
@@ -320,6 +325,53 @@ mod tests {
         for e in 0..g.num_embeddings() as u32 {
             assert_eq!(p1.primary_of(e), p2.primary_of(e));
             assert_eq!(p1.replica_count(e), p2.replica_count(e));
+        }
+    }
+
+    /// Parallel δg scoring and the parallel replication scan must be
+    /// invisible: 1, 2, and 4 score threads produce the same assignment,
+    /// the same primaries, and the same replica sets as each other (and as
+    /// the auto default). Decisions stay sequential; only the frozen cost
+    /// tables are filled concurrently.
+    #[test]
+    fn score_threads_do_not_change_the_partition() {
+        let g = graph();
+        let run = |threads: usize| {
+            let cfg = HybridConfig {
+                rounds: 4,
+                replication: Some(ReplicationBudget::PerPartitionSlots(3)),
+                onedee: crate::onedee::OneDeeConfig {
+                    score_threads: threads,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            HybridPartitioner::new(cfg).partition_rounds(&g, 4)
+        };
+        let (base, base_rounds) = run(1);
+        for threads in [0, 2, 4] {
+            let (p, rounds) = run(threads);
+            for (a, b) in base_rounds.iter().zip(&rounds) {
+                assert_eq!(a.moved, b.moved, "{threads} threads, round {}", a.round);
+                assert_eq!(
+                    a.remote_fetches, b.remote_fetches,
+                    "{threads} threads, round {}",
+                    a.round
+                );
+            }
+            for s in 0..g.num_samples() as u32 {
+                assert_eq!(base.sample_owner(s), p.sample_owner(s), "{threads} threads, sample {s}");
+            }
+            for e in 0..g.num_embeddings() as u32 {
+                assert_eq!(base.primary_of(e), p.primary_of(e), "{threads} threads, emb {e}");
+                for i in 0..4u32 {
+                    assert_eq!(
+                        base.is_secondary(e, i),
+                        p.is_secondary(e, i),
+                        "{threads} threads, emb {e} on partition {i}"
+                    );
+                }
+            }
         }
     }
 

@@ -55,6 +55,14 @@ pub struct OneDeeConfig {
     /// α/β/γ terms steer placement *within* this feasible region; the cap is
     /// what guarantees the "balanced" in balanced partitioning.
     pub slack: f64,
+    /// Worker threads for the δg edge-cut scoring (`0` = one per available
+    /// core). The δc term of every candidate is a pure function of state
+    /// that is *frozen* for the duration of a sweep (sample scores read only
+    /// primaries, which sample moves never touch; embedding scores read only
+    /// the access-count rows, which embedding moves never touch), so the
+    /// scoring fans out across threads while the move decisions stay
+    /// sequential — the result is identical for every thread count.
+    pub score_threads: usize,
 }
 
 impl Default for OneDeeConfig {
@@ -65,8 +73,49 @@ impl Default for OneDeeConfig {
             gamma: 1.0,
             weights: None,
             slack: 1.05,
+            score_threads: 0,
         }
     }
+}
+
+/// Resolves a `score_threads` config value: `0` = available parallelism.
+pub(crate) fn resolve_threads(cfg: usize) -> usize {
+    if cfg > 0 {
+        cfg
+    } else {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
+
+/// Fills `out[v * n + j]` for `v` in `0..num_vertices` by calling
+/// `score(v, &mut out[v*n..(v+1)*n])`, fanned out over `threads` workers on
+/// contiguous vertex ranges. Each entry is written by exactly one thread and
+/// computed by the same FP sequence as a serial loop, so the fill is
+/// deterministic for every thread count.
+pub(crate) fn parallel_fill<F>(out: &mut [f64], n: usize, num_vertices: usize, threads: usize, score: F)
+where
+    F: Fn(u32, &mut [f64]) + Sync,
+{
+    debug_assert_eq!(out.len(), num_vertices * n);
+    let threads = threads.min(num_vertices.max(1));
+    if threads <= 1 || num_vertices == 0 {
+        for (v, row) in out.chunks_mut(n).enumerate() {
+            score(v as u32, row);
+        }
+        return;
+    }
+    let per = num_vertices.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (t, chunk) in out.chunks_mut(per * n).enumerate() {
+            let score = &score;
+            scope.spawn(move || {
+                let base = t * per;
+                for (i, row) in chunk.chunks_mut(n).enumerate() {
+                    score((base + i) as u32, row);
+                }
+            });
+        }
+    });
 }
 
 /// Incremental sweep state; create once, call [`OneDeeState::sweep`] per
@@ -87,6 +136,8 @@ pub struct OneDeeState {
     w: Vec<Vec<f64>>,
     /// Mean off-diagonal weight — the constant scale of the balance terms.
     w_mean: f64,
+    /// Reusable `|V| × N` candidate-score table for the parallel δc fill.
+    cost: Vec<f64>,
     cfg: OneDeeConfig,
 }
 
@@ -125,6 +176,7 @@ impl OneDeeState {
             emb_cnt: vec![0; n],
             w,
             w_mean,
+            cost: Vec::new(),
             cfg,
         };
         state.rebuild(g, part);
@@ -182,6 +234,37 @@ impl OneDeeState {
         let n = self.n;
         let avg_samples = g.num_samples() as f64 / n as f64;
         let cap = (avg_samples * self.cfg.slack).ceil() as usize;
+
+        // Parallel δc scoring: a sample's communication cost toward each
+        // candidate partition depends only on its embeddings' primaries,
+        // and the sample sweep never moves a primary — so the whole table
+        // is valid for the entire sweep and fans out across threads while
+        // the move decisions below stay strictly sequential.
+        let mut cost = std::mem::take(&mut self.cost);
+        cost.clear();
+        cost.resize(g.num_samples() * n, 0.0);
+        {
+            let w = &self.w;
+            parallel_fill(
+                &mut cost,
+                n,
+                g.num_samples(),
+                resolve_threads(self.cfg.score_threads),
+                |s, out| {
+                    for j in 0..n {
+                        let mut c = 0.0;
+                        for &x in g.embeddings_of(s) {
+                            let p = part.primary_of(x) as usize;
+                            if p != j {
+                                c += w[j][p];
+                            }
+                        }
+                        out[j] = c;
+                    }
+                },
+            );
+        }
+
         let mut moved = 0usize;
         for s in 0..g.num_samples() as u32 {
             let embs = g.embeddings_of(s);
@@ -206,13 +289,7 @@ impl OneDeeState {
                 if j != old && self.sample_cnt[j] + 1 > cap {
                     continue; // hard balance cap (staying is always allowed)
                 }
-                let mut comm_cost = 0.0;
-                for &x in embs {
-                    let p = part.primary_of(x) as usize;
-                    if p != j {
-                        comm_cost += self.w[j][p];
-                    }
-                }
+                let comm_cost = cost[s as usize * n + j];
                 let balance = self.cfg.alpha * Self::gap(self.sample_cnt[j] as f64, avg_samples)
                     + self.cfg.gamma * Self::gap(self.comm[j], avg_comm);
                 let score = comm_cost + embs.len() as f64 * self.w_mean * balance;
@@ -243,6 +320,7 @@ impl OneDeeState {
                 moved += 1;
             }
         }
+        self.cost = cost;
         moved
     }
 
@@ -250,6 +328,39 @@ impl OneDeeState {
         let n = self.n;
         let avg_embs = g.num_embeddings() as f64 / n as f64;
         let cap = (avg_embs * self.cfg.slack).ceil() as usize;
+
+        // Parallel δc scoring: an embedding's candidate cost reads only its
+        // own access-count row (and the weight matrix), and the embedding
+        // sweep never changes a count — the table stays valid for the whole
+        // sweep no matter which primaries move.
+        let mut cost = std::mem::take(&mut self.cost);
+        cost.clear();
+        cost.resize(g.num_embeddings() * n, 0.0);
+        {
+            let w = &self.w;
+            let counts = &self.counts;
+            parallel_fill(
+                &mut cost,
+                n,
+                g.num_embeddings(),
+                resolve_threads(self.cfg.score_threads),
+                |x, out| {
+                    let row = &counts[x as usize * n..(x as usize + 1) * n];
+                    for j in 0..n {
+                        // Cost of placing the primary on j: every access
+                        // from k ≠ j becomes a remote fetch over link (k, j).
+                        let mut c = 0.0;
+                        for (k, &cnt) in row.iter().enumerate() {
+                            if k != j && cnt > 0 {
+                                c += cnt as f64 * w[k][j];
+                            }
+                        }
+                        out[j] = c;
+                    }
+                },
+            );
+        }
+
         let mut moved = 0usize;
         for x in 0..g.num_embeddings() as u32 {
             let old = part.primary_of(x) as usize;
@@ -271,14 +382,7 @@ impl OneDeeState {
                 if j != old && self.emb_cnt[j] + 1 > cap {
                     continue; // hard balance cap
                 }
-                // Cost of placing the primary on j: every access from k ≠ j
-                // becomes a remote fetch over link (k, j).
-                let mut comm_cost = 0.0;
-                for (k, &cnt) in row.iter().enumerate() {
-                    if k != j && cnt > 0 {
-                        comm_cost += cnt as f64 * self.w[k][j];
-                    }
-                }
+                let comm_cost = cost[x as usize * n + j];
                 let balance = self.cfg.beta * Self::gap(self.emb_cnt[j] as f64, avg_embs)
                     + self.cfg.gamma * Self::gap(self.comm[j], avg_comm);
                 // Scale by sqrt(freq): hot embeddings answer mostly to the
@@ -308,6 +412,7 @@ impl OneDeeState {
                 moved += 1;
             }
         }
+        self.cost = cost;
         moved
     }
 }

@@ -45,11 +45,31 @@ impl ReplicationBudget {
 }
 
 /// Runs greedy vertex-cut replication, adding secondaries to `part` in
-/// place. Returns the number of secondary replicas created.
+/// place. Returns the number of secondary replicas created. Candidate
+/// scanning runs on one thread per available core; see
+/// [`replicate_hot_embeddings_threaded`].
 pub fn replicate_hot_embeddings(
     g: &Bigraph,
     part: &mut Partition,
     budget: ReplicationBudget,
+) -> usize {
+    replicate_hot_embeddings_threaded(g, part, budget, 0)
+}
+
+/// [`replicate_hot_embeddings`] with an explicit scan-thread count (`0` =
+/// one per available core).
+///
+/// Each partition's candidate scan — collect its remotely-accessed
+/// embeddings, rank by `count(x, i)` descending with id tie-break — reads
+/// only the frozen access counts and the pre-replication partition, so the
+/// scans fan out across threads; the winning replica sets are then applied
+/// sequentially in partition order. The result is identical for every
+/// thread count.
+pub fn replicate_hot_embeddings_threaded(
+    g: &Bigraph,
+    part: &mut Partition,
+    budget: ReplicationBudget,
+    score_threads: usize,
 ) -> usize {
     let n = part.num_partitions();
     let slots = budget.slots(g.num_embeddings());
@@ -66,18 +86,42 @@ pub fn replicate_hot_embeddings(
         }
     }
 
-    let mut created = 0usize;
-    for i in 0..n as u32 {
-        // Candidates: embeddings not local to i with a positive access count,
-        // ranked by count(x, i) descending (ties by id for determinism).
+    // Candidates for partition i: embeddings not local to i with a positive
+    // access count, ranked by count(x, i) descending (ties by id for
+    // determinism), truncated to the slot budget.
+    let scan = |i: u32| -> Vec<u32> {
         let mut candidates: Vec<(u32, u32)> = (0..g.num_embeddings() as u32)
             .filter(|&x| !part.is_local(x, i))
             .map(|x| (counts[x as usize * n + i as usize], x))
             .filter(|&(c, _)| c > 0)
             .collect();
         candidates.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
-        for &(_, x) in candidates.iter().take(slots) {
-            part.add_replica(x, i);
+        candidates.iter().take(slots).map(|&(_, x)| x).collect()
+    };
+    let threads = crate::onedee::resolve_threads(score_threads).min(n.max(1));
+    let mut winners: Vec<Vec<u32>> = vec![Vec::new(); n];
+    if threads <= 1 {
+        for (i, w) in winners.iter_mut().enumerate() {
+            *w = scan(i as u32);
+        }
+    } else {
+        let per = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (t, chunk) in winners.chunks_mut(per).enumerate() {
+                let scan = &scan;
+                scope.spawn(move || {
+                    for (k, w) in chunk.iter_mut().enumerate() {
+                        *w = scan((t * per + k) as u32);
+                    }
+                });
+            }
+        });
+    }
+
+    let mut created = 0usize;
+    for (i, list) in winners.iter().enumerate() {
+        for &x in list {
+            part.add_replica(x, i as u32);
             created += 1;
         }
     }

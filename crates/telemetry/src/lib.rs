@@ -171,6 +171,20 @@ pub mod names {
     pub const TRACE_FAULT_RECOVERY: &str = "trace.fault.recovery";
     /// Trace span: writing a run checkpoint (driver timeline).
     pub const TRACE_CHECKPOINT: &str = "trace.checkpoint";
+
+    /// Counter: embedding rows fetched through the batched (shard-grouped)
+    /// read path.
+    pub const HOTPATH_BATCH_READ_ROWS: &str = "hotpath.batch.read_rows";
+    /// Counter: embedding rows updated through the batched (shard-grouped)
+    /// apply path.
+    pub const HOTPATH_BATCH_APPLY_ROWS: &str = "hotpath.batch.apply_rows";
+    /// Gauge: total data-path shard lock acquisitions on the primary table
+    /// over the run (what batching amortises).
+    pub const HOTPATH_LOCK_ACQUISITIONS: &str = "hotpath.lock_acquisitions";
+    /// Gauge: end-to-end training throughput in samples per *wall-clock*
+    /// second (the perf-baseline number; simulated-time throughput lives in
+    /// `train.*`).
+    pub const HOTPATH_SAMPLES_PER_SEC: &str = "hotpath.samples_per_sec";
 }
 
 #[cfg(test)]

@@ -85,6 +85,16 @@ impl Matrix {
         self.data.iter_mut().for_each(|x| *x = 0.0);
     }
 
+    /// Reshapes to `rows × cols` and zero-fills, reusing the allocation
+    /// when it is already large enough. Lets a hot loop keep one scratch
+    /// matrix instead of allocating per batch.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
     /// `self · other` — shapes `(m×k)·(k×n) → (m×n)`, ikj loop order.
     ///
     /// # Panics

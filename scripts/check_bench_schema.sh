@@ -1,0 +1,65 @@
+#!/usr/bin/env sh
+# Validates the shape of BENCH_hotpath.json (written by `make bench-baseline`
+# / `make bench-smoke`): the top-level sections and every numeric field the
+# perf tracking relies on must be present, and the recorded throughputs must
+# be positive. Prints the batched-over-per-row speedup on success.
+#
+# Run from the repo root (make verify does). POSIX sh + grep/sed only — the
+# file is single-line flat JSON emitted by our own renderer, so anchored
+# grep is reliable.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+FILE=${1:-BENCH_hotpath.json}
+[ -f "$FILE" ] || {
+    echo "check_bench_schema: $FILE missing (run 'make bench-smoke' first)" >&2
+    exit 1
+}
+
+fail=0
+
+require() {
+    # require <pattern> <description>
+    if ! grep -qE "$1" "$FILE"; then
+        echo "check_bench_schema: missing $2 (pattern: $1)" >&2
+        fail=1
+    fi
+}
+
+# Top-level sections.
+for section in config per_row batched end_to_end; do
+    require "\"$section\":\{" "section \"$section\""
+done
+require '"speedup":[0-9]' 'top-level "speedup"'
+
+# Microbench sides: both carry throughput, lock traffic, and wall time.
+for side in per_row batched; do
+    for key in rows_per_sec lock_acquisitions wall_secs; do
+        require "\"$side\":\{[^}]*\"$key\":[0-9-]" "\"$side.$key\""
+    done
+done
+
+# End-to-end run fields.
+for key in samples_per_sec lock_acquisitions samples_processed \
+    batched_read_rows batched_apply_rows final_auc; do
+    require "\"end_to_end\":\{[^}]*\"$key\":[0-9-]" "\"end_to_end.$key\""
+done
+
+# Config provenance: the workload must be reproducible.
+for key in seed rows dim batch batches threads reps smoke; do
+    require "\"config\":\{[^}]*\"$key\":" "\"config.$key\""
+done
+
+[ "$fail" -eq 0 ] || exit 1
+
+# Sanity: throughputs are positive (a zero means the measurement broke).
+for expr in '"rows_per_sec":0[,.]0*[,}]' '"samples_per_sec":0[,}]'; do
+    if grep -qE "$expr" "$FILE"; then
+        echo "check_bench_schema: zero throughput in $FILE" >&2
+        exit 1
+    fi
+done
+
+speedup=$(sed -n 's/.*"speedup":\([0-9.eE+-]*\).*/\1/p' "$FILE")
+echo "check_bench_schema: OK ($FILE; batched/per-row speedup ${speedup}x)"

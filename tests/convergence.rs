@@ -7,6 +7,7 @@ use het_gmp::cluster::Topology;
 use het_gmp::core::strategy::StrategyConfig;
 use het_gmp::core::trainer::{Trainer, TrainerConfig};
 use het_gmp::data::{generate, DatasetSpec};
+use het_gmp::telemetry::AuditMode;
 
 fn dataset() -> het_gmp::data::CtrDataset {
     let mut spec = DatasetSpec::avazu_like(0.06);
@@ -101,4 +102,133 @@ fn convergence_rate_is_sublinear() {
     let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
     let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
     assert!(slope < -0.4, "excess-loss decay slope {slope} too flat");
+}
+
+// ---- Golden seed-sweep regression -------------------------------------
+
+/// One pinned run: strategy × seed → exact final numbers.
+struct Golden {
+    strategy: &'static str,
+    seed: u64,
+    final_auc: f64,
+    train_loss: f64,
+    samples: u64,
+    intra_reads: u64,
+    inter_checks: u64,
+}
+
+/// Pinned by running the suite once and copying the printed rows; see
+/// `seed_sweep_matches_goldens` for the regeneration procedure. The runs
+/// are deterministic by construction (phase fences + rank-ordered
+/// write-backs), so these are equality pins, not statistical checks.
+#[rustfmt::skip]
+const GOLDENS: &[Golden] = &[
+    Golden { strategy: "bsp", seed: 42, final_auc: 0.6422222222222222, train_loss: 0.5607099285714285, samples: 3584, intra_reads: 112, inter_checks: 279 },
+    Golden { strategy: "bsp", seed: 1337, final_auc: 0.6518055555555555, train_loss: 0.5622487142857143, samples: 3584, intra_reads: 112, inter_checks: 279 },
+    Golden { strategy: "bsp", seed: 2026, final_auc: 0.6430555555555556, train_loss: 0.5601503571428571, samples: 3584, intra_reads: 112, inter_checks: 279 },
+    Golden { strategy: "ssp", seed: 42, final_auc: 0.6445833333333333, train_loss: 0.5611476428571429, samples: 3584, intra_reads: 112, inter_checks: 279 },
+    Golden { strategy: "ssp", seed: 1337, final_auc: 0.6526388888888889, train_loss: 0.5621735, samples: 3584, intra_reads: 112, inter_checks: 279 },
+    Golden { strategy: "ssp", seed: 2026, final_auc: 0.6495833333333333, train_loss: 0.5605652857142858, samples: 3584, intra_reads: 112, inter_checks: 279 },
+    Golden { strategy: "asp", seed: 42, final_auc: 0.6445833333333333, train_loss: 0.5611476428571429, samples: 3584, intra_reads: 112, inter_checks: 0 },
+    Golden { strategy: "asp", seed: 1337, final_auc: 0.6526388888888889, train_loss: 0.5621735, samples: 3584, intra_reads: 112, inter_checks: 0 },
+    Golden { strategy: "asp", seed: 2026, final_auc: 0.6495833333333333, train_loss: 0.5605652857142858, samples: 3584, intra_reads: 112, inter_checks: 0 },
+];
+
+fn golden_run(strategy: &str, seed: u64) -> het_gmp::core::trainer::TrainResult {
+    let mut spec = DatasetSpec::avazu_like(0.03);
+    spec.cluster_affinity = 0.9;
+    let data = generate(&spec);
+    let strat = match strategy {
+        "bsp" => StrategyConfig::het_gmp(0),
+        "ssp" => StrategyConfig::het_gmp(100),
+        "asp" => StrategyConfig::het_gmp_asp(),
+        other => panic!("unknown strategy {other}"),
+    };
+    Trainer::new(
+        &data,
+        Topology::pcie_island(2),
+        strat,
+        TrainerConfig {
+            epochs: 2,
+            dim: 8,
+            batch_size: 128,
+            hidden: vec![16],
+            seed,
+            ..Default::default()
+        },
+    )
+    .with_audit(AuditMode::Count)
+    .run()
+}
+
+/// Golden regression over 3 seeds × {BSP (s=0), SSP (s=100), ASP}: final
+/// AUC, mean train loss, sample counts, and the audit's check counts must
+/// reproduce exactly. Any drift means the training math changed — the
+/// batched hot path (and every future optimisation) must keep these bits.
+///
+/// To regenerate after an *intentional* math change: run with
+/// `--nocapture`, copy the printed `Golden { .. }` rows into `GOLDENS`.
+#[test]
+fn seed_sweep_matches_goldens() {
+    let mut rows = String::new();
+    let mut failures = Vec::new();
+    for strategy in ["bsp", "ssp", "asp"] {
+        for seed in [42u64, 1337, 2026] {
+            let r = golden_run(strategy, seed);
+            let audit = r.audit.expect("audit enabled");
+            let loss = r.curve.last().expect("curve").train_loss;
+            // The protocol *never* serves a violating read, under any
+            // strategy — ASP has an infinite bound, bounded runs sync.
+            assert_eq!(
+                audit.total_violations(),
+                0,
+                "{strategy}/{seed}: {}",
+                audit.render()
+            );
+            rows.push_str(&format!(
+                "Golden {{ strategy: \"{strategy}\", seed: {seed}, final_auc: \
+                 {:?}, train_loss: {:?}, samples: {}, intra_reads: {}, \
+                 inter_checks: {} }},\n",
+                r.final_auc, loss, r.samples_processed, audit.intra_reads, audit.inter_checks,
+            ));
+            let Some(g) = GOLDENS
+                .iter()
+                .find(|g| g.strategy == strategy && g.seed == seed)
+            else {
+                failures.push(format!("{strategy}/{seed}: no golden row"));
+                continue;
+            };
+            if (r.final_auc - g.final_auc).abs() > 1e-9 {
+                failures.push(format!(
+                    "{strategy}/{seed}: auc {:?} != {:?}",
+                    r.final_auc, g.final_auc
+                ));
+            }
+            if (loss - g.train_loss).abs() > 1e-9 {
+                failures.push(format!(
+                    "{strategy}/{seed}: loss {:?} != {:?}",
+                    loss, g.train_loss
+                ));
+            }
+            if r.samples_processed != g.samples {
+                failures.push(format!(
+                    "{strategy}/{seed}: samples {} != {}",
+                    r.samples_processed, g.samples
+                ));
+            }
+            if (audit.intra_reads, audit.inter_checks) != (g.intra_reads, g.inter_checks) {
+                failures.push(format!(
+                    "{strategy}/{seed}: audit ({}, {}) != ({}, {})",
+                    audit.intra_reads, audit.inter_checks, g.intra_reads, g.inter_checks
+                ));
+            }
+        }
+    }
+    println!("golden rows:\n{rows}");
+    assert!(
+        failures.is_empty(),
+        "golden drift:\n{}\nactual rows (paste into GOLDENS after an \
+         intentional math change):\n{rows}",
+        failures.join("\n")
+    );
 }
