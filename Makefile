@@ -4,7 +4,8 @@
 CARGO ?= cargo
 
 .PHONY: build test clippy lint-metrics fault-matrix verify bench \
-	bench-baseline bench-smoke bench-schema clean
+	bench-baseline bench-smoke bench-dense bench-dense-smoke bench-schema \
+	clean
 
 build:
 	$(CARGO) build --release --offline --workspace
@@ -44,10 +45,22 @@ bench-baseline: build
 bench-smoke: build
 	$(CARGO) run --release --offline -p hetgmp-bench --bin bench_hotpath -- --smoke
 
-# Schema gate for the perf baseline (runs the smoke bench to produce a
-# fresh file, then validates its shape).
-bench-schema: bench-smoke
+# The dense-engine baseline: criterion GEMM microbenchmarks plus the
+# fixed-seed run that writes BENCH_dense.json (blocked vs naive kernels and
+# allocation-free end-to-end training throughput).
+bench-dense: build
+	$(CARGO) bench --offline -p hetgmp-bench --bench bench_gemm
+	$(CARGO) run --release --offline -p hetgmp-bench --bin bench_dense
+
+# Shrunk dense baseline: same BENCH_dense.json schema.
+bench-dense-smoke: build
+	$(CARGO) run --release --offline -p hetgmp-bench --bin bench_dense -- --smoke
+
+# Schema gate for both perf baselines (runs the smoke benches to produce
+# fresh files, then validates their shape).
+bench-schema: bench-smoke bench-dense-smoke
 	sh scripts/check_bench_schema.sh
+	sh scripts/check_bench_schema.sh BENCH_dense.json
 
 clean:
 	$(CARGO) clean

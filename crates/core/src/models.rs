@@ -12,7 +12,8 @@
 //!   parameters and hence more AllReduce traffic in the paper's Figure 8.
 
 use hetgmp_tensor::fm::{FmInteraction, TargetAttention};
-use hetgmp_tensor::layers::{CrossLayer, Dense, Layer, Mlp, Relu};
+use hetgmp_tensor::layers::{CrossLayer, Dense, Layer, Mlp};
+use hetgmp_tensor::tape::DenseTape;
 use hetgmp_tensor::Matrix;
 
 /// Which CTR architecture to instantiate.
@@ -67,6 +68,93 @@ pub struct CtrModel {
     deep_out_dim: usize,
 }
 
+/// Per-worker arena for allocation-free [`CtrModel`] forward/backward:
+/// owns a [`DenseTape`] for the deep tower plus every named scratch matrix
+/// the architecture-specific paths need (wide/FM auxiliary output, DIN
+/// pooling, DCN concat/split buffers and cross-tower activations).
+///
+/// One tape lives for a whole training run; after the first batch every
+/// buffer has its steady-state capacity, and [`ModelTape::end_batch`]
+/// counts any later growth (the `dense.tape.post_warmup_growth` counter
+/// that must stay 0).
+#[derive(Default)]
+pub struct ModelTape {
+    dense: DenseTape,
+    /// Second-path output (WDL wide head, DeepFM FM term).
+    aux: Matrix,
+    /// Second-path input gradient (also the DCN cross ping-pong scratch).
+    g_aux: Matrix,
+    /// DIN attention output / its gradient.
+    pooled: Matrix,
+    g_pooled: Matrix,
+    /// DCN `[cross ; deep]` concat / its gradient / the split halves.
+    cat: Matrix,
+    g_cat: Matrix,
+    g_cross: Matrix,
+    g_deep: Matrix,
+    /// DCN cross-tower activations (`cross_acts[i]` = output of layer i).
+    cross_acts: Vec<Matrix>,
+    /// Final per-sample logits of the most recent forward.
+    logits: Matrix,
+    /// Wall seconds spent in dense forward/loss/backward (throughput gauge).
+    pub(crate) dense_secs: f64,
+    /// Samples pushed through the dense path.
+    pub(crate) dense_samples: u64,
+}
+
+impl ModelTape {
+    /// Empty tape; buffers materialise on the first batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Logits of the most recent [`CtrModel::forward_tape`].
+    pub fn logits(&self) -> &Matrix {
+        &self.logits
+    }
+
+    /// Accumulated GEMM flops (see [`DenseTape::flops`]).
+    pub fn flops(&self) -> u64 {
+        self.dense.flops()
+    }
+
+    /// High-water arena bytes at batch boundaries (`dense.arena_bytes`).
+    pub fn arena_bytes(&self) -> usize {
+        self.dense.arena_bytes()
+    }
+
+    /// Post-warmup buffer growth events (`dense.tape.post_warmup_growth`).
+    pub fn post_warmup_growth(&self) -> u64 {
+        self.dense.post_warmup_growth()
+    }
+
+    fn ensure_cross(&mut self, n: usize) {
+        while self.cross_acts.len() < n {
+            self.cross_acts.push(Matrix::zeros(0, 0));
+        }
+    }
+
+    /// Closes a batch: snapshots total reserved bytes (deep tape + every
+    /// named scratch buffer) and counts post-warmup growth.
+    pub fn end_batch(&mut self) {
+        let extra = self.aux.capacity_bytes()
+            + self.g_aux.capacity_bytes()
+            + self.pooled.capacity_bytes()
+            + self.g_pooled.capacity_bytes()
+            + self.cat.capacity_bytes()
+            + self.g_cat.capacity_bytes()
+            + self.g_cross.capacity_bytes()
+            + self.g_deep.capacity_bytes()
+            + self.logits.capacity_bytes()
+            + self
+                .cross_acts
+                .iter()
+                .map(Matrix::capacity_bytes)
+                .sum::<usize>();
+        self.dense.end_batch(extra);
+    }
+}
+
 impl CtrModel {
     /// Builds a model for `num_fields` fields of `dim`-dimensional
     /// embeddings with the given deep hidden sizes.
@@ -93,12 +181,12 @@ impl CtrModel {
                 }
             }
             ModelKind::Dcn => {
-                // Deep tower without scalar head.
+                // Deep tower without scalar head; ReLU fused into each
+                // Dense kernel (same math and parameter order).
                 let mut layers: Vec<Box<dyn Layer>> = Vec::new();
                 let mut d = input_dim;
                 for (i, &h) in hidden.iter().enumerate() {
-                    layers.push(Box::new(Dense::new(d, h, seed.wrapping_add(i as u64))));
-                    layers.push(Box::new(Relu::new()));
+                    layers.push(Box::new(Dense::new_relu(d, h, seed.wrapping_add(i as u64))));
                     d = h;
                 }
                 let deep = Mlp::from_layers(layers);
@@ -276,6 +364,164 @@ impl CtrModel {
                     *o += d;
                 }
                 out
+            }
+        }
+    }
+
+    /// Allocation-free forward pass into `tape` (logits land in
+    /// [`ModelTape::logits`]). Mathematically identical to [`Self::forward`]
+    /// but reuses the tape's buffers across batches — zero steady-state
+    /// allocations once every buffer reached its high-water size.
+    pub fn forward_tape(&mut self, input: &Matrix, tape: &mut ModelTape) {
+        assert_eq!(input.cols(), self.input_dim, "input width mismatch");
+        let batch = input.rows();
+        match self.kind {
+            ModelKind::Wdl | ModelKind::DeepFm => {
+                self.deep.forward_tape(input, &mut tape.dense);
+                match self.kind {
+                    ModelKind::Wdl => {
+                        let head = self.head.as_mut().expect("WDL has a wide head");
+                        head.forward_into(input, &mut tape.aux);
+                        tape.dense.add_flops(head.flops(batch));
+                    }
+                    _ => {
+                        let fm = self.fm.as_mut().expect("DeepFM has an FM term");
+                        fm.forward_into(input, &mut tape.aux);
+                    }
+                }
+                let deep_out = tape.dense.output();
+                tape.logits.reset(batch, 1);
+                for ((o, &d), &a) in tape
+                    .logits
+                    .data_mut()
+                    .iter_mut()
+                    .zip(deep_out.data())
+                    .zip(tape.aux.data())
+                {
+                    *o = d + a;
+                }
+            }
+            ModelKind::Din => {
+                let att = self.att.as_mut().expect("DIN has attention");
+                att.forward_into(input, &mut tape.pooled);
+                self.deep.forward_tape(&tape.pooled, &mut tape.dense);
+                tape.logits.reset(batch, 1);
+                let (logits, dense) = (&mut tape.logits, &tape.dense);
+                logits.data_mut().copy_from_slice(dense.output().data());
+            }
+            ModelKind::Dcn => {
+                let ncross = self.cross.len();
+                tape.ensure_cross(ncross);
+                for i in 0..ncross {
+                    let (before, rest) = tape.cross_acts.split_at_mut(i);
+                    let prev: &Matrix = if i == 0 { input } else { &before[i - 1] };
+                    self.cross[i].forward_with_x0(input, prev, &mut rest[0]);
+                    tape.dense.add_flops(self.cross[i].flops(batch));
+                }
+                self.deep.forward_tape(input, &mut tape.dense);
+                let cat_dim = self.input_dim + self.deep_out_dim;
+                {
+                    let (cat, dense, cross_acts) =
+                        (&mut tape.cat, &tape.dense, &tape.cross_acts);
+                    cat.reset(batch, cat_dim);
+                    let x = cross_acts.last().expect("cross tower is non-empty");
+                    let deep_out = dense.output();
+                    for r in 0..batch {
+                        cat.row_mut(r)[..self.input_dim].copy_from_slice(x.row(r));
+                        cat.row_mut(r)[self.input_dim..].copy_from_slice(deep_out.row(r));
+                    }
+                }
+                let head = self.head.as_mut().expect("DCN has a combiner");
+                head.forward_into(&tape.cat, &mut tape.logits);
+                tape.dense.add_flops(head.flops(batch));
+            }
+        }
+        tape.dense_samples += batch as u64;
+    }
+
+    /// Allocation-free backward pass from per-sample logit gradients;
+    /// accumulates parameter gradients and writes `dL/d-input`
+    /// (`batch × input_dim`) into `grad_in`. Pairs with the immediately
+    /// preceding [`Self::forward_tape`] on the same `tape`.
+    pub fn backward_tape(
+        &mut self,
+        input: &Matrix,
+        grad_logits: &Matrix,
+        grad_in: &mut Matrix,
+        tape: &mut ModelTape,
+    ) {
+        let batch = grad_logits.rows();
+        match self.kind {
+            ModelKind::Wdl | ModelKind::DeepFm => {
+                self.deep
+                    .backward_tape(input, grad_logits, grad_in, &mut tape.dense);
+                match self.kind {
+                    ModelKind::Wdl => {
+                        let head = self.head.as_mut().expect("WDL has a wide head");
+                        head.backward_into(input, grad_logits, &mut tape.g_aux);
+                        tape.dense.add_flops(2 * head.flops(batch));
+                    }
+                    _ => {
+                        let fm = self.fm.as_mut().expect("DeepFM has an FM term");
+                        fm.backward_into(input, grad_logits, &mut tape.g_aux);
+                    }
+                }
+                for (o, &a) in grad_in.data_mut().iter_mut().zip(tape.g_aux.data()) {
+                    *o += a;
+                }
+            }
+            ModelKind::Din => {
+                self.deep.backward_tape(
+                    &tape.pooled,
+                    grad_logits,
+                    &mut tape.g_pooled,
+                    &mut tape.dense,
+                );
+                let att = self.att.as_mut().expect("DIN has attention");
+                att.backward_into(input, &tape.g_pooled, grad_in);
+            }
+            ModelKind::Dcn => {
+                let head = self.head.as_mut().expect("DCN has a combiner");
+                head.backward_into(&tape.cat, grad_logits, &mut tape.g_cat);
+                tape.dense.add_flops(2 * head.flops(batch));
+                {
+                    let (g_cat, g_cross, g_deep) =
+                        (&tape.g_cat, &mut tape.g_cross, &mut tape.g_deep);
+                    g_cross.reset(batch, self.input_dim);
+                    g_deep.reset(batch, self.deep_out_dim);
+                    for r in 0..batch {
+                        g_cross
+                            .row_mut(r)
+                            .copy_from_slice(&g_cat.row(r)[..self.input_dim]);
+                        g_deep
+                            .row_mut(r)
+                            .copy_from_slice(&g_cat.row(r)[self.input_dim..]);
+                    }
+                }
+                self.deep
+                    .backward_tape(input, &tape.g_deep, grad_in, &mut tape.dense);
+                // Cross chain backward, newest → oldest, ping-ponging the
+                // upstream gradient between `g_cross` and `g_aux`.
+                for i in (0..self.cross.len()).rev() {
+                    tape.dense.add_flops(2 * self.cross[i].flops(batch));
+                    let layer_in: &Matrix = if i == 0 {
+                        input
+                    } else {
+                        &tape.cross_acts[i - 1]
+                    };
+                    self.cross[i].backward_with_x0(
+                        input,
+                        layer_in,
+                        &tape.g_cross,
+                        &mut tape.g_aux,
+                    );
+                    std::mem::swap(&mut tape.g_cross, &mut tape.g_aux);
+                }
+                // Same identity as legacy backward: input grad = cross-chain
+                // grad + deep tower grad (f32 a+b is commutative bitwise).
+                for (o, &c) in grad_in.data_mut().iter_mut().zip(tape.g_cross.data()) {
+                    *o += c;
+                }
             }
         }
     }
@@ -488,6 +734,58 @@ mod tests {
         assert_eq!(gx.rows(), 4);
         assert_eq!(gx.cols(), 8);
         assert!(gx.norm() > 0.0);
+    }
+
+    #[test]
+    fn tape_path_matches_legacy_bit_for_bit() {
+        // The tape path must be a pure re-plumbing: same kernels, same
+        // summation order ⇒ identical logits, input gradients, and parameter
+        // gradients for every architecture.
+        for kind in ModelKind::all() {
+            let mut legacy = CtrModel::new(kind, 4, 8, &[16, 8], 7);
+            let mut taped = CtrModel::new(kind, 4, 8, &[16, 8], 7);
+            let mut tape = ModelTape::new();
+            let x = batch(6, 32, 13);
+            let g = batch(6, 1, 17);
+
+            let logits_legacy = legacy.forward(&x);
+            legacy.zero_grad();
+            let gx_legacy = legacy.backward(&g);
+
+            taped.forward_tape(&x, &mut tape);
+            taped.zero_grad();
+            let mut gx_taped = Matrix::zeros(0, 0);
+            taped.backward_tape(&x, &g, &mut gx_taped, &mut tape);
+            tape.end_batch();
+
+            assert_eq!(logits_legacy.data(), tape.logits().data(), "{kind:?} logits");
+            assert_eq!(gx_legacy.data(), gx_taped.data(), "{kind:?} input grad");
+            assert_eq!(
+                legacy.flatten_grads(),
+                taped.flatten_grads(),
+                "{kind:?} param grads"
+            );
+            assert!(tape.flops() > 0, "{kind:?} flop counter");
+            assert!(tape.arena_bytes() > 0, "{kind:?} arena bytes");
+        }
+    }
+
+    #[test]
+    fn tape_steady_state_does_not_grow() {
+        for kind in ModelKind::all() {
+            let mut m = CtrModel::new(kind, 4, 8, &[16, 8], 7);
+            let mut tape = ModelTape::new();
+            let x = batch(6, 32, 13);
+            let g = batch(6, 1, 17);
+            let mut gx = Matrix::zeros(0, 0);
+            for _ in 0..4 {
+                m.forward_tape(&x, &mut tape);
+                m.zero_grad();
+                m.backward_tape(&x, &g, &mut gx, &mut tape);
+                tape.end_batch();
+            }
+            assert_eq!(tape.post_warmup_growth(), 0, "{kind:?} grew after warmup");
+        }
     }
 
     #[test]

@@ -44,9 +44,9 @@ use hetgmp_telemetry::{
     names, AuditMode, AuditSummary, HetGmpError, Json, MetricsRegistry, ProtocolAuditor, Recorder,
     TelemetrySnapshot, TraceCollector,
 };
-use hetgmp_tensor::{auc, bce_with_logits, log_loss, Matrix};
+use hetgmp_tensor::{auc, bce_with_logits_into, log_loss, DenseOptimizer, Matrix, Sgd};
 
-use crate::models::{CtrModel, ModelKind};
+use crate::models::{CtrModel, ModelKind, ModelTape};
 use crate::strategy::{CacheDesign, DenseSync, EmbedHome, StrategyConfig};
 
 /// Trainer hyper-parameters (model + schedule).
@@ -573,6 +573,9 @@ impl<'d> Trainer<'d> {
                 )
             })
             .collect();
+        // One tape arena per worker: all dense forward/backward scratch for
+        // the whole run lives here (zero steady-state allocations).
+        let mut tapes: Vec<ModelTape> = (0..n).map(|_| ModelTape::new()).collect();
         let dense_bytes = (models[0].num_dense_params() * 4) as u64;
         let flops_per_sample = models[0].flops_per_sample();
         // Per-worker compute scales and (optionally) speed-proportional
@@ -685,11 +688,12 @@ impl<'d> Trainer<'d> {
             loss_batches.store(0, Ordering::Relaxed);
             std::thread::scope(|scope| {
                 // Move disjoint &mut of per-worker state into threads.
-                for (w, (((emb, model), (clock, cursor)), fstate)) in embeddings
+                for (w, ((((emb, model), (clock, cursor)), fstate), tape)) in embeddings
                     .iter_mut()
                     .zip(models.iter_mut())
                     .zip(clocks.iter_mut().zip(cursors.iter_mut()))
                     .zip(fault_states.iter_mut())
+                    .zip(tapes.iter_mut())
                     .enumerate()
                 {
                     let shard = &shards[w];
@@ -704,6 +708,7 @@ impl<'d> Trainer<'d> {
                             dataset,
                             emb: &mut **emb,
                             model,
+                            tape,
                             clock,
                             cursor,
                             iters: iters_per_epoch,
@@ -881,6 +886,31 @@ impl<'d> Trainer<'d> {
             names::HOTPATH_LOCK_ACQUISITIONS,
             table.lock_acquisitions() as f64,
         );
+        // Dense-engine telemetry, aggregated over the per-worker tapes: real
+        // GEMM work done, arena high-water mark, steady-state allocation
+        // violations (must stay 0), and dense-path-only throughput.
+        registry.global().counter_add(
+            names::DENSE_GEMM_FLOPS,
+            tapes.iter().map(ModelTape::flops).sum::<u64>(),
+        );
+        registry.global().gauge_set(
+            names::DENSE_ARENA_BYTES,
+            tapes.iter().map(ModelTape::arena_bytes).sum::<usize>() as f64,
+        );
+        registry.global().gauge_set(
+            names::DENSE_TAPE_GROWTH,
+            tapes.iter().map(ModelTape::post_warmup_growth).sum::<u64>() as f64,
+        );
+        let dense_secs: f64 = tapes.iter().map(|t| t.dense_secs).sum();
+        let dense_samples: u64 = tapes.iter().map(|t| t.dense_samples).sum();
+        registry.global().gauge_set(
+            names::DENSE_SAMPLES_PER_SEC,
+            if dense_secs > 0.0 {
+                dense_samples as f64 / dense_secs
+            } else {
+                0.0
+            },
+        );
         Ok(TrainResult {
             strategy: self.strategy.name.clone(),
             final_auc,
@@ -966,6 +996,7 @@ struct WorkerEpoch<'a, 'b, 'd> {
     dataset: &'d CtrDataset,
     emb: &'a mut (dyn EmbeddingWorker + 'b),
     model: &'a mut CtrModel,
+    tape: &'a mut ModelTape,
     clock: &'a mut SimClock,
     cursor: &'a mut usize,
     iters: usize,
@@ -1060,6 +1091,7 @@ fn run_worker_epoch(ctx: WorkerEpoch<'_, '_, '_>) {
         dataset,
         emb,
         model,
+        tape,
         clock,
         cursor,
         iters,
@@ -1101,6 +1133,13 @@ fn run_worker_epoch(ctx: WorkerEpoch<'_, '_, '_>) {
     let mut labels: Vec<f32> = Vec::with_capacity(batch_size);
     let mut input = Matrix::zeros(0, 0);
     let mut dense_grads: Vec<f32> = Vec::new();
+    // Loss gradient and embedding input-gradient reuse one buffer each; the
+    // model-internal scratch lives in `tape`.
+    let mut grad_logits = Matrix::zeros(0, 0);
+    let mut grad_input = Matrix::zeros(0, 0);
+    // Stateless SGD on the replicated dense parameters (slot-keyed so a
+    // momentum variant could slot in without touching the loop).
+    let mut sgd = Sgd::new(cfg.dense_lr);
 
     for _ in 0..iters {
         // ---- Injected faults (iteration boundary). -------------------------
@@ -1239,17 +1278,20 @@ fn run_worker_epoch(ctx: WorkerEpoch<'_, '_, '_>) {
         let actual = sample_slices.len();
 
         let mut read_report = Default::default();
-        let mut grad_input: Option<Matrix> = None;
+        let mut have_grad = false;
         if actual > 0 {
             // ---- Embedding read under bounded asynchrony. ------------------
             input.reset(actual, fields * dim);
             read_report = emb.read_batch(&sample_slices, input.data_mut());
 
-            // ---- Dense forward/backward (real math). ----------------------
-            let logits = model.forward(&input);
+            // ---- Dense forward/backward (real math, blocked kernels). -----
+            // Everything between here and `end_batch` reuses tape buffers —
+            // zero allocations once warm (the dense.* gauges assert it).
+            let dense_start = Instant::now();
+            model.forward_tape(&input, tape);
             labels.clear();
             labels.extend(batch_idx.iter().map(|&i| dataset.label(i as usize)));
-            let (batch_loss, grad_logits) = bce_with_logits(&logits, &labels);
+            let batch_loss = bce_with_logits_into(tape.logits(), &labels, &mut grad_logits);
             if batch_loss.is_finite() {
                 loss_sum_micro
                     .fetch_add((batch_loss.max(0.0) as f64 * 1e6) as u64, Ordering::Relaxed);
@@ -1261,7 +1303,10 @@ fn run_worker_epoch(ctx: WorkerEpoch<'_, '_, '_>) {
                 recorder.counter_add(names::TRAIN_LOSS_NONFINITE, 1);
             }
             model.zero_grad();
-            grad_input = Some(model.backward(&grad_logits));
+            model.backward_tape(&input, &grad_logits, &mut grad_input, tape);
+            tape.dense_secs += dense_start.elapsed().as_secs_f64();
+            tape.end_batch();
+            have_grad = true;
         }
 
         // Phase fence: every worker's reads drain before any gradient lands
@@ -1276,15 +1321,13 @@ fn run_worker_epoch(ctx: WorkerEpoch<'_, '_, '_>) {
         group.barrier();
         let mut up_report = None;
         for rank in 0..group.num_participants() {
-            if rank == w {
-                if let Some(grad_input) = grad_input.take() {
-                    // ---- Embedding gradient write-back. --------------------
-                    up_report = Some(emb.apply_gradients(
-                        &sample_slices,
-                        grad_input.data(),
-                        &cfg.embed_opt,
-                    ));
-                }
+            if rank == w && have_grad {
+                // ---- Embedding gradient write-back. ------------------------
+                up_report = Some(emb.apply_gradients(
+                    &sample_slices,
+                    grad_input.data(),
+                    &cfg.embed_opt,
+                ));
             }
             group.barrier();
         }
@@ -1352,11 +1395,14 @@ fn run_worker_epoch(ctx: WorkerEpoch<'_, '_, '_>) {
             }
         }
         model.load_grads(&dense_grads);
-        // SGD step on the (replicated) dense parameters.
+        // SGD step on the (replicated) dense parameters — same math as the
+        // former inline loop (`p -= lr·g`), routed through the optimizer
+        // abstraction's slot protocol.
+        sgd.begin_step();
+        let mut slot = 0usize;
         model.visit_params(&mut |p, g| {
-            for (pi, gi) in p.iter_mut().zip(g.iter()) {
-                *pi -= cfg.dense_lr * gi;
-            }
+            sgd.update(slot, p, g);
+            slot += 1;
         });
 
         match strategy.dense_sync {

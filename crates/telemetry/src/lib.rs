@@ -185,6 +185,22 @@ pub mod names {
     /// second (the perf-baseline number; simulated-time throughput lives in
     /// `train.*`).
     pub const HOTPATH_SAMPLES_PER_SEC: &str = "hotpath.samples_per_sec";
+
+    /// Counter: floating-point operations executed by the blocked dense
+    /// kernels (2 per multiply-add; backward counted as 2× forward).
+    pub const DENSE_GEMM_FLOPS: &str = "dense.gemm_flops";
+    /// Gauge: high-water bytes reserved by the per-worker dense tape arenas
+    /// (activations, gradient ping-pong buffers, model scratch), summed over
+    /// workers. Flat after warmup by construction.
+    pub const DENSE_ARENA_BYTES: &str = "dense.arena_bytes";
+    /// Gauge: tape-buffer growth events after the first batch, summed over
+    /// workers — the "zero steady-state allocations" contract; must be 0.
+    pub const DENSE_TAPE_GROWTH: &str = "dense.tape.post_warmup_growth";
+    /// Gauge: dense-path-only throughput — samples through forward + loss +
+    /// backward per wall-clock second spent in that section (excludes
+    /// embedding reads, collectives, and simulated-time bookkeeping;
+    /// end-to-end throughput lives in `hotpath.samples_per_sec`).
+    pub const DENSE_SAMPLES_PER_SEC: &str = "dense.samples_per_sec";
 }
 
 #[cfg(test)]

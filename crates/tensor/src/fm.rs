@@ -32,9 +32,18 @@ impl FmInteraction {
 
     /// Forward pass: input `(batch × F·d)` → output `(batch × 1)`.
     pub fn forward(&mut self, input: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.forward_into(input, &mut out);
+        self.input = Some(input.clone());
+        out
+    }
+
+    /// In-place forward — caches only the per-row field sums, not the
+    /// input; pair with [`FmInteraction::backward_into`].
+    pub fn forward_into(&mut self, input: &Matrix, out: &mut Matrix) {
         assert_eq!(input.cols(), self.fields * self.dim, "input width mismatch");
         let batch = input.rows();
-        let mut out = Matrix::zeros(batch, 1);
+        out.reset(batch, 1);
         self.sums.clear();
         self.sums.resize(batch * self.dim, 0.0);
         for r in 0..batch {
@@ -51,16 +60,23 @@ impl FmInteraction {
             let sum_sq: f32 = sums.iter().map(|&s| s * s).sum();
             out.set(r, 0, 0.5 * (sum_sq - sq_sum));
         }
-        self.input = Some(input.clone());
-        out
     }
 
     /// Backward pass: `dL/dv_{f,d} = g · (Σ_f' v_{f',d} − v_{f,d})`.
     pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let input = self.input.as_ref().expect("forward before backward");
+        let input = self.input.take().expect("forward before backward");
+        let mut grad_in = Matrix::zeros(0, 0);
+        self.backward_into(&input, grad_out, &mut grad_in);
+        self.input = Some(input);
+        grad_in
+    }
+
+    /// In-place backward: `input` is the matrix passed to the matching
+    /// [`FmInteraction::forward_into`].
+    pub fn backward_into(&mut self, input: &Matrix, grad_out: &Matrix, grad_in: &mut Matrix) {
         assert_eq!(grad_out.cols(), 1, "grad must be a column");
         let batch = input.rows();
-        let mut grad_in = Matrix::zeros(batch, self.fields * self.dim);
+        grad_in.reset(batch, self.fields * self.dim);
         for r in 0..batch {
             let g = grad_out.get(r, 0);
             let row = input.row(r);
@@ -73,7 +89,6 @@ impl FmInteraction {
                 }
             }
         }
-        grad_in
     }
 }
 
@@ -86,6 +101,11 @@ pub struct TargetAttention {
     dim: usize,
     /// Cached softmax weights per row (`batch × (F−1)`).
     alphas: Vec<f32>,
+    /// Reused per-row scratch: raw scores (forward), `dL/dα` and softmax
+    /// score gradients (backward).
+    scores: Vec<f32>,
+    dalpha: Vec<f32>,
+    dscore: Vec<f32>,
     input: Option<Matrix>,
 }
 
@@ -98,6 +118,9 @@ impl TargetAttention {
             fields,
             dim,
             alphas: Vec::new(),
+            scores: Vec::new(),
+            dalpha: Vec::new(),
+            dscore: Vec::new(),
             input: None,
         }
     }
@@ -109,19 +132,30 @@ impl TargetAttention {
 
     /// Forward: input `(batch × F·d)` → `(batch × 2·d)`.
     pub fn forward(&mut self, input: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.forward_into(input, &mut out);
+        self.input = Some(input.clone());
+        out
+    }
+
+    /// In-place forward — caches only the attention weights, not the
+    /// input; pair with [`TargetAttention::backward_into`].
+    pub fn forward_into(&mut self, input: &Matrix, out: &mut Matrix) {
         assert_eq!(input.cols(), self.fields * self.dim, "input width mismatch");
         let batch = input.rows();
         let b_fields = self.fields - 1;
         let scale = 1.0 / (self.dim as f32).sqrt();
-        let mut out = Matrix::zeros(batch, 2 * self.dim);
+        out.reset(batch, 2 * self.dim);
         self.alphas.clear();
         self.alphas.resize(batch * b_fields, 0.0);
+        self.scores.clear();
+        self.scores.resize(b_fields, 0.0);
         for r in 0..batch {
             let row = input.row(r);
             let target = &row[..self.dim];
             // Scaled dot-product scores → softmax.
             let mut max_score = f32::MIN;
-            let mut scores = vec![0.0f32; b_fields];
+            let scores = &mut self.scores[..];
             for f in 0..b_fields {
                 let v = &row[(f + 1) * self.dim..(f + 2) * self.dim];
                 let dot: f32 = target.iter().zip(v).map(|(&a, &b)| a * b).sum();
@@ -129,12 +163,12 @@ impl TargetAttention {
                 max_score = max_score.max(scores[f]);
             }
             let mut z = 0.0f32;
-            for s in &mut scores {
+            for s in scores.iter_mut() {
                 *s = (*s - max_score).exp();
                 z += *s;
             }
             let alphas = &mut self.alphas[r * b_fields..(r + 1) * b_fields];
-            for (a, s) in alphas.iter_mut().zip(&scores) {
+            for (a, s) in alphas.iter_mut().zip(scores.iter()) {
                 *a = s / z;
             }
             // Pooled behaviour vector.
@@ -147,19 +181,30 @@ impl TargetAttention {
                 }
             }
         }
-        self.input = Some(input.clone());
-        out
     }
 
     /// Backward: gradients flow to the target (direct + through the
     /// attention scores) and to every behaviour (weighted + score paths).
     pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let input = self.input.as_ref().expect("forward before backward");
+        let input = self.input.take().expect("forward before backward");
+        let mut grad_in = Matrix::zeros(0, 0);
+        self.backward_into(&input, grad_out, &mut grad_in);
+        self.input = Some(input);
+        grad_in
+    }
+
+    /// In-place backward: `input` is the matrix passed to the matching
+    /// [`TargetAttention::forward_into`].
+    pub fn backward_into(&mut self, input: &Matrix, grad_out: &Matrix, grad_in: &mut Matrix) {
         let batch = input.rows();
         let b_fields = self.fields - 1;
         let dim = self.dim;
         let scale = 1.0 / (dim as f32).sqrt();
-        let mut grad_in = Matrix::zeros(batch, self.fields * dim);
+        grad_in.reset(batch, self.fields * dim);
+        self.dalpha.clear();
+        self.dalpha.resize(b_fields, 0.0);
+        self.dscore.clear();
+        self.dscore.resize(b_fields, 0.0);
         for r in 0..batch {
             let row = input.row(r);
             let g = grad_out.row(r);
@@ -168,18 +213,17 @@ impl TargetAttention {
             let alphas = &self.alphas[r * b_fields..(r + 1) * b_fields];
 
             // dL/dα_f = g_pooled · v_f
-            let mut dalpha = vec![0.0f32; b_fields];
+            let dalpha = &mut self.dalpha[..];
             for f in 0..b_fields {
                 let v = &row[(f + 1) * dim..(f + 2) * dim];
                 dalpha[f] = g_pooled.iter().zip(v).map(|(&a, &b)| a * b).sum();
             }
             // Softmax backward: ds_f = α_f (dα_f − Σ_k α_k dα_k)
-            let inner: f32 = alphas.iter().zip(&dalpha).map(|(&a, &da)| a * da).sum();
-            let dscore: Vec<f32> = alphas
-                .iter()
-                .zip(&dalpha)
-                .map(|(&a, &da)| a * (da - inner))
-                .collect();
+            let inner: f32 = alphas.iter().zip(dalpha.iter()).map(|(&a, &da)| a * da).sum();
+            let dscore = &mut self.dscore[..];
+            for (ds, (&a, &da)) in dscore.iter_mut().zip(alphas.iter().zip(dalpha.iter())) {
+                *ds = a * (da - inner);
+            }
 
             let (gi_target, gi_rest) = grad_in.row_mut(r).split_at_mut(dim);
             // Target gradient: direct path + score path (score = scale·t·v).
@@ -200,7 +244,6 @@ impl TargetAttention {
                 }
             }
         }
-        grad_in
     }
 }
 

@@ -1,13 +1,20 @@
 //! Neural-network layers with explicit backward passes.
 //!
-//! Layers cache whatever forward-pass state their backward pass needs, so the
-//! calling convention is strictly `forward` then `backward` per mini-batch
-//! (the trainer in `hetgmp-core` drives them that way).
+//! Two calling conventions coexist:
+//!
+//! * the **in-place API** (`forward_into`/`backward_into`) is the hot path:
+//!   the caller owns every activation and gradient buffer (see
+//!   [`crate::DenseTape`]) and passes the layer's forward input back to
+//!   `backward_into` explicitly, so a steady-state batch allocates nothing;
+//! * the **legacy API** (`forward`/`backward`) allocates its outputs and
+//!   caches a clone of the input inside the layer — kept for tests and
+//!   one-shot evaluation, implemented on top of the in-place methods.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::matrix::Matrix;
+use crate::tape::DenseTape;
 
 /// A differentiable layer.
 pub trait Layer: Send {
@@ -18,6 +25,17 @@ pub trait Layer: Send {
     /// internally, returns `dL/d-input`.
     fn backward(&mut self, grad_out: &Matrix) -> Matrix;
 
+    /// In-place forward: writes the batch output into `out` (resized via
+    /// [`Matrix::reset`], so a reused `out` does not reallocate). Does NOT
+    /// cache the input — callers keeping activations on a tape pass it back
+    /// to [`Layer::backward_into`].
+    fn forward_into(&mut self, input: &Matrix, out: &mut Matrix);
+
+    /// In-place backward: `input` is the same matrix given to the matching
+    /// [`Layer::forward_into`]; accumulates parameter gradients and writes
+    /// `dL/d-input` into `grad_in`.
+    fn backward_into(&mut self, input: &Matrix, grad_out: &Matrix, grad_in: &mut Matrix);
+
     /// Visits `(params, grads)` buffer pairs in a stable order. Used by
     /// optimizers and by dense-parameter AllReduce.
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32]));
@@ -27,14 +45,32 @@ pub trait Layer: Send {
 
     /// Zeroes accumulated gradients.
     fn zero_grad(&mut self);
+
+    /// GEMM flops (2 per multiply-add) of one *forward* pass over `rows`
+    /// samples; backward costs ≈ 2× this. Feeds the `dense.gemm_flops`
+    /// telemetry counter. Parameter-free layers report 0.
+    fn flops(&self, rows: usize) -> u64 {
+        let _ = rows;
+        0
+    }
 }
 
-/// Fully connected layer `Y = X·W + b`, Kaiming-uniform initialised.
+/// Fully connected layer `Y = X·W + b`, Kaiming-uniform initialised, with
+/// an optional fused ReLU epilogue (`Y = max(X·W + b, 0)`).
+///
+/// The fused form replaces a `Dense` + [`Relu`] pair: same math, same
+/// parameter count and visit order (ReLU has no parameters), one kernel
+/// pass instead of two full passes over the activation.
 pub struct Dense {
     w: Matrix,
     b: Vec<f32>,
     grad_w: Matrix,
     grad_b: Vec<f32>,
+    relu: bool,
+    /// ReLU keep-mask of the most recent forward (`out > 0`), reused.
+    mask: Vec<bool>,
+    /// Reused scratch for the masked upstream gradient (ReLU backward).
+    masked: Matrix,
     input: Option<Matrix>,
 }
 
@@ -51,8 +87,18 @@ impl Dense {
             b: vec![0.0; out_dim],
             grad_w: Matrix::zeros(in_dim, out_dim),
             grad_b: vec![0.0; out_dim],
+            relu: false,
+            mask: Vec::new(),
+            masked: Matrix::zeros(0, 0),
             input: None,
         }
+    }
+
+    /// New layer with the fused ReLU epilogue.
+    pub fn new_relu(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        let mut d = Self::new(in_dim, out_dim, seed);
+        d.relu = true;
+        d
     }
 
     /// Output dimension.
@@ -64,30 +110,66 @@ impl Dense {
     pub fn in_dim(&self) -> usize {
         self.w.rows()
     }
+
+    /// Whether the fused ReLU epilogue is enabled.
+    pub fn has_relu(&self) -> bool {
+        self.relu
+    }
 }
 
 impl Layer for Dense {
     fn forward(&mut self, input: &Matrix) -> Matrix {
-        let mut out = input.matmul(&self.w);
-        out.add_bias(&self.b);
+        let mut out = Matrix::zeros(0, 0);
+        self.forward_into(input, &mut out);
         self.input = Some(input.clone());
         out
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let input = self
-            .input
-            .as_ref()
-            .expect("backward called before forward");
-        // dW += Xᵀ·dY ; db += colsum(dY) ; dX = dY·Wᵀ
-        let dw = input.t_matmul(grad_out);
-        for (g, d) in self.grad_w.data_mut().iter_mut().zip(dw.data()) {
-            *g += d;
+        let input = self.input.take().expect("backward called before forward");
+        let mut grad_in = Matrix::zeros(0, 0);
+        self.backward_into(&input, grad_out, &mut grad_in);
+        self.input = Some(input);
+        grad_in
+    }
+
+    fn forward_into(&mut self, input: &Matrix, out: &mut Matrix) {
+        if self.relu {
+            input.matmul_bias_relu_into(&self.w, &self.b, out);
+            // Keep-mask from the clamped output: out > 0 ⟺ pre-act > 0.
+            self.mask.clear();
+            self.mask.extend(out.data().iter().map(|&x| x > 0.0));
+        } else {
+            input.matmul_bias_into(&self.w, &self.b, out);
         }
-        for (g, d) in self.grad_b.iter_mut().zip(grad_out.col_sums()) {
-            *g += d;
-        }
-        grad_out.matmul_t(&self.w)
+    }
+
+    fn backward_into(&mut self, input: &Matrix, grad_out: &Matrix, grad_in: &mut Matrix) {
+        // dW += Xᵀ·dY ; db += colsum(dY) ; dX = dY·Wᵀ — with dY masked
+        // first when the ReLU epilogue is fused in.
+        let dy: &Matrix = if self.relu {
+            assert_eq!(
+                grad_out.data().len(),
+                self.mask.len(),
+                "backward shape mismatch"
+            );
+            self.masked.reset(grad_out.rows(), grad_out.cols());
+            for ((m, &g), &keep) in self
+                .masked
+                .data_mut()
+                .iter_mut()
+                .zip(grad_out.data())
+                .zip(&self.mask)
+            {
+                *m = if keep { g } else { 0.0 };
+            }
+            &self.masked
+        } else {
+            grad_out
+        };
+        input.t_matmul_acc(dy, &mut self.grad_w);
+        dy.col_sums_into(&mut self.grad_b);
+        dy.matmul_t_into(&self.w, grad_in);
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
@@ -102,6 +184,10 @@ impl Layer for Dense {
     fn zero_grad(&mut self) {
         self.grad_w.clear();
         self.grad_b.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    fn flops(&self, rows: usize) -> u64 {
+        2 * rows as u64 * self.w.rows() as u64 * self.w.cols() as u64
     }
 }
 
@@ -120,32 +206,45 @@ impl Relu {
 
 impl Layer for Relu {
     fn forward(&mut self, input: &Matrix) -> Matrix {
-        let mut out = input.clone();
-        self.mask.clear();
-        self.mask.reserve(out.data().len());
-        for x in out.data_mut() {
-            let keep = *x > 0.0;
-            self.mask.push(keep);
-            if !keep {
-                *x = 0.0;
-            }
-        }
+        let mut out = Matrix::zeros(0, 0);
+        self.forward_into(input, &mut out);
         out
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        // ReLU backward needs only the mask, not the forward input.
+        let empty = Matrix::zeros(0, 0);
+        self.backward_into(&empty, grad_out, &mut out);
+        out
+    }
+
+    fn forward_into(&mut self, input: &Matrix, out: &mut Matrix) {
+        out.reset(input.rows(), input.cols());
+        self.mask.clear();
+        self.mask.reserve(input.data().len());
+        for (o, &x) in out.data_mut().iter_mut().zip(input.data()) {
+            let keep = x > 0.0;
+            self.mask.push(keep);
+            *o = if keep { x } else { 0.0 };
+        }
+    }
+
+    fn backward_into(&mut self, _input: &Matrix, grad_out: &Matrix, grad_in: &mut Matrix) {
         assert_eq!(
             grad_out.data().len(),
             self.mask.len(),
             "backward shape mismatch"
         );
-        let mut out = grad_out.clone();
-        for (g, &keep) in out.data_mut().iter_mut().zip(&self.mask) {
-            if !keep {
-                *g = 0.0;
-            }
+        grad_in.reset(grad_out.rows(), grad_out.cols());
+        for ((gi, &g), &keep) in grad_in
+            .data_mut()
+            .iter_mut()
+            .zip(grad_out.data())
+            .zip(&self.mask)
+        {
+            *gi = if keep { g } else { 0.0 };
         }
-        out
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
@@ -168,7 +267,6 @@ pub struct CrossLayer {
     grad_b: Vec<f32>,
     x0: Option<Matrix>,
     input: Option<Matrix>,
-    xw: Vec<f32>, // cached x_l·w per batch row
 }
 
 impl CrossLayer {
@@ -183,66 +281,95 @@ impl CrossLayer {
             grad_b: vec![0.0; dim],
             x0: None,
             input: None,
-            xw: Vec::new(),
         }
     }
 
     /// Provides the cross-network input `x_0` for the current batch. Must be
-    /// called before `forward`.
+    /// called before `forward`. (The in-place methods take `x0` by reference
+    /// instead — no per-batch clone.)
     pub fn set_x0(&mut self, x0: Matrix) {
         self.x0 = Some(x0);
     }
-}
 
-impl Layer for CrossLayer {
-    fn forward(&mut self, input: &Matrix) -> Matrix {
-        let x0 = self.x0.as_ref().expect("set_x0 before forward");
+    /// In-place forward with `x0` passed by reference:
+    /// `out = x0 ⊙ (input·w) + b + input`.
+    pub fn forward_with_x0(&mut self, x0: &Matrix, input: &Matrix, out: &mut Matrix) {
         assert_eq!(x0.rows(), input.rows(), "x0/batch mismatch");
         assert_eq!(x0.cols(), input.cols(), "cross width mismatch");
         let rows = input.rows();
         let dim = input.cols();
-        self.xw.clear();
-        let mut out = Matrix::zeros(rows, dim);
+        out.reset(rows, dim);
         for r in 0..rows {
             let xl = input.row(r);
             let dot: f32 = xl.iter().zip(&self.w).map(|(&x, &w)| x * w).sum();
-            self.xw.push(dot);
             let x0r = x0.row(r);
             let o = out.row_mut(r);
             for j in 0..dim {
                 o[j] = x0r[j] * dot + self.b[j] + xl[j];
             }
         }
-        self.input = Some(input.clone());
-        out
     }
 
-    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let x0 = self.x0.as_ref().expect("x0 cached");
-        let input = self.input.as_ref().expect("forward before backward");
+    /// In-place backward with `x0` and the forward `input` by reference.
+    /// Accumulates `grad_w`/`grad_b`, writes `dL/d-input` into `grad_in`.
+    ///
+    /// (x0 is an input from the embedding side; its gradient flows through
+    /// `grad_in` of the *first* cross layer, where `x_l = x_0`.)
+    pub fn backward_with_x0(
+        &mut self,
+        x0: &Matrix,
+        input: &Matrix,
+        grad_out: &Matrix,
+        grad_in: &mut Matrix,
+    ) {
         let rows = grad_out.rows();
         let dim = grad_out.cols();
-        let mut grad_in = Matrix::zeros(rows, dim);
+        grad_in.reset(rows, dim);
+        // dL/db_j = Σ_r g_j — a column sum, hoisted out of the row loop.
+        grad_out.col_sums_into(&mut self.grad_b);
         for r in 0..rows {
             let g = grad_out.row(r);
             let x0r = x0.row(r);
             let xl = input.row(r);
             // s = Σ_j g_j·x0_j  (scalar per row)
             let s: f32 = g.iter().zip(x0r).map(|(&gj, &x0j)| gj * x0j).sum();
-            let dot = self.xw[r];
             let gi = grad_in.row_mut(r);
             for j in 0..dim {
                 // dL/dxl_j = g_j (identity) + s·w_j (through the dot product)
                 gi[j] = g[j] + s * self.w[j];
-                // dL/dw_j = s·xl_j ; dL/db_j = g_j
+                // dL/dw_j = s·xl_j
                 self.grad_w[j] += s * xl[j];
-                self.grad_b[j] += g[j];
-                // (x0 is an input from the embedding side; its gradient flows
-                // through grad_in of the *first* cross layer where x_l = x_0.)
-                let _ = dot;
             }
         }
+    }
+}
+
+impl Layer for CrossLayer {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.forward_into(input, &mut out);
+        self.input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let input = self.input.take().expect("forward before backward");
+        let mut grad_in = Matrix::zeros(0, 0);
+        self.backward_into(&input, grad_out, &mut grad_in);
+        self.input = Some(input);
         grad_in
+    }
+
+    fn forward_into(&mut self, input: &Matrix, out: &mut Matrix) {
+        let x0 = self.x0.take().expect("set_x0 before forward");
+        self.forward_with_x0(&x0, input, out);
+        self.x0 = Some(x0);
+    }
+
+    fn backward_into(&mut self, input: &Matrix, grad_out: &Matrix, grad_in: &mut Matrix) {
+        let x0 = self.x0.take().expect("x0 cached");
+        self.backward_with_x0(&x0, input, grad_out, grad_in);
+        self.x0 = Some(x0);
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
@@ -258,6 +385,11 @@ impl Layer for CrossLayer {
         self.grad_w.iter_mut().for_each(|g| *g = 0.0);
         self.grad_b.iter_mut().for_each(|g| *g = 0.0);
     }
+
+    fn flops(&self, rows: usize) -> u64 {
+        // dot (2·dim) + scale-add output (2·dim) per row.
+        4 * rows as u64 * self.w.len() as u64
+    }
 }
 
 /// A sequential stack of layers ending in a single logit column.
@@ -266,14 +398,13 @@ pub struct Mlp {
 }
 
 impl Mlp {
-    /// Builds `in_dim → hidden[0] → … → hidden[n-1] → 1` with ReLU between
-    /// dense layers.
+    /// Builds `in_dim → hidden[0] → … → hidden[n-1] → 1` with ReLU after
+    /// each hidden layer (fused into the [`Dense`] kernel).
     pub fn new(in_dim: usize, hidden: &[usize], seed: u64) -> Self {
         let mut layers: Vec<Box<dyn Layer>> = Vec::new();
         let mut dim = in_dim;
         for (i, &h) in hidden.iter().enumerate() {
-            layers.push(Box::new(Dense::new(dim, h, seed.wrapping_add(i as u64))));
-            layers.push(Box::new(Relu::new()));
+            layers.push(Box::new(Dense::new_relu(dim, h, seed.wrapping_add(i as u64))));
             dim = h;
         }
         layers.push(Box::new(Dense::new(
@@ -305,6 +436,62 @@ impl Mlp {
             g = layer.backward(&g);
         }
         g
+    }
+
+    /// Allocation-free forward: every layer's activation lands in
+    /// `tape.acts[i]` (the logits end up at [`DenseTape::output`]). Nothing
+    /// is cached inside the layers — pair with [`Mlp::backward_tape`].
+    pub fn forward_tape(&mut self, input: &Matrix, tape: &mut DenseTape) {
+        let n = self.layers.len();
+        tape.ensure_acts(n);
+        for i in 0..n {
+            let (before, rest) = tape.acts.split_at_mut(i);
+            let src: &Matrix = if i == 0 { input } else { &before[i - 1] };
+            self.layers[i].forward_into(src, &mut rest[0]);
+            let rows = src.rows();
+            tape.add_flops(self.layers[i].flops(rows));
+        }
+    }
+
+    /// Allocation-free backward matching the preceding
+    /// [`Mlp::forward_tape`] on the same `input` and `tape`: ping-pongs the
+    /// upstream gradient through the tape's two gradient buffers (swapped
+    /// by pointer) and writes `dL/d-input` into `grad_in`.
+    pub fn backward_tape(
+        &mut self,
+        input: &Matrix,
+        grad_out: &Matrix,
+        grad_in: &mut Matrix,
+        tape: &mut DenseTape,
+    ) {
+        let n = self.layers.len();
+        assert!(tape.acts.len() >= n, "forward_tape before backward_tape");
+        // Presize BOTH ping-pong buffers to the largest intermediate
+        // gradient. With an odd number of swaps per batch the buffers trade
+        // roles across batches; without this, one of them would first grow
+        // on batch 2 and trip the post-warmup-growth counter.
+        let max_elems = (1..n)
+            .map(|i| tape.acts[i - 1].rows() * tape.acts[i - 1].cols())
+            .max()
+            .unwrap_or(0);
+        tape.g_a.ensure_capacity(max_elems);
+        tape.g_b.ensure_capacity(max_elems);
+        for i in (0..n).rev() {
+            let rows = if i == 0 { input.rows() } else { tape.acts[i - 1].rows() };
+            tape.add_flops(2 * self.layers[i].flops(rows));
+            if i == 0 {
+                let src: &Matrix = if n == 1 { grad_out } else { &tape.g_a };
+                self.layers[0].backward_into(input, src, grad_in);
+            } else if i == n - 1 {
+                self.layers[i].backward_into(&tape.acts[i - 1], grad_out, &mut tape.g_b);
+                std::mem::swap(&mut tape.g_a, &mut tape.g_b);
+            } else {
+                // Invariant: the upstream gradient lives in g_a; write the
+                // new one into g_b, then swap (pointer swap, no copy).
+                self.layers[i].backward_into(&tape.acts[i - 1], &tape.g_a, &mut tape.g_b);
+                std::mem::swap(&mut tape.g_a, &mut tape.g_b);
+            }
+        }
     }
 
     /// Visits all `(param, grad)` buffers in stable order.

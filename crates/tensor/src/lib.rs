@@ -12,7 +12,10 @@
 //!
 //! Provided:
 //! * [`Matrix`] — row-major f32 matrix with the handful of kernels a
-//!   feed-forward CTR model needs;
+//!   feed-forward CTR model needs, backed by the blocked [`gemm`] engine
+//!   (naive loops survive as `*_ref` reference oracles);
+//! * [`tape`] — [`DenseTape`], the reusable activation/gradient arena that
+//!   lets a worker run forward/backward allocation-free in steady state;
 //! * [`layers`] — `Dense`, `ReLU`, and DCN's `CrossLayer`, each with explicit
 //!   backward passes; [`Mlp`] stacks them;
 //! * [`loss`] — numerically-stable binary cross-entropy with logits;
@@ -22,15 +25,18 @@
 //!   state matters).
 
 pub mod fm;
+pub mod gemm;
 pub mod layers;
 pub mod loss;
 pub mod matrix;
 pub mod metrics;
 pub mod optim;
+pub mod tape;
 
 pub use fm::{FmInteraction, TargetAttention};
 pub use layers::{CrossLayer, Dense, Layer, Mlp, Relu};
-pub use loss::bce_with_logits;
+pub use loss::{bce_with_logits, bce_with_logits_into};
 pub use matrix::Matrix;
 pub use metrics::{auc, log_loss};
 pub use optim::{Adagrad, Adam, DenseOptimizer, Sgd};
+pub use tape::DenseTape;

@@ -12,17 +12,29 @@ use crate::matrix::Matrix;
 /// # Panics
 /// Panics if `logits` is not a single-column matrix matching `labels`.
 pub fn bce_with_logits(logits: &Matrix, labels: &[f32]) -> (f32, Matrix) {
+    let mut grad = Matrix::zeros(logits.rows(), 1);
+    let loss = bce_with_logits_into(logits, labels, &mut grad);
+    (loss, grad)
+}
+
+/// In-place [`bce_with_logits`]: writes `dL/dlogits` into a caller-owned
+/// `grad` matrix (resized via [`Matrix::reset`], reusing its allocation)
+/// and returns the mean loss. The hot-loop form.
+///
+/// # Panics
+/// Panics if `logits` is not a single-column matrix matching `labels`.
+pub fn bce_with_logits_into(logits: &Matrix, labels: &[f32], grad: &mut Matrix) -> f32 {
     assert_eq!(logits.cols(), 1, "logits must be a column");
     assert_eq!(logits.rows(), labels.len(), "batch size mismatch");
     let n = labels.len().max(1) as f32;
-    let mut grad = Matrix::zeros(logits.rows(), 1);
+    grad.reset(logits.rows(), 1);
     let mut loss = 0.0f32;
     for (i, (&z, &y)) in logits.data().iter().zip(labels).enumerate() {
         loss += z.max(0.0) - z * y + (1.0 + (-z.abs()).exp()).ln();
         let sig = 1.0 / (1.0 + (-z).exp());
         grad.data_mut()[i] = (sig - y) / n;
     }
-    (loss / n, grad)
+    loss / n
 }
 
 /// The logistic sigmoid.

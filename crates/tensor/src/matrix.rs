@@ -1,7 +1,14 @@
 //! Row-major f32 matrix with the kernels a feed-forward model needs.
+//!
+//! All three matrix products route through the blocked kernels in
+//! [`crate::gemm`]; the pre-engine naive loops survive as `*_ref` reference
+//! oracles for differential tests and the naive-vs-blocked benchmark.
 
-/// A dense row-major matrix of `f32`.
-#[derive(Debug, Clone, PartialEq)]
+use crate::gemm::{self, Epilogue};
+
+/// A dense row-major matrix of `f32`. The `Default` is the empty `0×0`
+/// matrix, the usual starting state for a reusable scratch buffer.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -95,70 +102,129 @@ impl Matrix {
         self.cols = cols;
     }
 
-    /// `self · other` — shapes `(m×k)·(k×n) → (m×n)`, ikj loop order.
+    /// Bytes of backing storage currently reserved (capacity, not length).
+    /// The `DenseTape` arena-bytes gauge sums this over its buffers to
+    /// assert steady-state allocations stay flat after warmup.
+    #[inline]
+    pub fn capacity_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<f32>()
+    }
+
+    /// Reserves backing storage for at least `elems` scalars without
+    /// changing the matrix shape. Lets arena owners bring a buffer to its
+    /// steady-state capacity up front (e.g. both ping-pong gradient buffers
+    /// on the first batch) so later [`Matrix::reset`] calls never allocate.
+    pub fn ensure_capacity(&mut self, elems: usize) {
+        if self.data.capacity() < elems {
+            self.data.reserve(elems - self.data.len());
+        }
+    }
+
+    /// `self · other` — shapes `(m×k)·(k×n) → (m×n)`, blocked kernel.
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// `out = self · other`, reusing `out`'s allocation.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         let (m, k, n) = (self.rows, self.cols, other.cols);
-        let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (p, &a) in a_row.iter().enumerate().take(k) {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(p);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
+        out.reset(m, n);
+        gemm::gemm_nn(m, k, n, &self.data, &other.data, &[], Epilogue::Store, &mut out.data);
+    }
+
+    /// `out = self · other + bias` (bias broadcast over rows), fused —
+    /// the accumulator tile is *seeded* with the bias, one pass over `out`.
+    pub fn matmul_bias_into(&self, other: &Matrix, bias: &[f32], out: &mut Matrix) {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        assert_eq!(bias.len(), other.cols, "bias length mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        out.reset(m, n);
+        gemm::gemm_nn(m, k, n, &self.data, &other.data, bias, Epilogue::Bias, &mut out.data);
+    }
+
+    /// `out = max(self · other + bias, 0)` — fused dense-layer forward.
+    /// Bit-for-bit equal to [`Self::matmul_bias_into`] followed by a ReLU
+    /// clamp (the clamp is the epilogue of the same kernel).
+    pub fn matmul_bias_relu_into(&self, other: &Matrix, bias: &[f32], out: &mut Matrix) {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        assert_eq!(bias.len(), other.cols, "bias length mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        out.reset(m, n);
+        gemm::gemm_nn(m, k, n, &self.data, &other.data, bias, Epilogue::BiasRelu, &mut out.data);
     }
 
     /// `selfᵀ · other` — shapes `(k×m)ᵀ·(k×n) → (m×n)`. Used for weight
     /// gradients (`Xᵀ · dY`).
     pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        self.t_matmul_into(other, &mut out);
+        out
+    }
+
+    /// `out = selfᵀ · other`, reusing `out`'s allocation.
+    pub fn t_matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
         let (k, m, n) = (self.rows, self.cols, other.cols);
-        let mut out = Matrix::zeros(m, n);
-        for p in 0..k {
-            let a_row = self.row(p);
-            let b_row = other.row(p);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
+        out.reset(m, n);
+        gemm::gemm_tn(m, k, n, &self.data, &other.data, Epilogue::Store, &mut out.data);
+    }
+
+    /// `out += selfᵀ · other` — accumulating weight-gradient GEMM
+    /// (`dW += Xᵀ·dY`). `out` must already have shape `cols × other.cols`.
+    pub fn t_matmul_acc(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        assert_eq!((out.rows, out.cols), (m, n), "t_matmul_acc out shape mismatch");
+        gemm::gemm_tn(m, k, n, &self.data, &other.data, Epilogue::Accumulate, &mut out.data);
     }
 
     /// `self · otherᵀ` — shapes `(m×k)·(n×k)ᵀ → (m×n)`. Used for input
     /// gradients (`dY · Wᵀ`).
     pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        self.matmul_t_into(other, &mut out);
+        out
+    }
+
+    /// `out = self · otherᵀ`, reusing `out`'s allocation.
+    pub fn matmul_t_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
-        let (m, _k, n) = (self.rows, self.cols, other.rows);
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        out.reset(m, n);
+        gemm::gemm_nt(m, k, n, &self.data, &other.data, Epilogue::Store, &mut out.data);
+    }
+
+    /// Naive-loop `self · other` — the pre-engine kernel, kept as the
+    /// reference oracle for differential tests and benches.
+    pub fn matmul_ref(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = other.row(j);
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                *o = acc;
-            }
-        }
+        gemm::reference::matmul(m, k, n, &self.data, &other.data, &mut out.data);
+        out
+    }
+
+    /// Naive-loop `selfᵀ · other` reference oracle.
+    pub fn t_matmul_ref(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        gemm::reference::t_matmul(m, k, n, &self.data, &other.data, &mut out.data);
+        out
+    }
+
+    /// Naive-loop `self · otherᵀ` reference oracle.
+    pub fn matmul_t_ref(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = Matrix::zeros(m, n);
+        gemm::reference::matmul_t(m, k, n, &self.data, &other.data, &mut out.data);
         out
     }
 
@@ -172,15 +238,27 @@ impl Matrix {
         }
     }
 
-    /// Column sums (used for bias gradients).
+    /// Column sums (used for bias gradients). Allocates; hot paths use
+    /// [`Self::col_sums_into`].
     pub fn col_sums(&self) -> Vec<f32> {
         let mut out = vec![0.0f32; self.cols];
+        self.col_sums_into(&mut out);
+        out
+    }
+
+    /// **Accumulates** column sums into `out` (`out[j] += Σ_r self[r][j]`)
+    /// — callers that want plain sums must zero `out` first. The
+    /// accumulate form lets `Dense::backward` feed `grad_b` directly.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != cols`.
+    pub fn col_sums_into(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.cols, "col_sums_into length mismatch");
         for r in 0..self.rows {
             for (o, &x) in out.iter_mut().zip(self.row(r)) {
                 *o += x;
             }
         }
-        out
     }
 
     /// Frobenius norm.
@@ -265,5 +343,83 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed;
+        let data = (0..rows * cols)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 32) as u32 as f32 / u32::MAX as f32) - 0.5
+            })
+            .collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    #[test]
+    fn blocked_matches_naive_reference() {
+        // The differential pin at the Matrix level: blocked kernels vs the
+        // kept naive oracles, relative error ≤ 1e-5 over tail-heavy shapes.
+        for &(m, k, n) in &[(7usize, 13usize, 11usize), (16, 8, 24), (1, 5, 1), (9, 1, 17)] {
+            let a = rand_matrix(m, k, 1);
+            let b = rand_matrix(k, n, 2);
+            for (x, y) in a.matmul(&b).data().iter().zip(a.matmul_ref(&b).data()) {
+                assert!((x - y).abs() / x.abs().max(1.0) <= 1e-5);
+            }
+            let at = rand_matrix(k, m, 3);
+            for (x, y) in at.t_matmul(&b).data().iter().zip(at.t_matmul_ref(&b).data()) {
+                assert!((x - y).abs() / x.abs().max(1.0) <= 1e-5);
+            }
+            let bt = rand_matrix(n, k, 4);
+            for (x, y) in a.matmul_t(&bt).data().iter().zip(a.matmul_t_ref(&bt).data()) {
+                assert!((x - y).abs() / x.abs().max(1.0) <= 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_bias_relu_is_clamped_fused_bias() {
+        let a = rand_matrix(6, 9, 5);
+        let b = rand_matrix(9, 11, 6);
+        let bias: Vec<f32> = rand_matrix(1, 11, 7).data().to_vec();
+        let mut plain = Matrix::zeros(0, 0);
+        let mut fused = Matrix::zeros(0, 0);
+        a.matmul_bias_into(&b, &bias, &mut plain);
+        a.matmul_bias_relu_into(&b, &bias, &mut fused);
+        for (&f, &p) in fused.data().iter().zip(plain.data()) {
+            assert_eq!(f.to_bits(), p.max(0.0).to_bits());
+        }
+        assert!(plain.data().iter().any(|&x| x < 0.0), "want negatives");
+    }
+
+    #[test]
+    fn t_matmul_acc_accumulates() {
+        let a = rand_matrix(8, 5, 8);
+        let b = rand_matrix(8, 7, 9);
+        let once = a.t_matmul(&b);
+        let mut acc = once.clone();
+        a.t_matmul_acc(&b, &mut acc);
+        for (&x, &y) in acc.data().iter().zip(once.data()) {
+            assert!((x - 2.0 * y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn col_sums_into_accumulates() {
+        let m = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let mut out = vec![10.0f32, 20.0];
+        m.col_sums_into(&mut out);
+        assert_eq!(out, vec![14., 26.]);
+    }
+
+    #[test]
+    fn capacity_bytes_tracks_backing_store() {
+        let mut m = Matrix::zeros(4, 4);
+        let before = m.capacity_bytes();
+        assert!(before >= 16 * 4);
+        m.reset(2, 2); // shrink reuses the allocation
+        assert_eq!(m.capacity_bytes(), before);
     }
 }

@@ -99,6 +99,37 @@ proptest! {
     }
 
     #[test]
+    fn blocked_gemm_matches_naive_reference(a in matrix(5, 11), b in matrix(11, 9)) {
+        // The blocked engine vs the pre-blocking naive kernel, on a shape
+        // with both row and column tail loops in play.
+        let blocked = a.matmul(&b);
+        let naive = a.matmul_ref(&b);
+        for (x, y) in blocked.data().iter().zip(naive.data()) {
+            let tol = 1e-5 * y.abs().max(1.0);
+            prop_assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn fused_bias_relu_equals_unfused_composition(
+        a in matrix(6, 10),
+        b in matrix(10, 7),
+        bias in prop::collection::vec(-2.0f32..2.0, 7),
+    ) {
+        // matmul_bias_relu must be bit-for-bit the clamp of matmul_bias:
+        // the fused kernel seeds the accumulator with the bias and clamps in
+        // the write phase, so the pre-clamp value goes through the exact
+        // same f32 operation sequence as the bias-only kernel.
+        let mut with_bias = Matrix::zeros(0, 0);
+        a.matmul_bias_into(&b, &bias, &mut with_bias);
+        let mut fused = Matrix::zeros(0, 0);
+        a.matmul_bias_relu_into(&b, &bias, &mut fused);
+        for (f, u) in fused.data().iter().zip(with_bias.data()) {
+            prop_assert_eq!(f.to_bits(), u.max(0.0).to_bits(), "{} vs {}", f, u);
+        }
+    }
+
+    #[test]
     fn mlp_param_roundtrip(seed in 0u64..1000) {
         let mut mlp = Mlp::new(6, &[10, 4], seed);
         let flat = mlp.flatten_params();

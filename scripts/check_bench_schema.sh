@@ -1,8 +1,15 @@
 #!/usr/bin/env sh
-# Validates the shape of BENCH_hotpath.json (written by `make bench-baseline`
-# / `make bench-smoke`): the top-level sections and every numeric field the
-# perf tracking relies on must be present, and the recorded throughputs must
-# be positive. Prints the batched-over-per-row speedup on success.
+# Validates the shape of the locked-in perf baselines:
+#
+#   BENCH_hotpath.json (make bench-baseline / bench-smoke) — batched vs
+#   per-row embedding ops + end-to-end throughput;
+#   BENCH_dense.json  (make bench-dense / bench-dense-smoke) — blocked vs
+#   naive GEMM kernels + the allocation-free tape path's end-to-end run.
+#
+# The schema is picked from the file name. The top-level sections and every
+# numeric field the perf tracking relies on must be present, throughputs
+# must be positive, and the dense baseline's steady-state-allocation
+# counter must be exactly 0. Prints the speedup on success.
 #
 # Run from the repo root (make verify does). POSIX sh + grep/sed only — the
 # file is single-line flat JSON emitted by our own renderer, so anchored
@@ -13,7 +20,7 @@ cd "$(dirname "$0")/.."
 
 FILE=${1:-BENCH_hotpath.json}
 [ -f "$FILE" ] || {
-    echo "check_bench_schema: $FILE missing (run 'make bench-smoke' first)" >&2
+    echo "check_bench_schema: $FILE missing (run 'make bench-smoke' or 'make bench-dense-smoke' first)" >&2
     exit 1
 }
 
@@ -27,39 +34,81 @@ require() {
     fi
 }
 
-# Top-level sections.
-for section in config per_row batched end_to_end; do
-    require "\"$section\":\{" "section \"$section\""
-done
-require '"speedup":[0-9]' 'top-level "speedup"'
-
-# Microbench sides: both carry throughput, lock traffic, and wall time.
-for side in per_row batched; do
-    for key in rows_per_sec lock_acquisitions wall_secs; do
-        require "\"$side\":\{[^}]*\"$key\":[0-9-]" "\"$side.$key\""
+case $FILE in
+*dense*)
+    # ---- BENCH_dense.json ------------------------------------------------
+    for section in config gemm end_to_end; do
+        require "\"$section\":\{" "section \"$section\""
     done
-done
+    require '"speedup":[0-9]' 'top-level "speedup"'
 
-# End-to-end run fields.
-for key in samples_per_sec lock_acquisitions samples_processed \
-    batched_read_rows batched_apply_rows final_auc; do
-    require "\"end_to_end\":\{[^}]*\"$key\":[0-9-]" "\"end_to_end.$key\""
-done
+    for key in naive_gflops blocked_gflops wall_secs_naive wall_secs_blocked \
+        flops_per_rep; do
+        require "\"gemm\":\{[^}]*\"$key\":[0-9-]" "\"gemm.$key\""
+    done
 
-# Config provenance: the workload must be reproducible.
-for key in seed rows dim batch batches threads reps smoke; do
-    require "\"config\":\{[^}]*\"$key\":" "\"config.$key\""
-done
+    for key in samples_per_sec dense_samples_per_sec gemm_flops arena_bytes \
+        post_warmup_growth samples_processed final_auc; do
+        require "\"end_to_end\":\{[^}]*\"$key\":[0-9-]" "\"end_to_end.$key\""
+    done
 
-[ "$fail" -eq 0 ] || exit 1
+    for key in seed batch features hidden square reps smoke; do
+        require "\"config\":\{[^}]*\"$key\":" "\"config.$key\""
+    done
 
-# Sanity: throughputs are positive (a zero means the measurement broke).
-for expr in '"rows_per_sec":0[,.]0*[,}]' '"samples_per_sec":0[,}]'; do
-    if grep -qE "$expr" "$FILE"; then
-        echo "check_bench_schema: zero throughput in $FILE" >&2
+    [ "$fail" -eq 0 ] || exit 1
+
+    # Sanity: positive kernel and training throughput.
+    for expr in '"naive_gflops":0[,.]0*[,}]' '"blocked_gflops":0[,.]0*[,}]' \
+        '"samples_per_sec":0[,}]' '"dense_samples_per_sec":0[,}]'; do
+        if grep -qE "$expr" "$FILE"; then
+            echo "check_bench_schema: zero throughput in $FILE" >&2
+            exit 1
+        fi
+    done
+    # The zero-steady-state-allocations contract: any post-warmup tape
+    # growth is a regression, fail loudly.
+    if ! grep -qE '"post_warmup_growth":0(\.0*)?[,}]' "$FILE"; then
+        echo "check_bench_schema: post_warmup_growth != 0 in $FILE (steady-state allocation regression)" >&2
         exit 1
     fi
-done
+    ;;
+*)
+    # ---- BENCH_hotpath.json ----------------------------------------------
+    for section in config per_row batched end_to_end; do
+        require "\"$section\":\{" "section \"$section\""
+    done
+    require '"speedup":[0-9]' 'top-level "speedup"'
+
+    # Microbench sides: both carry throughput, lock traffic, and wall time.
+    for side in per_row batched; do
+        for key in rows_per_sec lock_acquisitions wall_secs; do
+            require "\"$side\":\{[^}]*\"$key\":[0-9-]" "\"$side.$key\""
+        done
+    done
+
+    # End-to-end run fields.
+    for key in samples_per_sec lock_acquisitions samples_processed \
+        batched_read_rows batched_apply_rows final_auc; do
+        require "\"end_to_end\":\{[^}]*\"$key\":[0-9-]" "\"end_to_end.$key\""
+    done
+
+    # Config provenance: the workload must be reproducible.
+    for key in seed rows dim batch batches threads reps smoke; do
+        require "\"config\":\{[^}]*\"$key\":" "\"config.$key\""
+    done
+
+    [ "$fail" -eq 0 ] || exit 1
+
+    # Sanity: throughputs are positive (a zero means the measurement broke).
+    for expr in '"rows_per_sec":0[,.]0*[,}]' '"samples_per_sec":0[,}]'; do
+        if grep -qE "$expr" "$FILE"; then
+            echo "check_bench_schema: zero throughput in $FILE" >&2
+            exit 1
+        fi
+    done
+    ;;
+esac
 
 speedup=$(sed -n 's/.*"speedup":\([0-9.eE+-]*\).*/\1/p' "$FILE")
-echo "check_bench_schema: OK ($FILE; batched/per-row speedup ${speedup}x)"
+echo "check_bench_schema: OK ($FILE; speedup ${speedup}x)"

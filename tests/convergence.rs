@@ -125,7 +125,7 @@ struct Golden {
 const GOLDENS: &[Golden] = &[
     Golden { strategy: "bsp", seed: 42, final_auc: 0.6422222222222222, train_loss: 0.5607099285714285, samples: 3584, intra_reads: 112, inter_checks: 279 },
     Golden { strategy: "bsp", seed: 1337, final_auc: 0.6518055555555555, train_loss: 0.5622487142857143, samples: 3584, intra_reads: 112, inter_checks: 279 },
-    Golden { strategy: "bsp", seed: 2026, final_auc: 0.6430555555555556, train_loss: 0.5601503571428571, samples: 3584, intra_reads: 112, inter_checks: 279 },
+    Golden { strategy: "bsp", seed: 2026, final_auc: 0.6430555555555556, train_loss: 0.5601504285714286, samples: 3584, intra_reads: 112, inter_checks: 279 },
     Golden { strategy: "ssp", seed: 42, final_auc: 0.6445833333333333, train_loss: 0.5611476428571429, samples: 3584, intra_reads: 112, inter_checks: 279 },
     Golden { strategy: "ssp", seed: 1337, final_auc: 0.6526388888888889, train_loss: 0.5621735, samples: 3584, intra_reads: 112, inter_checks: 279 },
     Golden { strategy: "ssp", seed: 2026, final_auc: 0.6495833333333333, train_loss: 0.5605652857142858, samples: 3584, intra_reads: 112, inter_checks: 279 },
