@@ -4,8 +4,8 @@
 CARGO ?= cargo
 
 .PHONY: build test clippy lint-metrics fault-matrix verify bench \
-	bench-baseline bench-smoke bench-dense bench-dense-smoke bench-schema \
-	clean
+	bench-baseline bench-smoke bench-dense bench-dense-smoke \
+	bench-pipeline bench-pipeline-smoke bench-schema clean
 
 build:
 	$(CARGO) build --release --offline --workspace
@@ -56,11 +56,29 @@ bench-dense: build
 bench-dense-smoke: build
 	$(CARGO) run --release --offline -p hetgmp-bench --bin bench_dense -- --smoke
 
-# Schema gate for both perf baselines (runs the smoke benches to produce
-# fresh files, then validates their shape).
-bench-schema: bench-smoke bench-dense-smoke
+# The pipelined-trainer baseline: the bench_dense end-to-end workload swept
+# over pipeline depths {1,2,4}, writing BENCH_pipeline.json (samples/s,
+# stage stall %, overlap ratio per depth; asserts bit-identical AUC).
+bench-pipeline: build
+	$(CARGO) run --release --offline -p hetgmp-bench --bin bench_pipeline
+	sh scripts/check_bench_schema.sh BENCH_pipeline.json
+
+# Shrunk depth sweep: same schema, written to BENCH_pipeline.smoke.json.
+bench-pipeline-smoke: build
+	$(CARGO) run --release --offline -p hetgmp-bench --bin bench_pipeline -- --smoke
+
+# Schema gate for all three perf baselines: runs the smoke benches (which
+# write *.smoke.json siblings, never touching the committed full-run files)
+# and validates both the fresh smoke output and the committed baselines —
+# including the doc-drift check that every "NN.Nk samples/s" figure quoted
+# in ROADMAP.md/CHANGES.md still matches a committed BENCH_*.json.
+bench-schema: bench-smoke bench-dense-smoke bench-pipeline-smoke
+	sh scripts/check_bench_schema.sh BENCH_hotpath.smoke.json
+	sh scripts/check_bench_schema.sh BENCH_dense.smoke.json
+	sh scripts/check_bench_schema.sh BENCH_pipeline.smoke.json
 	sh scripts/check_bench_schema.sh
 	sh scripts/check_bench_schema.sh BENCH_dense.json
+	sh scripts/check_bench_schema.sh BENCH_pipeline.json
 
 clean:
 	$(CARGO) clean

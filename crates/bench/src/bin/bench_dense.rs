@@ -189,7 +189,9 @@ fn main() {
         ("speedup", Json::F64(speedup)),
         ("end_to_end", e2e),
     ]);
-    let path = "BENCH_dense.json";
-    std::fs::write(path, doc.render() + "\n").expect("write BENCH_dense.json");
+    // Smoke runs land in a sibling file so CI schema checks never overwrite
+    // the committed full-run baseline.
+    let path = if smoke { "BENCH_dense.smoke.json" } else { "BENCH_dense.json" };
+    std::fs::write(path, doc.render() + "\n").expect("write BENCH_dense json");
     println!("wrote {path} (gemm speedup {speedup:.2}x)");
 }

@@ -247,7 +247,9 @@ fn main() {
         ("speedup", Json::F64(speedup)),
         ("end_to_end", e2e),
     ]);
-    let path = "BENCH_hotpath.json";
-    std::fs::write(path, doc.render() + "\n").expect("write BENCH_hotpath.json");
+    // Smoke runs land in a sibling file so CI schema checks never overwrite
+    // the committed full-run baseline.
+    let path = if smoke { "BENCH_hotpath.smoke.json" } else { "BENCH_hotpath.json" };
+    std::fs::write(path, doc.render() + "\n").expect("write BENCH_hotpath json");
     println!("wrote {path} (speedup {speedup:.2}x)");
 }

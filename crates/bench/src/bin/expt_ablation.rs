@@ -1,8 +1,18 @@
 //! Ablations: staleness-vs-throughput, replication budget, balance weights,
 //! and static vertex-cut vs dynamic LFU caching.
+//!
+//! `--pipeline-depth N` / `--gemm-threads N` apply one software-pipeline
+//! setting to every training run of the hooked ablations (results are
+//! bit-identical across depths; only wall-clock speed changes).
 fn main() {
     let scale = hetgmp_bench::scale_arg(0.15);
-    let (st, rep, bal) = hetgmp_core::experiments::ablation::run(scale);
+    let (pipeline_depth, gemm_threads) = hetgmp_bench::pipeline_flags();
+    let hooks = hetgmp_core::experiments::Hooks {
+        pipeline_depth,
+        gemm_threads,
+        ..Default::default()
+    };
+    let (st, rep, bal) = hetgmp_core::experiments::ablation::run_instrumented(scale, None, &hooks);
     println!("{st}\n\n{rep}\n\n{bal}\n");
     let data = hetgmp_data::generate(&hetgmp_data::DatasetSpec::criteo_like(scale));
     println!("{}", hetgmp_core::experiments::ablation::cache_comparison(&data, 256));

@@ -1,6 +1,19 @@
 //! Figure 8 — per-iteration communication breakdown (embeds+grads /
 //! keys+clocks / AllReduce) under random, 1-D, 2-D(s=10), 2-D(s=100).
+//!
+//! `--pipeline-depth N` / `--gemm-threads N` apply one software-pipeline
+//! setting to every training run in the experiment (traffic volumes are
+//! identical across depths; only wall-clock speed changes).
 fn main() {
     let scale = hetgmp_bench::scale_arg(0.15);
-    println!("{}", hetgmp_core::experiments::comm_breakdown::run(scale));
+    let (pipeline_depth, gemm_threads) = hetgmp_bench::pipeline_flags();
+    let hooks = hetgmp_core::experiments::Hooks {
+        pipeline_depth,
+        gemm_threads,
+        ..Default::default()
+    };
+    println!(
+        "{}",
+        hetgmp_core::experiments::comm_breakdown::run_instrumented(scale, None, &hooks)
+    );
 }

@@ -1,6 +1,19 @@
 //! Table 2 — final test AUC vs staleness bound s in {0, 100, 10k, inf}.
+//!
+//! `--pipeline-depth N` / `--gemm-threads N` apply one software-pipeline
+//! setting to every training run in the experiment (AUC is bit-identical
+//! across depths; only wall-clock speed changes).
 fn main() {
     let scale = hetgmp_bench::scale_arg(0.15);
     let epochs = hetgmp_bench::second_arg(3);
-    println!("{}", hetgmp_core::experiments::staleness::run(scale, epochs));
+    let (pipeline_depth, gemm_threads) = hetgmp_bench::pipeline_flags();
+    let hooks = hetgmp_core::experiments::Hooks {
+        pipeline_depth,
+        gemm_threads,
+        ..Default::default()
+    };
+    println!(
+        "{}",
+        hetgmp_core::experiments::staleness::run_instrumented(scale, epochs, None, &hooks)
+    );
 }

@@ -33,6 +33,33 @@ pub fn second_arg(default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Parses the optional `--pipeline-depth N` / `--gemm-threads N` flags
+/// (also `--flag=N`) from argv, returning `(pipeline_depth, gemm_threads)`.
+/// The training experiment binaries (fig8, table2, ablation) thread these
+/// into [`hetgmp_core::experiments::Hooks`] so one flag applies a single
+/// pipeline setting to every trainer run in the experiment.
+pub fn pipeline_flags() -> (Option<usize>, Option<usize>) {
+    parse_pipeline_flags(std::env::args().skip(1))
+}
+
+fn parse_pipeline_flags(args: impl Iterator<Item = String>) -> (Option<usize>, Option<usize>) {
+    let mut depth = None;
+    let mut threads = None;
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        let mut take = |key: &str, slot: &mut Option<usize>| {
+            if let Some(v) = a.strip_prefix(&format!("{key}=")) {
+                *slot = v.parse().ok();
+            } else if a == key {
+                *slot = args.peek().and_then(|v| v.parse().ok());
+            }
+        };
+        take("--pipeline-depth", &mut depth);
+        take("--gemm-threads", &mut threads);
+    }
+    (depth, threads)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -46,5 +73,26 @@ mod tests {
         assert!(s.is_finite());
         let e = second_arg(3);
         assert!(e > 0);
+    }
+
+    #[test]
+    fn pipeline_flags_parse_both_forms() {
+        let argv = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            parse_pipeline_flags(argv(&["0.2", "--pipeline-depth", "2"]).into_iter()),
+            (Some(2), None)
+        );
+        assert_eq!(
+            parse_pipeline_flags(
+                argv(&["--pipeline-depth=4", "--gemm-threads=2"]).into_iter()
+            ),
+            (Some(4), Some(2))
+        );
+        assert_eq!(parse_pipeline_flags(argv(&["0.2"]).into_iter()), (None, None));
+        // Malformed values fall back to None rather than panicking.
+        assert_eq!(
+            parse_pipeline_flags(argv(&["--pipeline-depth", "xyz"]).into_iter()),
+            (None, None)
+        );
     }
 }

@@ -114,6 +114,11 @@ impl TimeBreakdown {
 pub struct SimClock {
     now: f64,
     breakdown: TimeBreakdown,
+    /// Seconds of overlappable charges actually hidden behind their compute
+    /// windows (the part of `advance_overlapped` that did not advance `now`).
+    hidden: f64,
+    /// Total seconds submitted through `advance_overlapped`, hidden or not.
+    charged_overlappable: f64,
     recorder: Option<Arc<dyn Recorder>>,
     cell: SimTimeCell,
 }
@@ -186,7 +191,32 @@ impl SimClock {
     ) {
         debug_assert!(seconds >= 0.0 && compute_window >= 0.0);
         self.now += (seconds - compute_window).max(0.0);
+        self.hidden += seconds.min(compute_window);
+        self.charged_overlappable += seconds;
         self.attribute(category, seconds);
+    }
+
+    /// Seconds of overlappable charges fully hidden behind their compute
+    /// windows (deterministic — derived from simulated charges only).
+    #[inline]
+    pub fn hidden_secs(&self) -> f64 {
+        self.hidden
+    }
+
+    /// Total seconds submitted through [`SimClock::advance_overlapped`],
+    /// hidden or not — the denominator of [`SimClock::overlap_ratio`].
+    pub fn overlappable_secs(&self) -> f64 {
+        self.charged_overlappable
+    }
+
+    /// Fraction of overlappable seconds that were hidden: the pipeline's
+    /// `pipeline.overlap_ratio`. 0 when nothing overlappable was charged.
+    pub fn overlap_ratio(&self) -> f64 {
+        if self.charged_overlappable == 0.0 {
+            0.0
+        } else {
+            self.hidden / self.charged_overlappable
+        }
     }
 
     /// Synchronisation barrier: jumps this clock forward to `other_time` if
@@ -260,6 +290,20 @@ mod tests {
         // Fully hidden comm advances nothing.
         c.advance_overlapped(TimeCategory::EmbedComm, 0.5, 1.0);
         assert_eq!(c.now(), 3.0);
+        // Overlap accounting: 2.0 of the first charge + all 0.5 of the
+        // second were hidden, out of 3.5 overlappable seconds.
+        assert_eq!(c.hidden_secs(), 2.5);
+        assert!((c.overlap_ratio() - 2.5 / 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_ratio_empty_is_zero() {
+        let mut c = SimClock::new();
+        assert_eq!(c.overlap_ratio(), 0.0);
+        // Plain advances don't count as overlappable.
+        c.advance(TimeCategory::EmbedComm, 4.0);
+        assert_eq!(c.overlap_ratio(), 0.0);
+        assert_eq!(c.hidden_secs(), 0.0);
     }
 
     #[test]

@@ -11,6 +11,10 @@ use parking_lot::{Condvar, Mutex};
 enum Op {
     Sum,
     Max,
+    /// One-rendezvous combination of a `Sum` on the vector plus a scalar
+    /// max and a boolean OR carried in the aux lanes — the pipelined
+    /// trainer's fused sync point (see [`AllReduceGroup::fused_mean_max`]).
+    Fused,
 }
 
 struct State {
@@ -26,6 +30,10 @@ struct State {
     /// order accumulation would make same-seed runs diverge by ulps that
     /// chaos-amplify over thousands of iterations).
     parts: Vec<Vec<f32>>,
+    /// Scalar max lane for `Fused` rounds (exact: f64 max is order-free).
+    aux_max: f64,
+    /// Boolean OR lane for `Fused` rounds.
+    aux_or: bool,
     /// Number of contributions received this generation.
     arrived: usize,
     /// Number of participants that have collected the result.
@@ -34,11 +42,23 @@ struct State {
     generation: u64,
 }
 
+/// Rank-ordered token ring state (see [`AllReduceGroup::in_rank_order`]).
+struct RingState {
+    /// Next ticket allowed to run; tickets are issued as
+    /// `round(rank) * n + rank`, so within every round the critical
+    /// sections execute in ascending rank order.
+    next: u64,
+    /// Per-rank round counters (how many times each rank has entered).
+    counts: Vec<u64>,
+}
+
 /// A sum-AllReduce group over `n` participants.
 pub struct AllReduceGroup {
     n: usize,
     state: Mutex<State>,
     cv: Condvar,
+    ring: Mutex<RingState>,
+    ring_cv: Condvar,
 }
 
 impl AllReduceGroup {
@@ -54,11 +74,18 @@ impl AllReduceGroup {
                 op: Op::Sum,
                 sum: Vec::new(),
                 parts: Vec::new(),
+                aux_max: f64::NEG_INFINITY,
+                aux_or: false,
                 arrived: 0,
                 collected: 0,
                 generation: 0,
             }),
             cv: Condvar::new(),
+            ring: Mutex::new(RingState {
+                next: 0,
+                counts: vec![0; n],
+            }),
+            ring_cv: Condvar::new(),
         }
     }
 
@@ -85,6 +112,15 @@ impl AllReduceGroup {
     }
 
     fn allreduce(&self, data: &mut [f32], op: Op) {
+        self.combine(data, op, f64::NEG_INFINITY, false);
+    }
+
+    /// One rendezvous combining the vector reduction with the aux lanes.
+    /// Returns `(max of all clocks, OR of all votes)`.
+    fn combine(&self, data: &mut [f32], op: Op, clock: f64, vote: bool) -> (f64, bool) {
+        // Sum and Fused both buffer per-participant parts (Fused's vector
+        // lane *is* a sum — the aux lanes ride along for free).
+        let buffers_parts = matches!(op, Op::Sum | Op::Fused) && self.n > 1;
         let mut st = self.state.lock();
 
         // A fast participant may re-enter for the next round while the
@@ -101,6 +137,8 @@ impl AllReduceGroup {
             st.sum.clear();
             st.sum.extend_from_slice(data);
             st.parts.clear();
+            st.aux_max = clock;
+            st.aux_or = vote;
         } else {
             assert_eq!(st.sum.len(), data.len(), "allreduce length mismatch");
             assert_eq!(st.op, op, "mixed ops within one allreduce round");
@@ -112,14 +150,16 @@ impl AllReduceGroup {
                     }
                 }
             }
+            st.aux_max = st.aux_max.max(clock);
+            st.aux_or |= vote;
         }
-        if op == Op::Sum && self.n > 1 {
+        if buffers_parts {
             st.parts.push(data.to_vec());
         }
         st.arrived += 1;
 
         if st.arrived == self.n {
-            if op == Op::Sum && self.n > 1 {
+            if buffers_parts {
                 // Deterministic reduction: sum each element's contributions
                 // in ascending value order (see `State::parts`).
                 let st = &mut *st;
@@ -144,6 +184,7 @@ impl AllReduceGroup {
         }
 
         data.copy_from_slice(&st.sum);
+        let aux = (st.aux_max, st.aux_or);
         st.collected += 1;
         if st.collected == self.n {
             st.arrived = 0;
@@ -151,6 +192,7 @@ impl AllReduceGroup {
             st.generation += 1;
             self.cv.notify_all();
         }
+        aux
     }
 
     /// AllReduce followed by division by `n` (mean of the contributions).
@@ -183,6 +225,59 @@ impl AllReduceGroup {
     pub fn barrier(&self) {
         let mut z = [0.0f32];
         self.allreduce_max(&mut z);
+    }
+
+    /// Fused dense-sync collective: one rendezvous that mean-reduces
+    /// `data`, max-reduces `clock` and OR-reduces `vote`.
+    ///
+    /// Bit-identical to `allreduce_mean(data)` on the vector lane (same
+    /// value-sorted sum, same `1/n` f32 multiply), and exact on the aux
+    /// lanes (f64 max / bool OR are order-free) — so the pipelined trainer
+    /// replaces an `allreduce_mean` + `allreduce_max` (clock sync) pair
+    /// with a single generation-barrier round trip without perturbing any
+    /// training math.
+    pub fn fused_mean_max(&self, data: &mut [f32], clock: f64, vote: bool) -> (f64, bool) {
+        let aux = self.combine(data, Op::Fused, clock, vote);
+        let inv = 1.0 / self.n as f32;
+        for x in data.iter_mut() {
+            *x *= inv;
+        }
+        aux
+    }
+
+    /// Runs `f` in a rank-ordered critical section: within each round every
+    /// participant's closure executes serially in ascending rank order.
+    ///
+    /// This replaces the trainer's legacy write-back fan-out — `n` full
+    /// barriers, one per rank's turn — with a token ring: the same
+    /// rank-ascending serialization of shared-table mutations (so float
+    /// accumulation order, hence every stored value, is unchanged) at a
+    /// fraction of the rendezvous cost. Each rank blocks only until its
+    /// ticket comes up, not on every peer's turn boundary.
+    ///
+    /// Rounds are implicit: a rank's `k`-th call gets ticket `k*n + rank`,
+    /// so the ring is reusable every iteration without a reset call. All
+    /// participants must call it the same number of times.
+    pub fn in_rank_order<R>(&self, rank: usize, f: impl FnOnce() -> R) -> R {
+        assert!(rank < self.n, "rank out of range");
+        if self.n == 1 {
+            return f();
+        }
+        let ticket = {
+            let mut ring = self.ring.lock();
+            let t = ring.counts[rank] * self.n as u64 + rank as u64;
+            ring.counts[rank] += 1;
+            while ring.next != t {
+                self.ring_cv.wait(&mut ring);
+            }
+            t
+        };
+        let out = f();
+        let mut ring = self.ring.lock();
+        debug_assert_eq!(ring.next, ticket);
+        ring.next += 1;
+        self.ring_cv.notify_all();
+        out
     }
 }
 
@@ -290,6 +385,105 @@ mod tests {
             assert!(!no);
             assert!(yes);
         }
+    }
+
+    #[test]
+    fn fused_matches_separate_collectives_bitwise() {
+        // The fused rendezvous must be indistinguishable (to the bit) from
+        // the three separate collectives it replaces.
+        let n = 4;
+        let g_sep = Arc::new(AllReduceGroup::new(n));
+        let g_fused = Arc::new(AllReduceGroup::new(n));
+        let handles: Vec<_> = (0..n)
+            .map(|k| {
+                let g_sep = Arc::clone(&g_sep);
+                let g_fused = Arc::clone(&g_fused);
+                std::thread::spawn(move || {
+                    // Awkward values so sorted-sum order actually matters.
+                    let base: Vec<f32> = (0..16)
+                        .map(|i| ((k * 37 + i * 13) as f32).sin() * 1e3f32.powi((k as i32 % 3) - 1))
+                        .collect();
+                    let clock = 1.5 * (k as f64 + 1.0);
+                    let vote = k == 2;
+
+                    let mut sep = base.clone();
+                    g_sep.allreduce_mean(&mut sep);
+                    let mut c = [clock as f32];
+                    g_sep.allreduce_max(&mut c);
+                    let agreed = g_sep.agree(vote);
+
+                    let mut fused = base;
+                    let (max_clock, or) = g_fused.fused_mean_max(&mut fused, clock, vote);
+                    for (a, b) in sep.iter().zip(fused.iter()) {
+                        assert_eq!(a.to_bits(), b.to_bits());
+                    }
+                    assert_eq!(max_clock, 6.0);
+                    assert_eq!(c[0], 6.0);
+                    assert_eq!(or, agreed);
+                    assert!(or);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn fused_reusable_and_false_votes_stay_false() {
+        let g = Arc::new(AllReduceGroup::new(3));
+        let handles: Vec<_> = (0..3)
+            .map(|k| {
+                let g = Arc::clone(&g);
+                std::thread::spawn(move || {
+                    for round in 0..20u32 {
+                        let mut v = vec![(k + round as usize) as f32; 4];
+                        let (mx, or) =
+                            g.fused_mean_max(&mut v, (k as f64) + round as f64, false);
+                        assert_eq!(v[0], (3 + 3 * round) as f32 / 3.0);
+                        assert_eq!(mx, 2.0 + round as f64);
+                        assert!(!or);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn in_rank_order_serializes_ascending_per_round() {
+        use std::sync::Mutex as StdMutex;
+        let n = 4;
+        let g = Arc::new(AllReduceGroup::new(n));
+        let order = Arc::new(StdMutex::new(Vec::new()));
+        let rounds = 25u64;
+        let handles: Vec<_> = (0..n)
+            .map(|rank| {
+                let g = Arc::clone(&g);
+                let order = Arc::clone(&order);
+                std::thread::spawn(move || {
+                    for _ in 0..rounds {
+                        g.in_rank_order(rank, || order.lock().unwrap().push(rank));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let order = order.lock().unwrap();
+        assert_eq!(order.len(), n * rounds as usize);
+        for (i, chunk) in order.chunks(n).enumerate() {
+            assert_eq!(chunk, &[0, 1, 2, 3], "round {i} ran out of order");
+        }
+    }
+
+    #[test]
+    fn in_rank_order_single_participant_runs_inline() {
+        let g = AllReduceGroup::new(1);
+        assert_eq!(g.in_rank_order(0, || 42), 42);
     }
 
     #[test]

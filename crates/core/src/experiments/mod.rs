@@ -57,6 +57,12 @@ pub struct Hooks {
     pub tracer: Option<Arc<TraceCollector>>,
     /// Protocol-audit mode applied to every trainer run.
     pub audit: AuditMode,
+    /// Software-pipeline depth applied to every trainer run (`None` keeps
+    /// each runner's default of 1, the sequential schedule).
+    pub pipeline_depth: Option<usize>,
+    /// Worker threads per dense GEMM applied to every trainer run (`None`
+    /// keeps each runner's default of 1, sequential kernels).
+    pub gemm_threads: Option<usize>,
 }
 
 impl Hooks {
@@ -65,6 +71,7 @@ impl Hooks {
         if let Some(t) = &self.tracer {
             trainer = trainer.with_tracer(Arc::clone(t));
         }
+        trainer = trainer.with_pipeline(self.pipeline_depth, self.gemm_threads);
         trainer.with_audit(self.audit)
     }
 

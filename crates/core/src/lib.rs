@@ -28,10 +28,12 @@
 pub mod experiments;
 pub mod kg;
 pub mod models;
+pub mod pipeline;
 pub mod strategy;
 pub mod trainer;
 
 pub use kg::{KgResult, KgTrainer, KgTrainerConfig};
 pub use models::{CtrModel, ModelKind};
+pub use pipeline::{BatchStage, PipelineDriver, StepCtx};
 pub use strategy::{DenseSync, EmbedHome, PartitionPolicy, StrategyConfig};
 pub use trainer::{EvalPoint, TrainResult, Trainer, TrainerConfig};

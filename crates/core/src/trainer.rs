@@ -31,7 +31,6 @@ use std::time::Instant;
 use hetgmp_bigraph::Bigraph;
 use hetgmp_cluster::{
     CostModel, FaultSchedule, LinkClass, SimClock, TimeBreakdown, TimeCategory, Topology,
-    WorkerFaultKind,
 };
 use hetgmp_comms::{AllReduceGroup, TrafficClass, TrafficLedger};
 use hetgmp_data::CtrDataset;
@@ -44,10 +43,11 @@ use hetgmp_telemetry::{
     names, AuditMode, AuditSummary, HetGmpError, Json, MetricsRegistry, ProtocolAuditor, Recorder,
     TelemetrySnapshot, TraceCollector,
 };
-use hetgmp_tensor::{auc, bce_with_logits_into, log_loss, DenseOptimizer, Matrix, Sgd};
+use hetgmp_tensor::{auc, log_loss, GemmPool, Matrix};
 
-use crate::models::{CtrModel, ModelKind, ModelTape};
-use crate::strategy::{CacheDesign, DenseSync, EmbedHome, StrategyConfig};
+use crate::models::{CtrModel, ModelKind};
+use crate::pipeline::{mean_link_time, run_worker_epoch, PipelineStats, StepCtx, WorkerEpoch};
+use crate::strategy::{CacheDesign, EmbedHome, StrategyConfig};
 
 /// Trainer hyper-parameters (model + schedule).
 #[derive(Debug, Clone)]
@@ -98,6 +98,21 @@ pub struct TrainerConfig {
     /// epoch. The dataset, topology, strategy and hyper-parameters must
     /// match the run that wrote the checkpoint.
     pub resume_from: Option<PathBuf>,
+    /// Software-pipeline depth: the number of in-flight [`StepCtx`]
+    /// (crate::pipeline::StepCtx) batch slots per worker. `1` (the default)
+    /// is the classic fully sequential inner loop; `>= 2` runs each worker's
+    /// embedding fetch for batch `i+1` on a companion thread while batch `i`
+    /// finishes its dense sync, and replaces the per-rank write-back
+    /// barriers with a token ring plus one fused sync collective. Losses,
+    /// AUC and checkpoints are bit-identical across depths on fault-free
+    /// runs; only the simulated overlap accounting (and wall-clock speed)
+    /// changes.
+    pub pipeline_depth: usize,
+    /// Worker threads per dense GEMM (`1` = sequential kernels). Values
+    /// `>= 2` install a per-worker [`hetgmp_tensor::GemmPool`] that splits
+    /// large GEMMs into row panels; panel splits are bit-identical to the
+    /// sequential kernels by construction.
+    pub gemm_threads: usize,
 }
 
 impl Default for TrainerConfig {
@@ -120,6 +135,8 @@ impl Default for TrainerConfig {
             checkpoint_every: 0,
             checkpoint_dir: None,
             resume_from: None,
+            pipeline_depth: 1,
+            gemm_threads: 1,
         }
     }
 }
@@ -246,6 +263,20 @@ impl TrainerConfigBuilder {
         self
     }
 
+    /// Software-pipeline depth (in-flight batch slots per worker; must lie
+    /// in `1..=8`). Depth 1 is the sequential inner loop.
+    pub fn pipeline_depth(mut self, depth: usize) -> Self {
+        self.cfg.pipeline_depth = depth;
+        self
+    }
+
+    /// Threads per dense GEMM (must lie in `1..=32`). 1 keeps the
+    /// sequential kernels.
+    pub fn gemm_threads(mut self, threads: usize) -> Self {
+        self.cfg.gemm_threads = threads;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<TrainerConfig, HetGmpError> {
         let c = &self.cfg;
@@ -285,6 +316,18 @@ impl TrainerConfigBuilder {
             return Err(HetGmpError::config(
                 "checkpoint_dir",
                 "checkpoint_dir is set but checkpoint_every is 0 (checkpointing disabled)",
+            ));
+        }
+        if !(1..=8).contains(&c.pipeline_depth) {
+            return Err(HetGmpError::config(
+                "pipeline_depth",
+                format!("must lie in 1..=8, got {}", c.pipeline_depth),
+            ));
+        }
+        if !(1..=32).contains(&c.gemm_threads) {
+            return Err(HetGmpError::config(
+                "gemm_threads",
+                format!("must lie in 1..=32, got {}", c.gemm_threads),
             ));
         }
         Ok(self.cfg)
@@ -388,6 +431,23 @@ impl<'d> Trainer<'d> {
         self
     }
 
+    /// Overrides the software-pipeline shape of this trainer's config:
+    /// `depth` in-flight batch slots per worker
+    /// ([`TrainerConfig::pipeline_depth`]) and `gemm_threads` workers per
+    /// dense GEMM ([`TrainerConfig::gemm_threads`]). `None` keeps the
+    /// config's value. This is the experiment runners' hook path, so one
+    /// CLI flag applies a single pipeline setting to every run in an
+    /// experiment; the values are validated by [`Trainer::try_run`].
+    pub fn with_pipeline(mut self, depth: Option<usize>, gemm_threads: Option<usize>) -> Self {
+        if let Some(d) = depth {
+            self.config.pipeline_depth = d;
+        }
+        if let Some(t) = gemm_threads {
+            self.config.gemm_threads = t;
+        }
+        self
+    }
+
     /// Enables the runtime protocol auditor: every staleness decision is
     /// checked against the strategy's [`StalenessBound`]. `Count` tallies
     /// violations into the result's [`AuditSummary`]; `Strict` additionally
@@ -458,6 +518,15 @@ impl<'d> Trainer<'d> {
                     faults.num_workers()
                 ),
             ));
+        }
+        // TrainerBuilder validates the ranges, but TrainerConfig's fields are
+        // public — a hand-built config with a zero here would hang (no slots)
+        // or panic (no GEMM workers) deep in the run.
+        if cfg.pipeline_depth == 0 {
+            return Err(HetGmpError::config("pipeline_depth", "must be at least 1"));
+        }
+        if cfg.gemm_threads == 0 {
+            return Err(HetGmpError::config("gemm_threads", "must be at least 1"));
         }
         let cost = CostModel::new(self.topology.clone()).with_faults(Arc::clone(&faults));
         // One registry for the whole run: the partitioner records globally,
@@ -573,9 +642,19 @@ impl<'d> Trainer<'d> {
                 )
             })
             .collect();
-        // One tape arena per worker: all dense forward/backward scratch for
-        // the whole run lives here (zero steady-state allocations).
-        let mut tapes: Vec<ModelTape> = (0..n).map(|_| ModelTape::new()).collect();
+        // One batch-slot pool per worker: every per-batch buffer (tape arena,
+        // embedding input, gradients) lives inside the pool's `StepCtx` slots
+        // for the whole run (zero steady-state allocations); the pipelined
+        // schedule double-buffers across them.
+        let mut slot_pools: Vec<Vec<StepCtx>> = (0..n)
+            .map(|_| (0..cfg.pipeline_depth).map(|_| StepCtx::new()).collect())
+            .collect();
+        let mut pipe_stats: Vec<PipelineStats> = vec![PipelineStats::default(); n];
+        // Optional row-panel GEMM pools, one per worker; helper threads
+        // persist across every epoch and batch.
+        let gemm_pools: Vec<Option<Arc<GemmPool>>> = (0..n)
+            .map(|_| (cfg.gemm_threads > 1).then(|| GemmPool::new(cfg.gemm_threads)))
+            .collect();
         let dense_bytes = (models[0].num_dense_params() * 4) as u64;
         let flops_per_sample = models[0].flops_per_sample();
         // Per-worker compute scales and (optionally) speed-proportional
@@ -688,12 +767,12 @@ impl<'d> Trainer<'d> {
             loss_batches.store(0, Ordering::Relaxed);
             std::thread::scope(|scope| {
                 // Move disjoint &mut of per-worker state into threads.
-                for (w, ((((emb, model), (clock, cursor)), fstate), tape)) in embeddings
+                for (w, ((((emb, model), (clock, cursor)), fstate), (slots, pstats))) in embeddings
                     .iter_mut()
                     .zip(models.iter_mut())
                     .zip(clocks.iter_mut().zip(cursors.iter_mut()))
                     .zip(fault_states.iter_mut())
-                    .zip(tapes.iter_mut())
+                    .zip(slot_pools.iter_mut().zip(pipe_stats.iter_mut()))
                     .enumerate()
                 {
                     let shard = &shards[w];
@@ -701,6 +780,7 @@ impl<'d> Trainer<'d> {
                     let batch_size = batch_sizes[w];
                     let image = ckpt_image.clone();
                     let recorder = Arc::clone(&worker_recorders[w]);
+                    let pool = gemm_pools[w].clone();
                     scope.spawn(move || {
                         run_worker_epoch(WorkerEpoch {
                             w,
@@ -708,7 +788,9 @@ impl<'d> Trainer<'d> {
                             dataset,
                             emb: &mut **emb,
                             model,
-                            tape,
+                            slots,
+                            pstats,
+                            pool,
                             clock,
                             cursor,
                             iters: iters_per_epoch,
@@ -886,23 +968,23 @@ impl<'d> Trainer<'d> {
             names::HOTPATH_LOCK_ACQUISITIONS,
             table.lock_acquisitions() as f64,
         );
-        // Dense-engine telemetry, aggregated over the per-worker tapes: real
+        // Dense-engine telemetry, aggregated over every slot's tape: real
         // GEMM work done, arena high-water mark, steady-state allocation
         // violations (must stay 0), and dense-path-only throughput.
         registry.global().counter_add(
             names::DENSE_GEMM_FLOPS,
-            tapes.iter().map(ModelTape::flops).sum::<u64>(),
+            slot_pools.iter().flatten().map(|s| s.tape.flops()).sum::<u64>(),
         );
         registry.global().gauge_set(
             names::DENSE_ARENA_BYTES,
-            tapes.iter().map(ModelTape::arena_bytes).sum::<usize>() as f64,
+            slot_pools.iter().flatten().map(|s| s.tape.arena_bytes()).sum::<usize>() as f64,
         );
         registry.global().gauge_set(
             names::DENSE_TAPE_GROWTH,
-            tapes.iter().map(ModelTape::post_warmup_growth).sum::<u64>() as f64,
+            slot_pools.iter().flatten().map(|s| s.tape.post_warmup_growth()).sum::<u64>() as f64,
         );
-        let dense_secs: f64 = tapes.iter().map(|t| t.dense_secs).sum();
-        let dense_samples: u64 = tapes.iter().map(|t| t.dense_samples).sum();
+        let dense_secs: f64 = slot_pools.iter().flatten().map(|s| s.tape.dense_secs).sum();
+        let dense_samples: u64 = slot_pools.iter().flatten().map(|s| s.tape.dense_samples).sum();
         registry.global().gauge_set(
             names::DENSE_SAMPLES_PER_SEC,
             if dense_secs > 0.0 {
@@ -910,6 +992,41 @@ impl<'d> Trainer<'d> {
             } else {
                 0.0
             },
+        );
+        // Pipeline telemetry: configured shape, prefetch effectiveness, and
+        // how much overlappable simulated time the overlap machinery hid.
+        registry
+            .global()
+            .gauge_set(names::PIPELINE_DEPTH, cfg.pipeline_depth as f64);
+        registry
+            .global()
+            .gauge_set(names::PIPELINE_GEMM_THREADS, cfg.gemm_threads as f64);
+        let prefetched: u64 = pipe_stats.iter().map(|p| p.prefetched).sum();
+        let pipe_batches: u64 = pipe_stats.iter().map(|p| p.batches).sum();
+        registry
+            .global()
+            .counter_add(names::PIPELINE_PREFETCHED_BATCHES, prefetched);
+        registry.global().gauge_set(
+            names::PIPELINE_STALL_SECS,
+            pipe_stats.iter().map(|p| p.stall_secs).sum::<f64>(),
+        );
+        registry.global().gauge_set(
+            names::PIPELINE_PREFETCH_SECS,
+            pipe_stats.iter().map(|p| p.prefetch_secs).sum::<f64>(),
+        );
+        registry.global().gauge_set(
+            names::PIPELINE_STAGE_OCCUPANCY,
+            if pipe_batches > 0 {
+                prefetched as f64 / pipe_batches as f64
+            } else {
+                0.0
+            },
+        );
+        let hidden: f64 = clocks.iter().map(|c| c.hidden_secs()).sum();
+        let overlappable: f64 = clocks.iter().map(|c| c.overlappable_secs()).sum();
+        registry.global().gauge_set(
+            names::PIPELINE_OVERLAP_RATIO,
+            if overlappable > 0.0 { hidden / overlappable } else { 0.0 },
         );
         Ok(TrainResult {
             strategy: self.strategy.name.clone(),
@@ -989,52 +1106,16 @@ impl<'d> Trainer<'d> {
     }
 }
 
-/// All the borrowed context one worker needs for one epoch.
-struct WorkerEpoch<'a, 'b, 'd> {
-    w: usize,
-    shard: &'a [u32],
-    dataset: &'d CtrDataset,
-    emb: &'a mut (dyn EmbeddingWorker + 'b),
-    model: &'a mut CtrModel,
-    tape: &'a mut ModelTape,
-    clock: &'a mut SimClock,
-    cursor: &'a mut usize,
-    iters: usize,
-    epoch: usize,
-    cfg: &'a TrainerConfig,
-    strategy: &'a StrategyConfig,
-    topology: &'a Topology,
-    cost: &'a CostModel,
-    group: &'a AllReduceGroup,
-    ledger: &'a TrafficLedger,
-    dense_bytes: u64,
-    flops_per_sample: f64,
-    samples: &'a AtomicU64,
-    loss_sum_micro: &'a AtomicU64,
-    loss_batches: &'a AtomicU64,
-    compute_scale: f64,
-    batch_size: usize,
-    tracer: Option<&'a TraceCollector>,
-    auditor: Option<&'a ProtocolAuditor>,
-    table: &'a ShardedTable,
-    partition: &'a Partition,
-    faults: &'a FaultSchedule,
-    fstate: &'a mut WorkerFaultState,
-    image: Option<Arc<CheckpointImage>>,
-    nonfinite: &'a AtomicU64,
-    recorder: Arc<dyn Recorder>,
-}
-
 /// Per-worker fault-injection cursor and accumulated downtime, persistent
 /// across epochs (the schedule is consumed once per run).
 #[derive(Debug, Default)]
-struct WorkerFaultState {
+pub(crate) struct WorkerFaultState {
     /// Index of the next unconsumed event in `faults.worker_faults(w)`.
-    next: usize,
+    pub(crate) next: usize,
     /// Total stall seconds charged so far (gauge source).
-    stall_secs: f64,
+    pub(crate) stall_secs: f64,
     /// Total crash-recovery seconds charged so far (gauge source).
-    recovery_secs: f64,
+    pub(crate) recovery_secs: f64,
 }
 
 /// In-memory copy of the last checkpoint: per-row values + clocks of the
@@ -1042,19 +1123,19 @@ struct WorkerFaultState {
 /// recovery rolls the crashed worker's primary rows back to this image.
 /// Dense parameters are *not* stored: a recovering worker copies them from
 /// any live peer (replicated under BSP), which is charged but needs no data.
-struct CheckpointImage {
-    clocks: Vec<u64>,
-    values: Vec<f32>,
+pub(crate) struct CheckpointImage {
+    pub(crate) clocks: Vec<u64>,
+    pub(crate) values: Vec<f32>,
     /// Per-row Adagrad accumulators at capture time (`None` if the table
     /// held no optimizer state yet, i.e. the accumulators were all zero).
     /// Rollback must restore these alongside the values: an accumulator
     /// that kept post-crash curvature would shrink the replayed steps and
     /// diverge from the uninterrupted run.
-    accums: Option<Vec<f32>>,
-    sim_times: Vec<f64>,
+    pub(crate) accums: Option<Vec<f32>>,
+    pub(crate) sim_times: Vec<f64>,
     /// Serialized size of the equivalent on-disk checkpoint; used to charge
     /// restore transfer time.
-    bytes: u64,
+    pub(crate) bytes: u64,
 }
 
 impl CheckpointImage {
@@ -1082,551 +1163,6 @@ impl CheckpointImage {
             bytes: run_encoded_len(table, clocks.len(), dense_len),
         }
     }
-}
-
-fn run_worker_epoch(ctx: WorkerEpoch<'_, '_, '_>) {
-    let WorkerEpoch {
-        w,
-        shard,
-        dataset,
-        emb,
-        model,
-        tape,
-        clock,
-        cursor,
-        iters,
-        epoch,
-        cfg,
-        strategy,
-        topology,
-        cost,
-        group,
-        ledger,
-        dense_bytes,
-        flops_per_sample,
-        samples,
-        loss_sum_micro,
-        loss_batches,
-        compute_scale,
-        batch_size,
-        tracer,
-        auditor,
-        table,
-        partition,
-        faults,
-        fstate,
-        image,
-        nonfinite,
-        recorder,
-    } = ctx;
-    let dim = cfg.dim;
-    let fields = dataset.num_fields;
-    let is_bsp = matches!(strategy.dense_sync, DenseSync::AllReduce)
-        && matches!(strategy.embed_home, EmbedHome::Gpu);
-    let epoch_start = clock.now();
-
-    // Reusable per-iteration scratch: the inner loop runs thousands of
-    // times per epoch, so batch assembly and the flat embedding input reuse
-    // one allocation each instead of reallocating per batch.
-    let mut batch_idx: Vec<u32> = Vec::with_capacity(batch_size);
-    let mut sample_slices: Vec<&[u32]> = Vec::with_capacity(batch_size);
-    let mut labels: Vec<f32> = Vec::with_capacity(batch_size);
-    let mut input = Matrix::zeros(0, 0);
-    let mut dense_grads: Vec<f32> = Vec::new();
-    // Loss gradient and embedding input-gradient reuse one buffer each; the
-    // model-internal scratch lives in `tape`.
-    let mut grad_logits = Matrix::zeros(0, 0);
-    let mut grad_input = Matrix::zeros(0, 0);
-    // Stateless SGD on the replicated dense parameters (slot-keyed so a
-    // momentum variant could slot in without touching the loop).
-    let mut sgd = Sgd::new(cfg.dense_lr);
-
-    for _ in 0..iters {
-        // ---- Injected faults (iteration boundary). -------------------------
-        // Faults fire inside the affected worker's own thread, between
-        // collectives: the worker never abandons a rendezvous, so peers are
-        // never stranded — they simply absorb the downtime through the BSP
-        // simulated-time barrier below.
-        while let Some(f) = faults.worker_faults(w).get(fstate.next) {
-            if f.at > clock.now() {
-                break;
-            }
-            fstate.next += 1;
-            match f.kind {
-                WorkerFaultKind::Stall { duration } => {
-                    let start = clock.now();
-                    clock.advance(TimeCategory::Fault, duration);
-                    fstate.stall_secs += duration;
-                    recorder.counter_add(names::FAULT_STALLS, 1);
-                    recorder.gauge_set(names::FAULT_STALL_SECS, fstate.stall_secs);
-                    if let Some(t) = tracer {
-                        t.worker_span(
-                            w,
-                            names::TRACE_FAULT_STALL,
-                            start,
-                            duration,
-                            &[("duration_secs", Json::F64(duration))],
-                        );
-                    }
-                }
-                WorkerFaultKind::Crash => {
-                    let crash_time = clock.now();
-                    if let Some(t) = tracer {
-                        t.set_worker_time(w, crash_time);
-                        t.worker_instant(w, names::TRACE_FAULT_CRASH, &[]);
-                    }
-                    let image = image
-                        .as_deref()
-                        .expect("crash schedules always capture a checkpoint image");
-                    // The device's state is gone. Roll this worker's primary
-                    // rows back to the checkpoint image (clocks move
-                    // backwards; peers' saturating gap math reads them as
-                    // fresh, so the staleness invariant holds), then discard
-                    // worker-local pendings and re-prime replicas.
-                    let dim = table.dim();
-                    let zero_accum = vec![0.0f32; dim];
-                    let roll_accums = table.has_optimizer_state();
-                    let mut lost = 0u64;
-                    let mut rolled = 0u64;
-                    for e in 0..table.num_rows() as u32 {
-                        if partition.primary_of(e) != w as u32 {
-                            continue;
-                        }
-                        let cur = table.clock(e);
-                        let ck = image.clocks[e as usize];
-                        if cur != ck {
-                            table.restore_row(
-                                e,
-                                &image.values[e as usize * dim..(e as usize + 1) * dim],
-                                ck,
-                            );
-                            // Optimizer state rolls back with the values it
-                            // produced (a `None` capture means it was zero).
-                            if roll_accums {
-                                table.restore_accum(
-                                    e,
-                                    image.accums.as_ref().map_or(&zero_accum[..], |a| {
-                                        &a[e as usize * dim..(e as usize + 1) * dim]
-                                    }),
-                                );
-                            }
-                            rolled += 1;
-                            lost += cur.saturating_sub(ck);
-                        }
-                    }
-                    let refreshed = emb.recover_from_crash();
-                    // Recovery cost: restart, restore this worker's shard of
-                    // the image over the host link, re-fetch refreshed
-                    // replicas from peers, and replay the work done since the
-                    // image was captured.
-                    let n_workers = cost.topology.num_workers() as u64;
-                    let restore_t = cost
-                        .link_transfer_time(LinkClass::HostPcie, image.bytes / n_workers.max(1));
-                    let refresh_t =
-                        mean_link_time(w, cost, refreshed.saturating_mul((dim * 4) as u64));
-                    let replay_t = (crash_time - image.sim_times[w]).max(0.0);
-                    let recovery_t =
-                        faults.restart_overhead() + restore_t + refresh_t + replay_t;
-                    clock.advance(TimeCategory::Fault, recovery_t);
-                    fstate.recovery_secs += recovery_t;
-                    recorder.counter_add(names::FAULT_CRASHES, 1);
-                    recorder.counter_add(names::FAULT_LOST_UPDATES, lost);
-                    recorder.counter_add(names::FAULT_RESTORED_ROWS, rolled + refreshed);
-                    recorder.gauge_set(names::FAULT_RECOVERY_SECS, fstate.recovery_secs);
-                    if let Some(t) = tracer {
-                        t.worker_span(
-                            w,
-                            names::TRACE_FAULT_RECOVERY,
-                            crash_time,
-                            recovery_t,
-                            &[
-                                ("lost_updates", Json::U64(lost)),
-                                ("restored_rows", Json::U64(rolled + refreshed)),
-                            ],
-                        );
-                    }
-                }
-            }
-        }
-
-        // Phase fence: a crash rollback must be fully visible before any
-        // peer reads the shared table this iteration, or same-seed runs
-        // diverge on the rollback/read race. Pure thread rendezvous — no
-        // simulated time, no data.
-        group.barrier();
-
-        // Publish the worker's simulated position so instants emitted deeper
-        // in the stack (protocol decisions, traffic charges) land at this
-        // batch's timestamp on the timeline.
-        if let Some(t) = tracer {
-            t.set_worker_time(w, clock.now());
-        }
-        let batch_start = clock.now();
-        // ---- Assemble the batch (wrap-around over the local shard). --------
-        let bs = batch_size.min(shard.len().max(1));
-        batch_idx.clear();
-        if !shard.is_empty() {
-            // (Degenerate empty-shard corner: skip math, still join
-            // collectives so peers don't deadlock.)
-            for _ in 0..bs {
-                batch_idx.push(shard[*cursor % shard.len()]);
-                *cursor += 1;
-            }
-        }
-        sample_slices.clear();
-        sample_slices.extend(batch_idx.iter().map(|&i| dataset.sample(i as usize)));
-        let actual = sample_slices.len();
-
-        let mut read_report = Default::default();
-        let mut have_grad = false;
-        if actual > 0 {
-            // ---- Embedding read under bounded asynchrony. ------------------
-            input.reset(actual, fields * dim);
-            read_report = emb.read_batch(&sample_slices, input.data_mut());
-
-            // ---- Dense forward/backward (real math, blocked kernels). -----
-            // Everything between here and `end_batch` reuses tape buffers —
-            // zero allocations once warm (the dense.* gauges assert it).
-            let dense_start = Instant::now();
-            model.forward_tape(&input, tape);
-            labels.clear();
-            labels.extend(batch_idx.iter().map(|&i| dataset.label(i as usize)));
-            let batch_loss = bce_with_logits_into(tape.logits(), &labels, &mut grad_logits);
-            if batch_loss.is_finite() {
-                loss_sum_micro
-                    .fetch_add((batch_loss.max(0.0) as f64 * 1e6) as u64, Ordering::Relaxed);
-                loss_batches.fetch_add(1, Ordering::Relaxed);
-            } else {
-                // `max(0.0)` on a NaN would silently yield 0.0 and bury the
-                // divergence in the epoch's mean loss; count it instead.
-                nonfinite.fetch_add(1, Ordering::Relaxed);
-                recorder.counter_add(names::TRAIN_LOSS_NONFINITE, 1);
-            }
-            model.zero_grad();
-            model.backward_tape(&input, &grad_logits, &mut grad_input, tape);
-            tape.dense_secs += dense_start.elapsed().as_secs_f64();
-            tape.end_batch();
-            have_grad = true;
-        }
-
-        // Phase fence: every worker's reads drain before any gradient lands
-        // in the shared table, so a read never races a peer's same-iteration
-        // write-back. The write-backs themselves then run in rank order, one
-        // worker per sub-round: concurrent updates to a shared row do not
-        // commute under Adagrad (the g² accumulator changes the next step),
-        // so a canonical serialization is what makes same-seed runs — and
-        // checkpoint resumes — reproducible. None of this touches simulated
-        // time; it only pins which of the protocol's legal interleavings the
-        // host threads realize.
-        group.barrier();
-        let mut up_report = None;
-        for rank in 0..group.num_participants() {
-            if rank == w && have_grad {
-                // ---- Embedding gradient write-back. ------------------------
-                up_report = Some(emb.apply_gradients(
-                    &sample_slices,
-                    grad_input.data(),
-                    &cfg.embed_opt,
-                ));
-            }
-            group.barrier();
-        }
-
-        if let Some(up_report) = up_report {
-            // ---- Charge simulated time. ------------------------------------
-            // The straggler factor scales arithmetic throughput, not the
-            // fixed launch overhead (a slow accelerator still dispatches
-            // kernels at normal latency).
-            let flops = flops_per_sample * actual as f64;
-            let compute_t = cost.compute.per_batch_overhead
-                + (flops / cost.compute.flops_per_second) * compute_scale;
-            clock.advance(TimeCategory::Compute, compute_t);
-
-            // Input pipeline (overlapped behind compute).
-            let input_bytes = (actual * fields * 4) as u64;
-            clock.advance_overlapped(
-                TimeCategory::HostIo,
-                cost.link_transfer_time(LinkClass::HostPcie, input_bytes),
-                compute_t,
-            );
-
-            let (embed_t, meta_t) = charge_embedding_comm(
-                w,
-                strategy,
-                cost,
-                &read_report,
-                &up_report,
-                tracer,
-                clock.now(),
-            );
-            if strategy.overlap {
-                clock.advance_overlapped(TimeCategory::EmbedComm, embed_t, compute_t);
-            } else {
-                clock.advance(TimeCategory::EmbedComm, embed_t);
-            }
-            clock.advance(TimeCategory::MetaComm, meta_t);
-
-            ledger.record(
-                w,
-                TrafficClass::EmbedData,
-                read_report.data_bytes + up_report.data_bytes,
-                read_report.messages + up_report.messages,
-            );
-            ledger.record(
-                w,
-                TrafficClass::KeysClocks,
-                read_report.meta_bytes + up_report.meta_bytes,
-                read_report.messages + up_report.messages,
-            );
-            samples.fetch_add(actual as u64, Ordering::Relaxed);
-        }
-        let _ = &read_report;
-
-        // ---- Dense synchronisation. ----------------------------------------
-        model.flatten_grads_into(&mut dense_grads);
-        group.allreduce_mean(&mut dense_grads);
-        if let Some(clip) = cfg.grad_clip {
-            let norm = dense_grads.iter().map(|g| g * g).sum::<f32>().sqrt();
-            if norm > clip {
-                let scale = clip / norm;
-                for g in &mut dense_grads {
-                    *g *= scale;
-                }
-            }
-        }
-        model.load_grads(&dense_grads);
-        // SGD step on the (replicated) dense parameters — same math as the
-        // former inline loop (`p -= lr·g`), routed through the optimizer
-        // abstraction's slot protocol.
-        sgd.begin_step();
-        let mut slot = 0usize;
-        model.visit_params(&mut |p, g| {
-            sgd.update(slot, p, g);
-            slot += 1;
-        });
-
-        match strategy.dense_sync {
-            DenseSync::AllReduce => {
-                let t = cost.allreduce_time_at(dense_bytes, clock.now());
-                if let Some(tr) = tracer {
-                    // The ring's bottleneck hop names the track.
-                    let n = topology.num_workers();
-                    let label = if n > 1 {
-                        topology.link(w, (w + 1) % n).label()
-                    } else {
-                        LinkClass::Local.label()
-                    };
-                    tr.link_span(
-                        label,
-                        names::TRACE_ALLREDUCE,
-                        clock.now(),
-                        t,
-                        &[("worker", Json::U64(w as u64)), ("bytes", Json::U64(dense_bytes))],
-                    );
-                }
-                clock.advance(TimeCategory::AllReduceComm, t);
-                ledger.record(w, TrafficClass::AllReduce, allreduce_bytes(dense_bytes, topology), 1);
-            }
-            DenseSync::PsAsync => {
-                // Push gradients + pull parameters over the shared host link.
-                let n = topology.num_workers() as u64;
-                let t = cost.link_transfer_time(LinkClass::HostPcie, 2 * dense_bytes * n);
-                if let Some(tr) = tracer {
-                    tr.link_span(
-                        LinkClass::HostPcie.label(),
-                        names::TRACE_ALLREDUCE,
-                        clock.now(),
-                        t,
-                        &[("worker", Json::U64(w as u64)), ("bytes", Json::U64(2 * dense_bytes))],
-                    );
-                }
-                clock.advance(TimeCategory::AllReduceComm, t);
-                ledger.record(w, TrafficClass::AllReduce, 2 * dense_bytes, 2);
-            }
-        }
-
-        // BSP: the AllReduce is a barrier in simulated time too.
-        if is_bsp {
-            let mut t = [clock.now() as f32];
-            group.allreduce_max(&mut t);
-            clock.wait_until(t[0] as f64);
-        } else {
-            // ASP systems do not barrier; simulated clocks drift freely,
-            // but the OS threads still rendezvous at the collective above
-            // (math-level combining without a time barrier).
-        }
-
-        if let Some(t) = tracer {
-            t.worker_span(
-                w,
-                names::TRACE_BATCH,
-                batch_start,
-                clock.now() - batch_start,
-                &[("samples", Json::U64(actual as u64))],
-            );
-        }
-
-        // Strict audit: agree collectively on whether the auditor tripped so
-        // every worker leaves at the same iteration boundary (a unilateral
-        // break would strand its peers in the next collective).
-        if let Some(a) = auditor {
-            if group.agree(a.is_tripped()) {
-                break;
-            }
-        }
-    }
-
-    if let Some(t) = tracer {
-        t.worker_span(
-            w,
-            names::TRACE_EPOCH,
-            epoch_start,
-            clock.now() - epoch_start,
-            &[("epoch", Json::U64(epoch as u64))],
-        );
-    }
-}
-
-/// Ring AllReduce wire bytes: `2·(N−1)/N · payload` per worker.
-fn allreduce_bytes(dense_bytes: u64, topology: &Topology) -> u64 {
-    let n = topology.num_workers() as u64;
-    if n <= 1 {
-        0
-    } else {
-        2 * (n - 1) * dense_bytes / n
-    }
-}
-
-/// Converts the per-source byte breakdowns into (embedding-data seconds,
-/// metadata seconds) for worker `w` under the given strategy. When a tracer
-/// is attached, each per-peer transfer also becomes a `trace.link.transfer`
-/// span on the link-class track, laid out sequentially from `start_secs`.
-#[allow(clippy::too_many_arguments)]
-fn charge_embedding_comm(
-    w: usize,
-    strategy: &StrategyConfig,
-    cost: &CostModel,
-    read: &hetgmp_embedding::ReadReport,
-    up: &hetgmp_embedding::UpdateReport,
-    tracer: Option<&TraceCollector>,
-    start_secs: f64,
-) -> (f64, f64) {
-    match strategy.embed_home {
-        EmbedHome::CpuPs => {
-            // Every lookup/update crosses the host link, regardless of the
-            // GPU partition: charge the full working set. The parameter
-            // server's host link is a *shared* resource: N workers pulling
-            // simultaneously each see 1/N of its bandwidth — this contention
-            // is precisely why the paper's CPU-PS baselines (TF, Parallax)
-            // fall behind GPU model parallelism (Figure 7).
-            let n = cost.topology.num_workers() as u64;
-            let lookups = read.lookups();
-            let updates = up.updates();
-            let dim_bytes = if lookups + updates > 0 {
-                // data_bytes only counts remote rows; reconstruct full rows
-                // from counts via bytes-per-row of the remote ones, falling
-                // back to a dim-16 default when everything was local.
-                estimate_row_bytes(read, up)
-            } else {
-                0
-            };
-            let total_bytes = (lookups + updates) * dim_bytes * n;
-            let t = cost.link_transfer_time(LinkClass::HostPcie, total_bytes);
-            if let Some(tr) = tracer {
-                if total_bytes > 0 {
-                    tr.link_span(
-                        LinkClass::HostPcie.label(),
-                        names::TRACE_LINK_TRANSFER,
-                        start_secs,
-                        t,
-                        &[("worker", Json::U64(w as u64)), ("bytes", Json::U64(total_bytes))],
-                    );
-                }
-            }
-            let meta_bytes = (lookups + updates) * 12 * n;
-            let mt = cost.link_transfer_time(LinkClass::HostPcie, meta_bytes);
-            (t, mt)
-        }
-        EmbedHome::Gpu => {
-            let mut t = 0.0;
-            for (src, &bytes) in read.data_bytes_by_src.iter().enumerate() {
-                if bytes > 0 {
-                    let dt = cost.transfer_time_at(w, src, bytes, start_secs + t);
-                    if let Some(tr) = tracer {
-                        tr.link_span(
-                            cost.topology.link(w, src).label(),
-                            names::TRACE_LINK_TRANSFER,
-                            start_secs + t,
-                            dt,
-                            &[
-                                ("dir", Json::from("read")),
-                                ("worker", Json::U64(w as u64)),
-                                ("peer", Json::U64(src as u64)),
-                                ("bytes", Json::U64(bytes)),
-                            ],
-                        );
-                    }
-                    t += dt;
-                }
-            }
-            for (dst, &bytes) in up.data_bytes_by_dst.iter().enumerate() {
-                if bytes > 0 {
-                    let dt = cost.transfer_time_at(w, dst, bytes, start_secs + t);
-                    if let Some(tr) = tracer {
-                        tr.link_span(
-                            cost.topology.link(w, dst).label(),
-                            names::TRACE_LINK_TRANSFER,
-                            start_secs + t,
-                            dt,
-                            &[
-                                ("dir", Json::from("writeback")),
-                                ("worker", Json::U64(w as u64)),
-                                ("peer", Json::U64(dst as u64)),
-                                ("bytes", Json::U64(bytes)),
-                            ],
-                        );
-                    }
-                    t += dt;
-                }
-            }
-            // Latency is charged per (batch, peer) round-trip inside
-            // `transfer_time` above — real systems coalesce a batch's rows
-            // into one request per peer, so per-row latency would be wrong.
-            // Metadata crosses the same fabric; charge it at the worker's
-            // mean link bandwidth.
-            let meta = read.meta_bytes + up.meta_bytes;
-            let mt = if meta > 0 {
-                mean_link_time(w, cost, meta)
-            } else {
-                0.0
-            };
-            (t, mt)
-        }
-    }
-}
-
-/// Bytes per embedding row, estimated from whichever report carried data.
-fn estimate_row_bytes(read: &hetgmp_embedding::ReadReport, up: &hetgmp_embedding::UpdateReport) -> u64 {
-    let remote_rows = read.remote_total() + up.remote_writebacks;
-    match (read.data_bytes + up.data_bytes).checked_div(remote_rows) {
-        Some(b) if remote_rows > 0 => b,
-        _ => 64, // dim-16 f32 default when no remote sample exists
-    }
-}
-
-/// α-β time for `bytes` over worker `w`'s average non-local link.
-fn mean_link_time(w: usize, cost: &CostModel, bytes: u64) -> f64 {
-    let n = cost.topology.num_workers();
-    if n <= 1 {
-        return 0.0;
-    }
-    let mut total = 0.0;
-    for p in 0..n {
-        if p != w {
-            total += cost.transfer_time(w, p, bytes / (n as u64 - 1).max(1));
-        }
-    }
-    total / (n - 1) as f64
 }
 
 #[cfg(test)]

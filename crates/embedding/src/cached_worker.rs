@@ -130,6 +130,27 @@ impl<'a> CachedWorkerEmbedding<'a> {
         )
     }
 
+    /// Pre-sizes every read/apply scratch buffer for batches of up to
+    /// `batch × fields` lookups (see `WorkerEmbedding::reserve_batch`).
+    pub fn reserve_batch(&mut self, batch: usize, fields: usize) {
+        let rows = batch.saturating_mul(fields);
+        let dim = self.table.dim();
+        self.scratch_ids.reserve(rows);
+        self.scratch_rows.reserve(rows * dim);
+        let s = &mut self.scratch;
+        s.fetch_ids.reserve(rows);
+        s.fetch_slots.reserve(rows);
+        s.fetch_install.reserve(rows);
+        s.fetch_buf.reserve(rows * dim);
+        s.fetch_clocks.reserve(rows);
+        s.reduce_slots.reserve(rows);
+        s.reduce_buf.reserve(rows * dim);
+        s.reduce_ids.reserve(rows);
+        s.apply_ids.reserve(rows);
+        s.apply_buf.reserve(rows * dim);
+        s.apply_clocks.reserve(rows);
+    }
+
     /// Reads a batch under intra-embedding bounded staleness with dynamic
     /// admission.
     pub fn read_batch(&mut self, samples: &[&[u32]], out: &mut [f32]) -> ReadReport {

@@ -190,6 +190,28 @@ impl<'a> WorkerEmbedding<'a> {
         self.freq[e as usize].max(1)
     }
 
+    /// Pre-sizes every read/apply scratch buffer for batches of up to
+    /// `batch × fields` lookups, so no steady-state batch — including ones
+    /// prefetched off-thread by the pipelined trainer — grows a buffer.
+    pub fn reserve_batch(&mut self, batch: usize, fields: usize) {
+        let rows = batch.saturating_mul(fields);
+        let dim = self.table.dim();
+        self.scratch_ids.reserve(rows);
+        self.scratch_rows.reserve(rows * dim);
+        let s = &mut self.scratch;
+        s.fetch_ids.reserve(rows);
+        s.fetch_slots.reserve(rows);
+        s.fetch_install.reserve(rows);
+        s.fetch_buf.reserve(rows * dim);
+        s.fetch_clocks.reserve(rows);
+        s.reduce_slots.reserve(rows);
+        s.reduce_buf.reserve(rows * dim);
+        s.reduce_ids.reserve(rows);
+        s.apply_ids.reserve(rows);
+        s.apply_buf.reserve(rows * dim);
+        s.apply_clocks.reserve(rows);
+    }
+
     /// Reads the embeddings for a batch of samples under the bounded-
     /// asynchrony protocol. `samples` gives each sample's embedding ids;
     /// `out` receives the rows concatenated in sample-major order

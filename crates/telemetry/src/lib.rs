@@ -201,6 +201,34 @@ pub mod names {
     /// embedding reads, collectives, and simulated-time bookkeeping;
     /// end-to-end throughput lives in `hotpath.samples_per_sec`).
     pub const DENSE_SAMPLES_PER_SEC: &str = "dense.samples_per_sec";
+
+    /// Gauge: configured pipeline depth (`StepCtx` slots per worker; 1 =
+    /// sequential legacy path).
+    pub const PIPELINE_DEPTH: &str = "pipeline.depth";
+    /// Gauge: configured row-panel GEMM threads per worker.
+    pub const PIPELINE_GEMM_THREADS: &str = "pipeline.gemm_threads";
+    /// Counter: batches whose embedding fetch was issued ahead of time by
+    /// the prefetch stage (depth ≥ 2 only).
+    pub const PIPELINE_PREFETCHED_BATCHES: &str = "pipeline.prefetch.batches";
+    /// Counter (seconds): wall-clock time workers spent blocked waiting on
+    /// a prefetched batch that was not ready yet — the pipeline's stall
+    /// time. 0 means every fetch was fully hidden.
+    pub const PIPELINE_STALL_SECS: &str = "pipeline.stall_secs";
+    /// Counter (seconds): wall-clock time the prefetch stage spent fetching
+    /// batches off the critical path (the work that stalls would otherwise
+    /// expose).
+    pub const PIPELINE_PREFETCH_SECS: &str = "pipeline.prefetch.wall_secs";
+    /// Gauge: fraction of overlappable simulated communication hidden
+    /// behind compute windows, aggregated over workers (deterministic —
+    /// derived from `SimClock` charges, not wall time).
+    pub const PIPELINE_OVERLAP_RATIO: &str = "pipeline.overlap_ratio";
+    /// Gauge: fraction of batches in which the fetch stage ran concurrently
+    /// with a compute stage (prefetched batches / total batches) — the
+    /// stage-occupancy figure reported by `BENCH_pipeline.json`.
+    pub const PIPELINE_STAGE_OCCUPANCY: &str = "pipeline.stage.occupancy";
+    /// Trace track: one span per prefetched batch on the companion fetch
+    /// thread (wall-clock duration of the background `read_batch`).
+    pub const TRACE_PIPELINE_PREFETCH: &str = "trace.pipeline.prefetch";
 }
 
 #[cfg(test)]

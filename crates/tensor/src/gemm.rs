@@ -11,9 +11,17 @@
 //!
 //! On x86-64 the public entry points dispatch at runtime to an AVX2 build
 //! of the same safe body with a wider register tile (4×16 instead of the
-//! baseline 4×8). This is the only `unsafe` in the workspace and it is
-//! confined to the three dispatch call sites, each guarded by
-//! `is_x86_feature_detected!("avx2")` on the line above.
+//! baseline 4×8). The `unsafe` here is confined to the three dispatch call
+//! sites (each guarded by `is_x86_feature_detected!("avx2")` on the line
+//! above) plus the disjoint row-panel splits feeding [`crate::pool`] — the
+//! only other `unsafe` in the workspace.
+//!
+//! When a [`crate::pool::GemmPool`] is installed on the calling thread
+//! (`GemmPool::install`), products above [`PAR_MKN_THRESHOLD`] are split
+//! into disjoint output-row panels executed across the pool. Each panel
+//! runs the ordinary sequential kernel over its rows, so per-element
+//! summation order — and therefore every output bit — is unchanged (see
+//! the determinism contract below).
 //!
 //! # Determinism contract
 //!
@@ -52,6 +60,50 @@ const NR_WIDE: usize = 16;
 /// Depth-chunk length: panels are packed at most `KC` depth steps at a
 /// time so the pack buffers are fixed-size stack arrays (≤ 16 KiB each).
 const KC: usize = 256;
+
+/// Minimum `m·k·n` for a product to be worth fanning out across an
+/// installed [`crate::pool::GemmPool`]: below this the panel hand-off
+/// costs more than the arithmetic it distributes (a 64×64×32 product is
+/// ~260 µs of work at 1 GFLOP/s; the pool round trip is a few µs).
+pub(crate) const PAR_MKN_THRESHOLD: usize = 1 << 16;
+
+/// Splits `out`'s `m` rows across the installed pool and runs `panel` on
+/// each `(r0, r1)` chunk with a disjoint `&mut` slice of `out`. Returns
+/// false (caller runs sequentially) when no pool is installed or the
+/// product is too small to split.
+fn try_parallel_rows(
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+    panel: impl Fn(usize, usize, &mut [f32]) + Sync,
+) -> bool {
+    let Some(pool) = crate::pool::current() else {
+        return false;
+    };
+    if pool.threads() < 2 || m < 2 * MR || m * k * n < PAR_MKN_THRESHOLD {
+        return false;
+    }
+    let chunks = crate::pool::row_chunks(m, pool.threads(), MR);
+    if chunks.len() < 2 {
+        return false;
+    }
+    let outp = crate::pool::SendPtr(out.as_mut_ptr());
+    let chunks = &chunks;
+    let panel = &panel;
+    pool.run(chunks.len(), &move |ci| {
+        // Bind the wrapper whole so precise capture takes the `Sync`
+        // `SendPtr`, not its raw-pointer field.
+        let outp = outp;
+        let (r0, r1) = chunks[ci];
+        // SAFETY: chunks tile [0, m) disjointly, so each job owns rows
+        // [r0, r1) of `out` exclusively; `out` itself is not touched by
+        // the caller until `run` returns.
+        let o = unsafe { std::slice::from_raw_parts_mut(outp.0.add(r0 * n), (r1 - r0) * n) };
+        panel(r0, r1, o);
+    });
+    true
+}
 /// Upper bounds for the stack panel buffers (stable Rust cannot size an
 /// array by `KC * R` for a const generic `R`).
 const MR_MAX: usize = 8;
@@ -118,6 +170,25 @@ pub(crate) fn gemm_nn(
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
+    if try_parallel_rows(m, k, n, out, |r0, r1, o| {
+        gemm_nn_seq(r1 - r0, k, n, &a[r0 * k..r1 * k], b, bias, epi, o)
+    }) {
+        return;
+    }
+    gemm_nn_seq(m, k, n, a, b, bias, epi, out);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gemm_nn_seq(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    epi: Epilogue,
+    out: &mut [f32],
+) {
     #[cfg(target_arch = "x86_64")]
     if std::arch::is_x86_feature_detected!("avx2") {
         // SAFETY: `wide::gemm_nn` is a safe function whose only requirement
@@ -144,14 +215,37 @@ pub(crate) fn gemm_tn(
     debug_assert_eq!(a.len(), k * m);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
+    // Aᵀ's rows of `out` correspond to *columns* of the stored `k×m`
+    // operand, so panels keep the full `a` and address it with a row
+    // stride of `m` and a column offset `r0`.
+    if try_parallel_rows(m, k, n, out, |r0, r1, o| {
+        gemm_tn_seq(r1 - r0, k, n, a, m, r0, b, epi, o)
+    }) {
+        return;
+    }
+    gemm_tn_seq(m, k, n, a, m, 0, b, epi, out);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gemm_tn_seq(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    astride: usize,
+    aoff: usize,
+    b: &[f32],
+    epi: Epilogue,
+    out: &mut [f32],
+) {
     #[cfg(target_arch = "x86_64")]
     if std::arch::is_x86_feature_detected!("avx2") {
         // SAFETY: `wide::gemm_tn` is a safe function whose only requirement
         // is AVX2 support, checked on the line above.
-        unsafe { wide::gemm_tn(m, k, n, a, b, epi, out) };
+        unsafe { wide::gemm_tn(m, k, n, a, astride, aoff, b, epi, out) };
         return;
     }
-    gemm_tn_body::<MR, NR>(m, k, n, a, b, epi, out);
+    gemm_tn_body::<MR, NR>(m, k, n, a, astride, aoff, b, epi, out);
 }
 
 /// `C (m×n) = A · Bᵀ` where `A` is `m×k` and `B` is `n×k` — the
@@ -169,6 +263,15 @@ pub(crate) fn gemm_nt(
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(out.len(), m * n);
+    if try_parallel_rows(m, k, n, out, |r0, r1, o| {
+        gemm_nt_seq(r1 - r0, k, n, &a[r0 * k..r1 * k], b, epi, o)
+    }) {
+        return;
+    }
+    gemm_nt_seq(m, k, n, a, b, epi, out);
+}
+
+fn gemm_nt_seq(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], epi: Epilogue, out: &mut [f32]) {
     #[cfg(target_arch = "x86_64")]
     if std::arch::is_x86_feature_detected!("avx2") {
         // SAFETY: `wide::gemm_nt` is a safe function whose only requirement
@@ -203,16 +306,19 @@ mod wide {
     }
 
     #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
     pub(super) fn gemm_tn(
         m: usize,
         k: usize,
         n: usize,
         a: &[f32],
+        astride: usize,
+        aoff: usize,
         b: &[f32],
         epi: Epilogue,
         out: &mut [f32],
     ) {
-        gemm_tn_body::<MR_WIDE, NR_WIDE>(m, k, n, a, b, epi, out);
+        gemm_tn_body::<MR_WIDE, NR_WIDE>(m, k, n, a, astride, aoff, b, epi, out);
     }
 
     #[target_feature(enable = "avx2")]
@@ -296,12 +402,20 @@ fn gemm_nn_body<const R: usize, const C: usize>(
     }
 }
 
+/// `astride`/`aoff` view `a` as a `k × astride` matrix whose columns
+/// `aoff..aoff+m` are the operand — the row-panel split hands each panel
+/// the full buffer with a column offset (columns of the stored `Aᵀ` are
+/// output rows, so they cannot be sliced contiguously). Whole-matrix
+/// callers pass `astride = m, aoff = 0`.
 #[inline(always)]
+#[allow(clippy::too_many_arguments)]
 fn gemm_tn_body<const R: usize, const C: usize>(
     m: usize,
     k: usize,
     n: usize,
     a: &[f32],
+    astride: usize,
+    aoff: usize,
     b: &[f32],
     epi: Epilogue,
     out: &mut [f32],
@@ -311,8 +425,8 @@ fn gemm_tn_body<const R: usize, const C: usize>(
         let mut j = 0;
         while j + C <= n {
             let mut acc = seed_tile::<R, C>(&[], j, i, n, out, epi);
-            for (arow, brow) in a.chunks_exact(m).zip(b.chunks_exact(n)) {
-                let av: &[f32; R] = arow[i..i + R].try_into().unwrap();
+            for (arow, brow) in a.chunks_exact(astride).zip(b.chunks_exact(n)) {
+                let av: &[f32; R] = arow[aoff + i..aoff + i + R].try_into().unwrap();
                 let bv: &[f32; C] = brow[j..j + C].try_into().unwrap();
                 tile_fma(&mut acc, av, bv);
             }
@@ -323,7 +437,7 @@ fn gemm_tn_body<const R: usize, const C: usize>(
             for r in 0..R {
                 let mut s = seed_scalar(&[], jj, (i + r) * n + jj, out, epi);
                 for p in 0..k {
-                    s += a[p * m + i + r] * b[p * n + jj];
+                    s += a[p * astride + aoff + i + r] * b[p * n + jj];
                 }
                 out[(i + r) * n + jj] = finish_scalar(s, epi);
             }
@@ -334,7 +448,7 @@ fn gemm_tn_body<const R: usize, const C: usize>(
         for jj in 0..n {
             let mut s = seed_scalar(&[], jj, ii * n + jj, out, epi);
             for p in 0..k {
-                s += a[p * m + ii] * b[p * n + jj];
+                s += a[p * astride + aoff + ii] * b[p * n + jj];
             }
             out[ii * n + jj] = finish_scalar(s, epi);
         }
@@ -654,7 +768,7 @@ mod tests {
 
             let at = fill(k * m, 24);
             gemm_tn(m, k, n, &at, &b, Epilogue::Store, &mut dispatched);
-            gemm_tn_body::<MR, NR>(m, k, n, &at, &b, Epilogue::Store, &mut portable);
+            gemm_tn_body::<MR, NR>(m, k, n, &at, m, 0, &b, Epilogue::Store, &mut portable);
             assert_eq!(bits(&dispatched), bits(&portable), "tn {m}x{k}x{n}");
 
             let bt = fill(n * k, 25);
@@ -666,5 +780,49 @@ mod tests {
 
     fn bits(v: &[f32]) -> Vec<u32> {
         v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    /// Row-panel fan-out must be bit-identical to the sequential path for
+    /// every variant, epilogue, and thread count — the foundation of the
+    /// trainer's `gemm_threads` determinism guarantee. Shapes are sized
+    /// past `PAR_MKN_THRESHOLD` so the split actually engages.
+    #[test]
+    fn pool_matches_sequential_bitwise() {
+        use crate::pool::GemmPool;
+        // 96·96·32 = 294912 ≥ threshold; 96 rows exercise uneven chunking
+        // at 3 threads, and (41, 80, 23)-ish shapes hit every tail.
+        for &(m, k, n) in &[(96usize, 96usize, 32usize), (77, 64, 48), (40, 120, 31)] {
+            if m * k * n < PAR_MKN_THRESHOLD {
+                continue;
+            }
+            let a = fill(m * k, 31);
+            let b = fill(k * n, 32);
+            let at = fill(k * m, 33);
+            let bt = fill(n * k, 34);
+            let bias = fill(n, 35);
+            let seed_out = fill(m * n, 36);
+
+            let run_all = |out: &mut Vec<Vec<f32>>| {
+                let mut c = vec![0.0f32; m * n];
+                gemm_nn(m, k, n, &a, &b, &bias, Epilogue::BiasRelu, &mut c);
+                out.push(c.clone());
+                c.copy_from_slice(&seed_out);
+                gemm_tn(m, k, n, &at, &b, Epilogue::Accumulate, &mut c);
+                out.push(c.clone());
+                gemm_nt(m, k, n, &a, &bt, Epilogue::Store, &mut c);
+                out.push(c);
+            };
+
+            let mut sequential = Vec::new();
+            run_all(&mut sequential);
+            for threads in [2usize, 3, 4] {
+                let pool = GemmPool::new(threads);
+                let mut pooled = Vec::new();
+                pool.install(|| run_all(&mut pooled));
+                for (s, p) in sequential.iter().zip(&pooled) {
+                    assert_eq!(bits(s), bits(p), "{m}x{k}x{n} @ {threads} threads");
+                }
+            }
+        }
     }
 }

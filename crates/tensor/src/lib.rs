@@ -29,6 +29,7 @@ pub mod gemm;
 pub mod layers;
 pub mod loss;
 pub mod matrix;
+pub mod pool;
 pub mod metrics;
 pub mod optim;
 pub mod tape;
@@ -39,4 +40,5 @@ pub use loss::{bce_with_logits, bce_with_logits_into};
 pub use matrix::Matrix;
 pub use metrics::{auc, log_loss};
 pub use optim::{Adagrad, Adam, DenseOptimizer, Sgd};
+pub use pool::GemmPool;
 pub use tape::DenseTape;

@@ -1,15 +1,23 @@
 #!/usr/bin/env sh
 # Validates the shape of the locked-in perf baselines:
 #
-#   BENCH_hotpath.json (make bench-baseline / bench-smoke) — batched vs
+#   BENCH_hotpath.json  (make bench-baseline / bench-smoke) — batched vs
 #   per-row embedding ops + end-to-end throughput;
-#   BENCH_dense.json  (make bench-dense / bench-dense-smoke) — blocked vs
-#   naive GEMM kernels + the allocation-free tape path's end-to-end run.
+#   BENCH_dense.json    (make bench-dense / bench-dense-smoke) — blocked vs
+#   naive GEMM kernels + the allocation-free tape path's end-to-end run;
+#   BENCH_pipeline.json (make bench-pipeline[-smoke]) — the same end-to-end
+#   workload swept over software-pipeline depths {1,2,4}.
 #
-# The schema is picked from the file name. The top-level sections and every
-# numeric field the perf tracking relies on must be present, throughputs
-# must be positive, and the dense baseline's steady-state-allocation
-# counter must be exactly 0. Prints the speedup on success.
+# The schema is picked from the file name (*.smoke.json siblings share the
+# full-run schema). The top-level sections and every numeric field the perf
+# tracking relies on must be present, throughputs must be positive, and the
+# dense baseline's steady-state-allocation counter must be exactly 0. The
+# committed (non-smoke) pipeline baseline must additionally beat the
+# committed dense end-to-end samples/s at depth 2 — that regression gate is
+# the point of the pipeline. Finally, every "NN.Nk samples/s" figure quoted
+# in ROADMAP.md / CHANGES.md must match a samples_per_sec recorded in some
+# committed BENCH_*.json to 0.1k — docs drifting from the locked-in
+# baselines fail the check. Prints the speedup on success.
 #
 # Run from the repo root (make verify does). POSIX sh + grep/sed only — the
 # file is single-line flat JSON emitted by our own renderer, so anchored
@@ -35,6 +43,51 @@ require() {
 }
 
 case $FILE in
+*pipeline*)
+    # ---- BENCH_pipeline.json ---------------------------------------------
+    require '"config":\{' 'section "config"'
+    require '"depths":\[' 'array "depths"'
+    require '"speedup":[0-9]' 'top-level "speedup"'
+
+    for depth in 1 2 4; do
+        for key in samples_per_sec samples_per_cpu_sec stall_pct \
+            overlap_ratio final_auc; do
+            require "\"depth\":$depth,[^]]*\"$key\":[0-9-]" \
+                "\"depths[depth=$depth].$key\""
+        done
+    done
+
+    for key in preset scale workers system epochs reps batch dim seed \
+        gemm_threads smoke; do
+        require "\"config\":\{[^}]*\"$key\":" "\"config.$key\""
+    done
+
+    [ "$fail" -eq 0 ] || exit 1
+
+    # Sanity: every depth trained at a positive rate.
+    if grep -qE '"samples_per_sec":0[,}]' "$FILE"; then
+        echo "check_bench_schema: zero throughput in $FILE" >&2
+        exit 1
+    fi
+
+    # The regression gate on the committed baseline: depth 2 must beat the
+    # committed dense end-to-end figure (same workload, same seed). Smoke
+    # runs are too small to measure throughput meaningfully, so only the
+    # full run is gated.
+    if grep -qE '"smoke":false' "$FILE" && [ -f BENCH_dense.json ]; then
+        d2=$(sed -n 's/.*"depth":2,"samples_per_sec":\([0-9.eE+-]*\).*/\1/p' "$FILE")
+        dense=$(sed -n 's/.*"end_to_end":{"samples_per_sec":\([0-9.eE+-]*\).*/\1/p' BENCH_dense.json)
+        if [ -n "$d2" ] && [ -n "$dense" ]; then
+            if ! awk -v a="$d2" -v b="$dense" 'BEGIN { exit !(a > b) }'; then
+                echo "check_bench_schema: pipeline depth 2 ($d2 samples/s) does not beat the dense baseline ($dense samples/s)" >&2
+                exit 1
+            fi
+        else
+            echo "check_bench_schema: could not extract depth-2/dense samples_per_sec for the cross-check" >&2
+            exit 1
+        fi
+    fi
+    ;;
 *dense*)
     # ---- BENCH_dense.json ------------------------------------------------
     for section in config gemm end_to_end; do
@@ -109,6 +162,28 @@ case $FILE in
     done
     ;;
 esac
+
+# ---- doc-drift check -----------------------------------------------------
+# Every "NN.Nk samples/s" figure quoted in the tracking docs must match a
+# samples_per_sec actually recorded in a committed BENCH_*.json (to 0.1k,
+# i.e. the quoting precision). This is what catches a doc still citing a
+# baseline from an older machine or run.
+actuals=$(cat BENCH_hotpath.json BENCH_dense.json BENCH_pipeline.json 2>/dev/null |
+    grep -oE '"(dense_)?samples_per_sec":[0-9.]+' | sed 's/.*://')
+for doc in ROADMAP.md CHANGES.md; do
+    [ -f "$doc" ] || continue
+    for quote in $(grep -ohE '[0-9]+(\.[0-9]+)?k samples/s' "$doc" |
+        sed 's/k samples.*//' | sort -u); do
+        ok=$(printf '%s\n' $actuals | awk -v q="$quote" '
+            BEGIN { found = 0 }
+            { d = $1 / 1000 - q; if (d < 0.05 && d > -0.05) found = 1 }
+            END { print found }')
+        if [ "$ok" != 1 ]; then
+            echo "check_bench_schema: $doc quotes ${quote}k samples/s but no committed BENCH_*.json records it (doc drifted from the locked-in baseline)" >&2
+            exit 1
+        fi
+    done
+done
 
 speedup=$(sed -n 's/.*"speedup":\([0-9.eE+-]*\).*/\1/p' "$FILE")
 echo "check_bench_schema: OK ($FILE; speedup ${speedup}x)"

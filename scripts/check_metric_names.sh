@@ -21,7 +21,7 @@ consts=$(awk '/^pub mod names \{/,/^\}/' "$NAMES_RS" |
 
 # Every dotted string literal in the workspace that looks like a metric
 # name (leading segment is one of our taxonomy roots).
-used=$(grep -rhoE '"(traffic|time|embedding|partition|train|clock|protocol|trace|fault|checkpoint|hotpath|dense)\.[A-Za-z0-9_.]*"' \
+used=$(grep -rhoE '"(traffic|time|embedding|partition|train|clock|protocol|trace|fault|checkpoint|hotpath|dense|pipeline)\.[A-Za-z0-9_.]*"' \
         --include='*.rs' crates src tests examples 2>/dev/null |
     sed 's/"//g' | sort -u)
 

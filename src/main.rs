@@ -43,10 +43,11 @@ const USAGE: &str = "usage: het-gmp <gen|partition|train|capacity|experiment> [-
              [--staleness N] [--workers N] [--epochs N] [--model wdl|dcn|deepfm|din] [--seed N]
              [--telemetry FILE.jsonl] [--trace FILE.trace.json] [--trace-level batch|sync]
              [--audit[=count|strict]] [--faults SPEC] [--checkpoint-every N --checkpoint-dir DIR]
-             [--resume FILE.hgmr]
+             [--resume FILE.hgmr] [--pipeline-depth N] [--gemm-threads N]
   capacity   --workers N --mem-gb G --dim D [--replication F]
   experiment fig1|fig3|fig7|fig8|fig9|fig10|table2|table3|ablation|all [--scale F] [--telemetry FILE.jsonl]
              [--trace FILE.trace.json] [--trace-level batch|sync] [--audit[=count|strict]]
+             [--pipeline-depth N] [--gemm-threads N]
 
   --telemetry/--trace accept '-' to write to stdout. --trace captures a
   Chrome trace-event timeline (open in Perfetto); --audit checks every
@@ -62,7 +63,14 @@ const USAGE: &str = "usage: het-gmp <gen|partition|train|capacity|experiment> [-
     restart=S          process-restart overhead charged per crash
   Crash recovery restores from the last checkpoint image, so schedules
   with crashes pair naturally with --checkpoint-every N --checkpoint-dir
-  DIR (writes DIR/ckpt-epoch-N.hgmr; resume with --resume FILE).";
+  DIR (writes DIR/ckpt-epoch-N.hgmr; resume with --resume FILE).
+
+  --pipeline-depth N (1..=8, default 1) runs each worker's embedding
+  fetch for the next batch on a companion thread while the current batch
+  syncs; --gemm-threads N (1..=32, default 1) splits large dense GEMMs
+  into row panels. Both are bit-identical to the sequential schedule on
+  fault-free runs. On 'experiment' they apply to every fig8/table2/
+  ablation training run.";
 
 fn main() -> ExitCode {
     let args = Args::parse(std::env::args().skip(1));
@@ -160,6 +168,18 @@ fn trace_collector(
     };
     let collector = Arc::new(TraceCollector::new(num_workers, level));
     Ok(Some((collector, path.to_string())))
+}
+
+/// Parses an optional integer flag, distinguishing "absent" (`None`) from
+/// "present but malformed" (usage error) — a typo must not silently fall
+/// back to the default.
+fn parse_flag_usize(args: &Args, key: &str) -> Result<Option<usize>, HetGmpError> {
+    match args.get(key) {
+        None => Ok(None),
+        Some(v) => v.parse().map(Some).map_err(|_| {
+            HetGmpError::usage(format!("--{key} requires a positive integer, got {v:?}"))
+        }),
+    }
 }
 
 /// Parses `--audit[=count|strict|off]`; a bare `--audit` means count.
@@ -285,6 +305,8 @@ fn cmd_train(args: &Args) -> Result<(), HetGmpError> {
         .checkpoint_every(args.get_or("checkpoint-every", 0usize))
         .checkpoint_dir(args.get("checkpoint-dir").map(std::path::PathBuf::from))
         .resume_from(args.get("resume").map(std::path::PathBuf::from))
+        .pipeline_depth(parse_flag_usize(args, "pipeline-depth")?.unwrap_or(1))
+        .gemm_threads(parse_flag_usize(args, "gemm-threads")?.unwrap_or(1))
         .build()?;
     let faults = match args.get("faults") {
         None => None,
@@ -377,6 +399,8 @@ fn cmd_experiment(args: &Args) -> Result<(), HetGmpError> {
     let hooks = experiments::Hooks {
         tracer: trace.as_ref().map(|(t, _)| Arc::clone(t)),
         audit: audit_mode(args)?,
+        pipeline_depth: parse_flag_usize(args, "pipeline-depth")?,
+        gemm_threads: parse_flag_usize(args, "gemm-threads")?,
     };
     match which {
         "fig1" => println!("{}", experiments::overhead::run(scale)),
