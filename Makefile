@@ -3,8 +3,8 @@
 
 CARGO ?= cargo
 
-.PHONY: build test clippy lint-metrics fault-matrix verify bench \
-	bench-baseline bench-smoke bench-dense bench-dense-smoke \
+.PHONY: build test clippy lint-metrics fault-matrix inspect-smoke verify \
+	bench bench-baseline bench-smoke bench-dense bench-dense-smoke \
 	bench-pipeline bench-pipeline-smoke bench-schema clean
 
 build:
@@ -26,10 +26,17 @@ lint-metrics:
 fault-matrix: build
 	sh scripts/fault_matrix.sh
 
+# End-to-end smoke of `het-gmp inspect`: a tiny fixed-seed run feeds all
+# three modes; the report must match the committed golden byte-for-byte
+# (manifest line filtered — its git rev changes every commit) and an
+# injected regression must flip diff's exit code.
+inspect-smoke: build
+	sh scripts/inspect_smoke.sh
+
 # The gate every change must pass: release build, full test suite, clippy
-# with warnings denied, metric-name lint, the fault-injection matrix, and
-# the perf-baseline schema check.
-verify: build test clippy lint-metrics fault-matrix bench-schema
+# with warnings denied, metric-name lint, the fault-injection matrix, the
+# perf-baseline schema check, and the inspect smoke.
+verify: build test clippy lint-metrics fault-matrix bench-schema inspect-smoke
 
 bench:
 	$(CARGO) bench --offline --workspace

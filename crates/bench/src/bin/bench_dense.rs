@@ -30,7 +30,7 @@ use hetgmp_cluster::Topology;
 use hetgmp_core::strategy::StrategyConfig;
 use hetgmp_core::trainer::{Trainer, TrainerConfig};
 use hetgmp_data::{generate, DatasetSpec};
-use hetgmp_telemetry::{names, Json};
+use hetgmp_telemetry::{names, Json, RunManifest};
 use hetgmp_tensor::Matrix;
 
 const SEED: u64 = 0xDE45E;
@@ -81,7 +81,7 @@ fn time_suite<F: FnMut(&GemmWorkload)>(w: &GemmWorkload, reps: usize, mut pass: 
     best
 }
 
-fn end_to_end(smoke: bool) -> Json {
+fn end_to_end(smoke: bool) -> (Json, RunManifest) {
     // Identical workload to bench_hotpath's end-to-end section so the
     // samples_per_sec figures of the two baselines compare directly.
     let mut spec = DatasetSpec::avazu_like(if smoke { 0.02 } else { 0.08 });
@@ -101,7 +101,8 @@ fn end_to_end(smoke: bool) -> Json {
         },
     )
     .run();
-    Json::obj([
+    let manifest = r.manifest.clone();
+    let e2e = Json::obj([
         (
             "samples_per_sec",
             Json::F64(r.telemetry.gauge(names::HOTPATH_SAMPLES_PER_SEC).unwrap_or(0.0)),
@@ -121,7 +122,8 @@ fn end_to_end(smoke: bool) -> Json {
         ),
         ("samples_processed", Json::U64(r.samples_processed)),
         ("final_auc", Json::F64(r.final_auc)),
-    ])
+    ]);
+    (e2e, manifest)
 }
 
 fn main() {
@@ -161,7 +163,7 @@ fn main() {
         "naive {naive_gflops:.2} GFLOP/s | blocked {blocked_gflops:.2} GFLOP/s | speedup {speedup:.2}x"
     );
     eprintln!("end-to-end fixed-seed training run (tape path)...");
-    let e2e = end_to_end(smoke);
+    let (e2e, manifest) = end_to_end(smoke);
 
     let doc = Json::obj([
         (
@@ -188,6 +190,9 @@ fn main() {
         ),
         ("speedup", Json::F64(speedup)),
         ("end_to_end", e2e),
+        // The end-to-end training run's identity stamp (the gemm microbench
+        // shares its build and seed).
+        ("manifest", manifest.to_json()),
     ]);
     // Smoke runs land in a sibling file so CI schema checks never overwrite
     // the committed full-run baseline.

@@ -28,7 +28,7 @@ use hetgmp_core::strategy::StrategyConfig;
 use hetgmp_core::trainer::{Trainer, TrainerConfig};
 use hetgmp_data::{generate, DatasetSpec, Zipf};
 use hetgmp_embedding::{BatchScratch, ShardedTable, SparseOpt};
-use hetgmp_telemetry::{names, Json};
+use hetgmp_telemetry::{names, Json, RunManifest};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -156,7 +156,7 @@ fn measure_json(m: &Measure) -> Json {
     ])
 }
 
-fn end_to_end(smoke: bool) -> Json {
+fn end_to_end(smoke: bool) -> (Json, RunManifest) {
     let mut spec = DatasetSpec::avazu_like(if smoke { 0.02 } else { 0.08 });
     spec.cluster_affinity = 0.9;
     let data = generate(&spec);
@@ -174,7 +174,8 @@ fn end_to_end(smoke: bool) -> Json {
         },
     )
     .run();
-    Json::obj([
+    let manifest = r.manifest.clone();
+    let e2e = Json::obj([
         (
             "samples_per_sec",
             Json::F64(r.telemetry.gauge(names::HOTPATH_SAMPLES_PER_SEC).unwrap_or(0.0)),
@@ -193,7 +194,8 @@ fn end_to_end(smoke: bool) -> Json {
             Json::U64(r.telemetry.counter(names::HOTPATH_BATCH_APPLY_ROWS)),
         ),
         ("final_auc", Json::F64(r.final_auc)),
-    ])
+    ]);
+    (e2e, manifest)
 }
 
 fn main() {
@@ -226,7 +228,7 @@ fn main() {
         speedup,
     );
     eprintln!("end-to-end fixed-seed training run...");
-    let e2e = end_to_end(smoke);
+    let (e2e, manifest) = end_to_end(smoke);
 
     let doc = Json::obj([
         (
@@ -246,6 +248,9 @@ fn main() {
         ("batched", measure_json(&batched)),
         ("speedup", Json::F64(speedup)),
         ("end_to_end", e2e),
+        // The end-to-end training run's identity stamp (the microbench
+        // shares its build and seed).
+        ("manifest", manifest.to_json()),
     ]);
     // Smoke runs land in a sibling file so CI schema checks never overwrite
     // the committed full-run baseline.

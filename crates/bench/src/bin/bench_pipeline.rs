@@ -7,9 +7,10 @@
 //! `scripts/check_bench_schema.sh BENCH_pipeline.json`):
 //!
 //! ```text
-//! { "config": {...},
+//! { "config": {...}, "manifest": {...},
 //!   "depths": [ { "depth", "samples_per_sec", "samples_per_cpu_sec",
-//!                 "stall_pct", "overlap_ratio", "final_auc" }, ... ],
+//!                 "stall_pct", "overlap_ratio", "overhead_pct",
+//!                 "final_auc" }, ... ],
 //!   "speedup": depth2.samples_per_sec / depth1.samples_per_sec }
 //!
 //! `samples_per_sec` is wall-clock (what the dense-baseline cross-check
@@ -42,7 +43,7 @@ use hetgmp_cluster::Topology;
 use hetgmp_core::strategy::StrategyConfig;
 use hetgmp_core::trainer::{Trainer, TrainerConfig};
 use hetgmp_data::{generate, CtrDataset, DatasetSpec};
-use hetgmp_telemetry::{names, Json};
+use hetgmp_telemetry::{names, Json, RunManifest};
 
 const DEPTHS: [usize; 3] = [1, 2, 4];
 
@@ -51,7 +52,9 @@ struct DepthRun {
     samples_per_cpu_sec: f64,
     stall_pct: f64,
     overlap: f64,
+    overhead_pct: f64,
     auc: f64,
+    manifest: RunManifest,
 }
 
 /// Whole-process CPU seconds (utime + stime over every thread) from
@@ -100,12 +103,15 @@ fn run_once(data: &CtrDataset, depth: usize, epochs: usize) -> DepthRun {
     // Deterministic numerator (same for every depth): the CPU-time rate
     // only needs the denominator measured.
     let samples = (data.num_samples() * epochs) as f64;
+    let overhead = r.telemetry.gauge(names::TELEMETRY_OVERHEAD_SECS).unwrap_or(0.0);
     DepthRun {
         samples_per_sec,
         samples_per_cpu_sec: if cpu > 0.0 { samples / cpu } else { 0.0 },
         stall_pct: if wall > 0.0 { stall / wall * 100.0 } else { 0.0 },
         overlap: r.telemetry.gauge(names::PIPELINE_OVERLAP_RATIO).unwrap_or(0.0),
+        overhead_pct: if wall > 0.0 { overhead / wall * 100.0 } else { 0.0 },
         auc: r.final_auc,
+        manifest: r.manifest,
     }
 }
 
@@ -130,8 +136,9 @@ fn main() {
         for (di, &d) in DEPTHS.iter().enumerate() {
             let run = run_once(&data, d, epochs);
             eprintln!(
-                "rep {rep} depth {d}: {:.0} samples/s (cpu {:.0}), stall {:.2}%, overlap {:.3}, AUC {:.6}",
-                run.samples_per_sec, run.samples_per_cpu_sec, run.stall_pct, run.overlap, run.auc
+                "rep {rep} depth {d}: {:.0} samples/s (cpu {:.0}), stall {:.2}%, overlap {:.3}, ovh {:.3}%, AUC {:.6}",
+                run.samples_per_sec, run.samples_per_cpu_sec, run.stall_pct, run.overlap,
+                run.overhead_pct, run.auc
             );
             if let Some(b) = &best[di] {
                 // Same depth, same seed: reps must be bit-identical runs.
@@ -157,10 +164,20 @@ fn main() {
                 ("samples_per_cpu_sec", Json::F64(b.samples_per_cpu_sec)),
                 ("stall_pct", Json::F64(b.stall_pct)),
                 ("overlap_ratio", Json::F64(b.overlap)),
+                ("overhead_pct", Json::F64(b.overhead_pct)),
                 ("final_auc", Json::F64(b.auc)),
             ])
         })
         .collect();
+    // The stage profiler rides the hot path; its self-measured cost must
+    // stay in the noise. 2% of wall is the contract TELEMETRY.md documents.
+    for (d, b) in DEPTHS.iter().zip(&best) {
+        assert!(
+            b.overhead_pct < 2.0,
+            "depth {d}: profiler overhead {:.3}% of wall exceeds the 2% budget",
+            b.overhead_pct
+        );
+    }
     let rates: Vec<f64> = best.iter().map(|b| b.samples_per_sec).collect();
     let aucs: Vec<f64> = best.iter().map(|b| b.auc).collect();
     // The determinism contract is part of the benchmark: a depth that went
@@ -191,6 +208,9 @@ fn main() {
                 ("smoke", Json::Bool(smoke)),
             ]),
         ),
+        // The depth-1 run's manifest identifies the baseline configuration
+        // the whole sweep shares (only pipeline_depth varies across rows).
+        ("manifest", best[0].manifest.to_json()),
         ("depths", Json::Arr(depths)),
         ("speedup", Json::F64(speedup)),
     ]);

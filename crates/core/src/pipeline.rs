@@ -80,7 +80,7 @@ use hetgmp_comms::{AllReduceGroup, TrafficClass, TrafficLedger};
 use hetgmp_data::CtrDataset;
 use hetgmp_embedding::{EmbeddingWorker, ReadReport, ShardedTable, UpdateReport};
 use hetgmp_partition::Partition;
-use hetgmp_telemetry::{names, Json, ProtocolAuditor, Recorder, TraceCollector};
+use hetgmp_telemetry::{names, HistogramSummary, Json, ProtocolAuditor, Recorder, TraceCollector};
 use hetgmp_tensor::{bce_with_logits_into, DenseOptimizer, GemmPool, Matrix, Sgd};
 
 use crate::models::{CtrModel, ModelTape};
@@ -213,6 +213,149 @@ pub(crate) struct PipelineStats {
     pub(crate) batches: u64,
 }
 
+/// Per-stage attribution profiler: bounded-memory wall and simulated-time
+/// histograms for each [`BatchStage`] of the batch loop, plus a
+/// self-measurement of its own cost.
+///
+/// The hot loop never touches the recorder: stage durations accumulate
+/// into plain stack arrays (`pending_*`), fold into local
+/// [`HistogramSummary`]s once per batch, and merge into the worker's
+/// recorder once per epoch ([`Recorder::histogram_merge`]) — so the
+/// steady-state cost per batch is a handful of `Instant` reads and eight
+/// histogram folds. That cost is itself measured: `finish_batch` times its
+/// own bookkeeping and adds a calibrated per-read cost for every timestamp
+/// the loop took, accumulating `overhead_secs` (exported as the
+/// `telemetry.overhead_secs` gauge; the pipeline bench asserts it stays
+/// under 2% of hot-path wall time).
+///
+/// Wall attribution is from the worker main thread's perspective: `fetch`
+/// is assembly + embedding read (or, for a prefetched batch, the time to
+/// acquire it — stall + steal-back); `write_back` includes the rank-order
+/// rendezvous that serializes it; `sync` is the dense collective.
+/// Simulated attribution follows the cost model's charges: `fetch` = the
+/// embedding read's comm seconds, `write_back` = the gradient write-back's
+/// comm seconds, `compute` = the batch's compute charge, `sync` = the
+/// dense-sync charge (metadata stays in `time.meta_comm_secs`).
+pub struct StageProfiler {
+    wall: [HistogramSummary; 4],
+    sim: [HistogramSummary; 4],
+    pending_wall: [f64; 4],
+    pending_sim: [f64; 4],
+    overhead_secs: f64,
+    /// Calibrated wall cost of one `Instant::now()` read.
+    timer_read_secs: f64,
+    /// Timer reads taken by the loop since the last `finish_batch`.
+    stamps: u32,
+    /// Pre-rendered metric names, so the flush never formats.
+    wall_names: [String; 4],
+    sim_names: [String; 4],
+}
+
+impl StageProfiler {
+    /// A profiler with a freshly calibrated timer cost (a few µs, once per
+    /// worker per run).
+    pub fn new() -> Self {
+        let metric = |stage: &str, kind: &str| {
+            format!("{}{stage}.{kind}_secs", names::PIPELINE_STAGE_PREFIX)
+        };
+        let stage_names = names::PIPELINE_STAGES;
+        Self {
+            wall: [HistogramSummary::empty(); 4],
+            sim: [HistogramSummary::empty(); 4],
+            pending_wall: [0.0; 4],
+            pending_sim: [0.0; 4],
+            overhead_secs: 0.0,
+            timer_read_secs: Self::calibrate_timer(),
+            stamps: 0,
+            wall_names: stage_names.map(|s| metric(s, "wall")),
+            sim_names: stage_names.map(|s| metric(s, "sim")),
+        }
+    }
+
+    /// Measures the cost of one `Instant::now()` by timing a short burst.
+    fn calibrate_timer() -> f64 {
+        const READS: u32 = 512;
+        let t0 = Instant::now();
+        for _ in 0..READS {
+            std::hint::black_box(Instant::now());
+        }
+        t0.elapsed().as_secs_f64() / f64::from(READS)
+    }
+
+    fn slot(stage: BatchStage) -> usize {
+        match stage {
+            BatchStage::Fetch => 0,
+            BatchStage::Compute => 1,
+            BatchStage::Push => 2,
+            BatchStage::Sync | BatchStage::Idle => 3,
+        }
+    }
+
+    /// Takes a stage-start timestamp (counted toward the overhead).
+    pub fn start(&mut self) -> Instant {
+        self.stamps += 1;
+        Instant::now()
+    }
+
+    /// Credits the wall time since `since` to `stage`.
+    pub fn wall(&mut self, stage: BatchStage, since: Instant) {
+        self.stamps += 1;
+        self.pending_wall[Self::slot(stage)] += since.elapsed().as_secs_f64();
+    }
+
+    /// Credits `secs` of simulated time to `stage`.
+    pub fn sim(&mut self, stage: BatchStage, secs: f64) {
+        self.pending_sim[Self::slot(stage)] += secs;
+    }
+
+    /// The simulated seconds credited so far this batch, in stage order
+    /// `[fetch, compute, write_back, sync]` (feeds the per-stage trace
+    /// spans).
+    pub fn pending_sim(&self) -> [f64; 4] {
+        self.pending_sim
+    }
+
+    /// Folds the batch's pending stage times into the histograms and
+    /// charges the profiler's own bookkeeping to `overhead_secs`.
+    pub fn finish_batch(&mut self) {
+        let t0 = Instant::now();
+        for i in 0..4 {
+            self.wall[i].observe(self.pending_wall[i]);
+            self.sim[i].observe(self.pending_sim[i]);
+            self.pending_wall[i] = 0.0;
+            self.pending_sim[i] = 0.0;
+        }
+        // Own cost: this fold, its two timer reads, and every stage stamp
+        // the loop took since the previous fold.
+        self.overhead_secs += t0.elapsed().as_secs_f64()
+            + f64::from(self.stamps + 2) * self.timer_read_secs;
+        self.stamps = 0;
+    }
+
+    /// Merges the accumulated histograms into `recorder` and resets them
+    /// (called once per epoch; merges are additive across epochs and
+    /// workers).
+    pub fn flush(&mut self, recorder: &dyn Recorder) {
+        for i in 0..4 {
+            recorder.histogram_merge(&self.wall_names[i], &self.wall[i]);
+            recorder.histogram_merge(&self.sim_names[i], &self.sim[i]);
+            self.wall[i] = HistogramSummary::empty();
+            self.sim[i] = HistogramSummary::empty();
+        }
+    }
+
+    /// Wall seconds the profiler has charged to itself so far.
+    pub fn overhead_secs(&self) -> f64 {
+        self.overhead_secs
+    }
+}
+
+impl Default for StageProfiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Owns a worker's [`StepCtx`] slot pool and hands slots to the stage loop:
 /// `acquire` an `Idle` slot for a new batch, `recycle` it after Sync. Depth
 /// is fixed at construction ([`TrainerConfig::pipeline_depth`]); the loop
@@ -288,6 +431,7 @@ pub(crate) struct WorkerEpoch<'a, 'b, 'd> {
     pub(crate) image: Option<Arc<CheckpointImage>>,
     pub(crate) nonfinite: &'a AtomicU64,
     pub(crate) recorder: Arc<dyn Recorder>,
+    pub(crate) profiler: &'a mut StageProfiler,
 }
 
 /// Runs one worker's epoch, dispatching on the configured depth: depth 1 is
@@ -455,6 +599,7 @@ fn run_epoch_sequential(ctx: WorkerEpoch<'_, '_, '_>) {
         image,
         nonfinite,
         recorder,
+        profiler,
     } = ctx;
     let dim = cfg.dim;
     let fields = dataset.num_fields;
@@ -492,6 +637,7 @@ fn run_epoch_sequential(ctx: WorkerEpoch<'_, '_, '_>) {
         }
         let batch_start = clock.now();
         // ---- Assemble the batch (wrap-around over the local shard). --------
+        let t_fetch = profiler.start();
         assemble_batch(slot, shard, cursor, batch_size);
         slot.advance_to(BatchStage::Fetch);
         sample_slices.clear();
@@ -504,13 +650,16 @@ fn run_epoch_sequential(ctx: WorkerEpoch<'_, '_, '_>) {
             slot.input.reset(actual, fields * dim);
             slot.read_report = emb.read_batch(&sample_slices, slot.input.data_mut());
         }
+        profiler.wall(BatchStage::Fetch, t_fetch);
         slot.advance_to(BatchStage::Compute);
         if actual > 0 {
             // ---- Dense forward/backward (real math, blocked kernels). -----
+            let t_compute = profiler.start();
             dense_compute(
                 slot, model, dataset, pool.as_ref(), loss_sum_micro, loss_batches, nonfinite,
                 &recorder,
             );
+            profiler.wall(BatchStage::Compute, t_compute);
             have_grad = true;
         }
 
@@ -525,6 +674,7 @@ fn run_epoch_sequential(ctx: WorkerEpoch<'_, '_, '_>) {
         // host threads realize.
         group.barrier();
         slot.advance_to(BatchStage::Push);
+        let t_push = profiler.start();
         let mut up_report = None;
         for rank in 0..group.num_participants() {
             if rank == w && have_grad {
@@ -537,24 +687,29 @@ fn run_epoch_sequential(ctx: WorkerEpoch<'_, '_, '_>) {
             }
             group.barrier();
         }
+        profiler.wall(BatchStage::Push, t_push);
 
         if let Some(up_report) = &up_report {
             // ---- Charge simulated time. ------------------------------------
             charge_batch(
                 w, actual, fields, compute_scale, flops_per_sample, strategy, cost, clock,
-                ledger, tracer, samples, &slot.read_report, up_report, 0.0, false,
+                ledger, tracer, samples, &slot.read_report, up_report, 0.0, false, profiler,
             );
         }
 
         // ---- Dense synchronisation. ----------------------------------------
         slot.advance_to(BatchStage::Sync);
-        sync_dense(
+        let t_sync = profiler.start();
+        let sync_t = sync_dense(
             w, model, &mut dense_grads, &mut sgd, cfg.grad_clip, strategy, topology, cost,
             group, ledger, clock, tracer, dense_bytes, is_bsp, false,
         );
+        profiler.wall(BatchStage::Sync, t_sync);
+        profiler.sim(BatchStage::Sync, sync_t);
         slot.finish();
 
         if let Some(t) = tracer {
+            trace_stage_spans(t, w, batch_start, profiler.pending_sim());
             t.worker_span(
                 w,
                 names::TRACE_BATCH,
@@ -563,6 +718,7 @@ fn run_epoch_sequential(ctx: WorkerEpoch<'_, '_, '_>) {
                 &[("samples", Json::U64(actual as u64))],
             );
         }
+        profiler.finish_batch();
 
         // Strict audit: agree collectively on whether the auditor tripped so
         // every worker leaves at the same iteration boundary (a unilateral
@@ -625,6 +781,7 @@ fn run_epoch_pipelined(ctx: WorkerEpoch<'_, '_, '_>) {
         image,
         nonfinite,
         recorder,
+        profiler,
     } = ctx;
     let dim = cfg.dim;
     let fields = dataset.num_fields;
@@ -675,6 +832,10 @@ fn run_epoch_pipelined(ctx: WorkerEpoch<'_, '_, '_>) {
         let mut inflight = false;
         for i in 0..iters {
             // ---- Acquire this iteration's slot (prefetched or inline). ----
+            // Fetch wall time from the main thread's perspective: the stall
+            // waiting on the companion, the steal-back inline read, or the
+            // first iteration's inline fetch — whichever path ran.
+            let t_fetch = profiler.start();
             let mut slot = if inflight {
                 inflight = false;
                 let done = {
@@ -734,6 +895,7 @@ fn run_epoch_pipelined(ctx: WorkerEpoch<'_, '_, '_>) {
                 }
                 slot
             };
+            profiler.wall(BatchStage::Fetch, t_fetch);
             pstats.batches += 1;
             if let Some(t) = tracer {
                 t.set_worker_time(w, clock.now());
@@ -753,10 +915,12 @@ fn run_epoch_pipelined(ctx: WorkerEpoch<'_, '_, '_>) {
             slot.advance_to(BatchStage::Compute);
             let mut have_grad = false;
             if actual > 0 {
+                let t_compute = profiler.start();
                 dense_compute(
                     &mut slot, model, dataset, pool.as_ref(), loss_sum_micro, loss_batches,
                     nonfinite, &recorder,
                 );
+                profiler.wall(BatchStage::Compute, t_compute);
                 have_grad = true;
             }
 
@@ -764,6 +928,7 @@ fn run_epoch_pipelined(ctx: WorkerEpoch<'_, '_, '_>) {
             // Same canonical rank-ascending serialization, two rendezvous
             // (ring handoff + fence) instead of n + 1 full barriers.
             slot.advance_to(BatchStage::Push);
+            let t_push = profiler.start();
             let up_report = {
                 let emb = emb_slot.as_deref_mut().expect("emb handle present");
                 group.in_rank_order(w, || {
@@ -776,6 +941,7 @@ fn run_epoch_pipelined(ctx: WorkerEpoch<'_, '_, '_>) {
                     })
                 })
             };
+            profiler.wall(BatchStage::Push, t_push);
             // ---- Writes-done ordering. ------------------------------------
             // Before any thread may *execute* the batch i+1 fetch, every
             // rank's ring turn must be complete — a low rank exits its turn
@@ -803,7 +969,7 @@ fn run_epoch_pipelined(ctx: WorkerEpoch<'_, '_, '_>) {
                 charge_batch(
                     w, actual, fields, compute_scale, flops_per_sample, strategy, cost,
                     clock, ledger, tracer, samples, &slot.read_report, up_report, extra,
-                    slot.prefetched,
+                    slot.prefetched, profiler,
                 );
             }
 
@@ -851,13 +1017,17 @@ fn run_epoch_pipelined(ctx: WorkerEpoch<'_, '_, '_>) {
 
             // ---- Dense sync: one fused collective under BSP. --------------
             slot.advance_to(BatchStage::Sync);
+            let t_sync = profiler.start();
             prev_sync_t = sync_dense(
                 w, model, &mut dense_grads, &mut sgd, cfg.grad_clip, strategy, topology,
                 cost, group, ledger, clock, tracer, dense_bytes, is_bsp, is_bsp,
             );
+            profiler.wall(BatchStage::Sync, t_sync);
+            profiler.sim(BatchStage::Sync, prev_sync_t);
             slot.finish();
 
             if let Some(t) = tracer {
+                trace_stage_spans(t, w, batch_start, profiler.pending_sim());
                 t.worker_span(
                     w,
                     names::TRACE_BATCH,
@@ -866,6 +1036,7 @@ fn run_epoch_pipelined(ctx: WorkerEpoch<'_, '_, '_>) {
                     &[("samples", Json::U64(actual as u64))],
                 );
             }
+            profiler.finish_batch();
             driver.recycle(slot);
             if tripped {
                 break;
@@ -987,6 +1158,7 @@ fn charge_batch(
     up_report: &UpdateReport,
     extra_overlap: f64,
     prefetched: bool,
+    profiler: &mut StageProfiler,
 ) {
     // The straggler factor scales arithmetic throughput, not the
     // fixed launch overhead (a slow accelerator still dispatches
@@ -995,6 +1167,7 @@ fn charge_batch(
     let compute_t = cost.compute.per_batch_overhead
         + (flops / cost.compute.flops_per_second) * compute_scale;
     clock.advance(TimeCategory::Compute, compute_t);
+    profiler.sim(BatchStage::Compute, compute_t);
 
     // Input pipeline (overlapped behind compute).
     let input_bytes = (actual * fields * 4) as u64;
@@ -1004,8 +1177,12 @@ fn charge_batch(
         compute_t,
     );
 
-    let (embed_t, meta_t) =
+    let comm =
         charge_embedding_comm(w, strategy, cost, read_report, up_report, tracer, clock.now());
+    let embed_t = comm.read + comm.write_back;
+    let meta_t = comm.meta;
+    profiler.sim(BatchStage::Fetch, comm.read);
+    profiler.sim(BatchStage::Push, comm.write_back);
     let window = if strategy.overlap { compute_t } else { 0.0 } + extra_overlap;
     if strategy.overlap || prefetched {
         clock.advance_overlapped(TimeCategory::EmbedComm, embed_t, window);
@@ -1297,10 +1474,23 @@ pub(crate) fn allreduce_bytes(dense_bytes: u64, topology: &Topology) -> u64 {
     }
 }
 
-/// Converts the per-source byte breakdowns into (embedding-data seconds,
-/// metadata seconds) for worker `w` under the given strategy. When a tracer
-/// is attached, each per-peer transfer also becomes a `trace.link.transfer`
-/// span on the link-class track, laid out sequentially from `start_secs`.
+/// One batch's embedding-communication seconds, split by direction so the
+/// stage profiler can attribute them: `read` belongs to the Fetch stage,
+/// `write_back` to Push, `meta` to neither (it stays `time.meta_comm`).
+/// The total charge is exactly `read + write_back` — the split never
+/// changes what the clock advances by.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct EmbedCommTimes {
+    pub(crate) read: f64,
+    pub(crate) write_back: f64,
+    pub(crate) meta: f64,
+}
+
+/// Converts the per-source byte breakdowns into per-direction embedding
+/// and metadata seconds ([`EmbedCommTimes`]) for worker `w` under the given
+/// strategy. When a tracer is attached, each per-peer transfer also becomes
+/// a `trace.link.transfer` span on the link-class track, laid out
+/// sequentially from `start_secs`.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn charge_embedding_comm(
     w: usize,
@@ -1310,7 +1500,7 @@ pub(crate) fn charge_embedding_comm(
     up: &UpdateReport,
     tracer: Option<&TraceCollector>,
     start_secs: f64,
-) -> (f64, f64) {
+) -> EmbedCommTimes {
     match strategy.embed_home {
         EmbedHome::CpuPs => {
             // Every lookup/update crosses the host link, regardless of the
@@ -1345,7 +1535,19 @@ pub(crate) fn charge_embedding_comm(
             }
             let meta_bytes = (lookups + updates) * 12 * n;
             let mt = cost.link_transfer_time(LinkClass::HostPcie, meta_bytes);
-            (t, mt)
+            // The shared-link charge was computed over the combined working
+            // set; apportion it by row count for stage attribution only
+            // (lookups are Fetch work, updates are Push work).
+            let read_frac = if lookups + updates > 0 {
+                lookups as f64 / (lookups + updates) as f64
+            } else {
+                0.0
+            };
+            EmbedCommTimes {
+                read: t * read_frac,
+                write_back: t * (1.0 - read_frac),
+                meta: mt,
+            }
         }
         EmbedHome::Gpu => {
             let mut t = 0.0;
@@ -1369,6 +1571,7 @@ pub(crate) fn charge_embedding_comm(
                     t += dt;
                 }
             }
+            let read_t = t;
             for (dst, &bytes) in up.data_bytes_by_dst.iter().enumerate() {
                 if bytes > 0 {
                     let dt = cost.transfer_time_at(w, dst, bytes, start_secs + t);
@@ -1400,7 +1603,36 @@ pub(crate) fn charge_embedding_comm(
             } else {
                 0.0
             };
-            (t, mt)
+            EmbedCommTimes {
+                read: read_t,
+                write_back: t - read_t,
+                meta: mt,
+            }
+        }
+    }
+}
+
+/// Emits per-stage sub-spans (`trace.stage.<stage>`) under the batch span:
+/// the batch's simulated stage seconds laid end-to-end from `batch_start`,
+/// in pipeline order fetch → compute → write_back → sync. An approximation
+/// by construction — overlapped charges genuinely overlap on the clock —
+/// but it makes the batch's composition visible on the timeline. Gated at
+/// [`TraceLevel::Sync`] so default (`batch`-level) traces stay lean.
+fn trace_stage_spans(tracer: &TraceCollector, w: usize, batch_start: f64, sim: [f64; 4]) {
+    if !tracer.enabled(hetgmp_telemetry::TraceLevel::Sync) {
+        return;
+    }
+    let mut at = batch_start;
+    for (i, stage) in names::PIPELINE_STAGES.iter().enumerate() {
+        if sim[i] > 0.0 {
+            tracer.worker_span(
+                w,
+                &format!("{}{stage}", names::TRACE_STAGE_PREFIX),
+                at,
+                sim[i],
+                &[],
+            );
+            at += sim[i];
         }
     }
 }

@@ -41,12 +41,14 @@ use hetgmp_embedding::{
 use hetgmp_partition::{Partition, PartitionMetrics};
 use hetgmp_telemetry::{
     names, AuditMode, AuditSummary, HetGmpError, Json, MetricsRegistry, ProtocolAuditor, Recorder,
-    TelemetrySnapshot, TraceCollector,
+    RunManifest, TelemetrySnapshot, TraceCollector,
 };
 use hetgmp_tensor::{auc, log_loss, GemmPool, Matrix};
 
 use crate::models::{CtrModel, ModelKind};
-use crate::pipeline::{mean_link_time, run_worker_epoch, PipelineStats, StepCtx, WorkerEpoch};
+use crate::pipeline::{
+    mean_link_time, run_worker_epoch, PipelineStats, StageProfiler, StepCtx, WorkerEpoch,
+};
 use crate::strategy::{CacheDesign, EmbedHome, StrategyConfig};
 
 /// Trainer hyper-parameters (model + schedule).
@@ -348,6 +350,12 @@ pub struct EvalPoint {
     /// Mean training BCE loss over the epoch's batches — the objective `F`
     /// of the paper's Theorem 1 (the quantity that provably decreases).
     pub train_loss: f64,
+    /// Fraction of this epoch's batches served by a prefetch, summed over
+    /// workers (0 at `pipeline_depth == 1`, where nothing is prefetched).
+    pub stage_occupancy: f64,
+    /// Wall seconds this epoch's workers spent stalled waiting on a
+    /// prefetch that had not finished (0 at depth 1).
+    pub stall_secs: f64,
 }
 
 /// Everything measured in one training run.
@@ -385,6 +393,38 @@ pub struct TrainResult {
     /// Batches whose training loss came back non-finite (NaN/∞). Non-zero
     /// means the run diverged; the CLI treats it as a data error.
     pub nonfinite_batches: u64,
+    /// The run's identity stamp (seed, config digest, shape, build):
+    /// written into every artifact this run produces so `inspect diff` can
+    /// flag cross-run comparisons whose configurations differ.
+    pub manifest: RunManifest,
+}
+
+/// The manifest's digest input: the strategy and every hyper-parameter
+/// that shapes the math or the schedule. Workspace-volatile fields
+/// (checkpoint/resume paths) and the seed are excluded — the seed is its
+/// own manifest field, and two runs of the same experiment must digest
+/// identically regardless of where they write or resume from.
+fn config_digest_text(strategy: &StrategyConfig, cfg: &TrainerConfig) -> String {
+    format!(
+        "{strategy:?}|model={:?}|dim={}|hidden={:?}|batch={}|epochs={}|opt={:?}|lr={}|test={}|\
+         eval={}|target={:?}|clip={:?}|scales={:?}|hetero={}|ckpt_every={}|depth={}|threads={}",
+        cfg.model,
+        cfg.dim,
+        cfg.hidden,
+        cfg.batch_size,
+        cfg.epochs,
+        cfg.embed_opt,
+        cfg.dense_lr,
+        cfg.test_fraction,
+        cfg.max_eval_samples,
+        cfg.auc_target,
+        cfg.grad_clip,
+        cfg.compute_scales,
+        cfg.hetero_aware_batching,
+        cfg.checkpoint_every,
+        cfg.pipeline_depth,
+        cfg.gemm_threads,
+    )
 }
 
 /// The distributed trainer for one (dataset, topology, strategy) triple.
@@ -528,6 +568,16 @@ impl<'d> Trainer<'d> {
         if cfg.gemm_threads == 0 {
             return Err(HetGmpError::config("gemm_threads", "must be at least 1"));
         }
+        let manifest = RunManifest::new(
+            cfg.seed,
+            RunManifest::digest_of(&config_digest_text(&self.strategy, cfg)),
+            n,
+            cfg.pipeline_depth,
+            cfg.gemm_threads,
+        );
+        if let Some(t) = &self.tracer {
+            t.attach_manifest(manifest.clone());
+        }
         let cost = CostModel::new(self.topology.clone()).with_faults(Arc::clone(&faults));
         // One registry for the whole run: the partitioner records globally,
         // each worker thread records into its own recorder (no hot-path
@@ -650,6 +700,10 @@ impl<'d> Trainer<'d> {
             .map(|_| (0..cfg.pipeline_depth).map(|_| StepCtx::new()).collect())
             .collect();
         let mut pipe_stats: Vec<PipelineStats> = vec![PipelineStats::default(); n];
+        // Per-worker stage profilers persist across epochs (their timer
+        // calibration is paid once) and flush into the worker recorders at
+        // every epoch boundary.
+        let mut profilers: Vec<StageProfiler> = (0..n).map(|_| StageProfiler::new()).collect();
         // Optional row-panel GEMM pools, one per worker; helper threads
         // persist across every epoch and batch.
         let gemm_pools: Vec<Option<Arc<GemmPool>>> = (0..n)
@@ -759,6 +813,10 @@ impl<'d> Trainer<'d> {
         // ---- Epoch loop ------------------------------------------------------
         let mut curve: Vec<EvalPoint> = Vec::with_capacity(cfg.epochs);
         let mut time_to_target: Option<f64> = None;
+        // Cumulative pipeline counters at the previous epoch boundary, so
+        // each EvalPoint carries this epoch's delta (the occupancy/stall
+        // timeline `inspect report` renders).
+        let (mut seen_prefetched, mut seen_batches, mut seen_stall) = (0u64, 0u64, 0.0f64);
         // Wall-clock throughput baseline (hotpath.*): simulated time measures
         // the modelled cluster; wall time measures this implementation.
         let wall_start = Instant::now();
@@ -767,13 +825,15 @@ impl<'d> Trainer<'d> {
             loss_batches.store(0, Ordering::Relaxed);
             std::thread::scope(|scope| {
                 // Move disjoint &mut of per-worker state into threads.
-                for (w, ((((emb, model), (clock, cursor)), fstate), (slots, pstats))) in embeddings
-                    .iter_mut()
-                    .zip(models.iter_mut())
-                    .zip(clocks.iter_mut().zip(cursors.iter_mut()))
-                    .zip(fault_states.iter_mut())
-                    .zip(slot_pools.iter_mut().zip(pipe_stats.iter_mut()))
-                    .enumerate()
+                for (w, (((((emb, model), (clock, cursor)), fstate), (slots, pstats)), profiler)) in
+                    embeddings
+                        .iter_mut()
+                        .zip(models.iter_mut())
+                        .zip(clocks.iter_mut().zip(cursors.iter_mut()))
+                        .zip(fault_states.iter_mut())
+                        .zip(slot_pools.iter_mut().zip(pipe_stats.iter_mut()))
+                        .zip(profilers.iter_mut())
+                        .enumerate()
                 {
                     let shard = &shards[w];
                     let compute_scale = compute_scales[w];
@@ -817,10 +877,17 @@ impl<'d> Trainer<'d> {
                             image,
                             nonfinite: nonfinite_ref,
                             recorder,
+                            profiler,
                         });
                     });
                 }
             });
+
+            // Per-stage histograms leave the workers once per epoch — one
+            // merge per (stage, kind) per worker, off the hot path.
+            for (w, prof) in profilers.iter_mut().enumerate() {
+                prof.flush(worker_recorders[w].as_ref());
+            }
 
             // Strict audit: a tripped auditor aborted every worker at the
             // last iteration boundary; abandon the run without evaluating.
@@ -925,12 +992,25 @@ impl<'d> Trainer<'d> {
             let batches = loss_batches.load(Ordering::Relaxed).max(1);
             let train_loss =
                 loss_sum_micro.load(Ordering::Relaxed) as f64 / 1e6 / batches as f64;
+            let tot_prefetched: u64 = pipe_stats.iter().map(|p| p.prefetched).sum();
+            let tot_batches: u64 = pipe_stats.iter().map(|p| p.batches).sum();
+            let tot_stall: f64 = pipe_stats.iter().map(|p| p.stall_secs).sum();
+            let epoch_batches = tot_batches - seen_batches;
+            let stage_occupancy = if epoch_batches > 0 {
+                (tot_prefetched - seen_prefetched) as f64 / epoch_batches as f64
+            } else {
+                0.0
+            };
+            let stall_secs = tot_stall - seen_stall;
+            (seen_prefetched, seen_batches, seen_stall) = (tot_prefetched, tot_batches, tot_stall);
             curve.push(EvalPoint {
                 epoch,
                 sim_time,
                 auc: auc_v,
                 log_loss: ll,
                 train_loss,
+                stage_occupancy,
+                stall_secs,
             });
             registry.global().gauge_set(names::TRAIN_AUC, auc_v);
             registry.global().gauge_set(names::TRAIN_SIM_TIME, sim_time);
@@ -1028,6 +1108,13 @@ impl<'d> Trainer<'d> {
             names::PIPELINE_OVERLAP_RATIO,
             if overlappable > 0.0 { hidden / overlappable } else { 0.0 },
         );
+        // What the profilers cost this run: their own bookkeeping plus the
+        // calibrated price of every timestamp the stage loops took. The
+        // pipeline bench asserts this stays under 2% of hot-path wall time.
+        registry.global().gauge_set(
+            names::TELEMETRY_OVERHEAD_SECS,
+            profilers.iter().map(StageProfiler::overhead_secs).sum::<f64>(),
+        );
         Ok(TrainResult {
             strategy: self.strategy.name.clone(),
             final_auc,
@@ -1050,6 +1137,7 @@ impl<'d> Trainer<'d> {
             telemetry: registry.snapshot(),
             audit: auditor.as_ref().map(|a| a.summary()),
             nonfinite_batches: nonfinite.load(Ordering::Relaxed),
+            manifest,
             curve,
         })
     }

@@ -1,0 +1,259 @@
+//! The Figure 8-style run report: traffic and time breakdowns plus the
+//! pipeline timeline, rendered from one telemetry JSONL log.
+//!
+//! The default report prints only *deterministic* quantities — simulated
+//! seconds, exact traffic bytes, per-epoch occupancy — so the same seed and
+//! configuration reproduce the same report byte-for-byte (the
+//! `inspect-smoke` golden comparison relies on this). Wall-clock sections
+//! (per-stage wall histograms, stall seconds, profiler overhead) are added
+//! only when `wall` is requested.
+
+use crate::artifact::Artifact;
+use hetgmp_telemetry::{names, HetGmpError, Json};
+use std::fmt::Write as _;
+
+/// The traffic classes of the paper's Figure 8, in display order.
+const TRAFFIC_CLASSES: [&str; 3] = ["embed_data", "keys_clocks", "allreduce"];
+
+/// The simulated-time categories, in display order.
+const TIME_CATEGORIES: [&str; 6] = [
+    "compute_secs",
+    "embed_comm_secs",
+    "meta_comm_secs",
+    "allreduce_comm_secs",
+    "host_io_secs",
+    "fault_secs",
+];
+
+/// Renders the report for a loaded telemetry artifact. `wall` adds the
+/// nondeterministic wall-clock sections.
+pub fn render_report(artifact: &Artifact, wall: bool) -> Result<String, HetGmpError> {
+    let Artifact::Telemetry { records, manifest } = artifact else {
+        return Err(HetGmpError::data_unattributed(
+            0,
+            "`inspect report` reads a telemetry JSONL log (write one with --telemetry); \
+             got a single JSON document — use `inspect pipeline` for traces or \
+             `inspect diff` for bench files",
+        ));
+    };
+    let Some(fin) = artifact.final_record() else {
+        return Err(HetGmpError::data_unattributed(
+            0,
+            "telemetry log has no {\"event\":\"final\"} snapshot record",
+        ));
+    };
+    let mut out = String::new();
+
+    if let Some(m) = manifest {
+        let _ = writeln!(
+            out,
+            "manifest: seed={} digest={} workers={} depth={} gemm_threads={} \
+             git={} profile={}",
+            m.seed, m.config_digest, m.workers, m.pipeline_depth, m.gemm_threads, m.git_rev,
+            m.build_profile,
+        );
+    } else {
+        let _ = writeln!(out, "manifest: (none recorded)");
+    }
+    if let Some(system) = fin.get("system").and_then(Json::as_str) {
+        let _ = writeln!(out, "system: {system}");
+    }
+    if let Some(auc) = fin.get("auc").and_then(Json::as_f64) {
+        let _ = writeln!(out, "final auc: {auc:.4}");
+    }
+
+    let counter = |name: &str| -> f64 {
+        fin.get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+    };
+    let gauge = |name: &str| -> Option<f64> {
+        fin.get("gauges").and_then(|g| g.get(name)).and_then(Json::as_f64)
+    };
+
+    // ---- Figure 8: traffic by class -------------------------------------
+    let bytes: Vec<f64> = TRAFFIC_CLASSES
+        .iter()
+        .map(|c| counter(&format!("{}{c}", names::TRAFFIC_BYTES_PREFIX)))
+        .collect();
+    let total_bytes: f64 = bytes.iter().sum();
+    let _ = writeln!(out, "\ntraffic breakdown (Fig. 8)");
+    let _ = writeln!(out, "  {:<12} {:>14} {:>8} {:>10}", "class", "bytes", "share", "messages");
+    for (class, b) in TRAFFIC_CLASSES.iter().zip(&bytes) {
+        let msgs = counter(&format!("{}{class}", names::TRAFFIC_MESSAGES_PREFIX));
+        let share = if total_bytes > 0.0 { 100.0 * b / total_bytes } else { 0.0 };
+        let _ = writeln!(out, "  {class:<12} {b:>14.0} {share:>7.1}% {msgs:>10.0}");
+    }
+
+    // ---- Simulated time by category -------------------------------------
+    // The time.* charges are recorded as histograms (per-epoch samples);
+    // their sums are the totals. Gauges/counters are accepted as fallbacks
+    // so hand-rolled logs still report.
+    let hist_sum = |name: &str| -> Option<f64> {
+        fin.get("histograms")?.get(name)?.get("sum").and_then(Json::as_f64)
+    };
+    let secs: Vec<f64> = TIME_CATEGORIES
+        .iter()
+        .map(|c| {
+            let name = format!("{}{c}", names::TIME_PREFIX);
+            hist_sum(&name)
+                .or_else(|| gauge(&name))
+                .unwrap_or_else(|| counter(&name))
+        })
+        .collect();
+    let total_secs: f64 = secs.iter().sum();
+    let _ = writeln!(out, "\nsimulated time breakdown");
+    let _ = writeln!(out, "  {:<20} {:>12} {:>8}", "category", "sim_secs", "share");
+    for (cat, s) in TIME_CATEGORIES.iter().zip(&secs) {
+        if *s == 0.0 {
+            continue;
+        }
+        let share = if total_secs > 0.0 { 100.0 * s / total_secs } else { 0.0 };
+        let _ = writeln!(out, "  {cat:<20} {s:>12.4} {share:>7.1}%");
+    }
+
+    // ---- Per-stage simulated attribution ---------------------------------
+    let stage_hist = |stage: &str, kind: &str| -> Option<(f64, f64, f64)> {
+        let h = fin
+            .get("histograms")?
+            .get(&format!("{}{stage}.{kind}_secs", names::PIPELINE_STAGE_PREFIX))?;
+        Some((
+            h.get("count")?.as_f64()?,
+            h.get("sum")?.as_f64()?,
+            h.get("p95").and_then(Json::as_f64).unwrap_or(0.0),
+        ))
+    };
+    if names::PIPELINE_STAGES.iter().any(|s| stage_hist(s, "sim").is_some()) {
+        let _ = writeln!(out, "\npipeline stages (simulated, per batch)");
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>10} {:>12} {:>12}",
+            "stage", "batches", "total_secs", "p95_secs"
+        );
+        for stage in names::PIPELINE_STAGES {
+            if let Some((count, sum, p95)) = stage_hist(stage, "sim") {
+                let _ = writeln!(
+                    out,
+                    "  {stage:<12} {count:>10.0} {sum:>12.4} {p95:>12.6}"
+                );
+            }
+        }
+    }
+
+    // ---- Pipeline shape and epoch timeline -------------------------------
+    if let (Some(depth), Some(threads)) =
+        (gauge(names::PIPELINE_DEPTH), gauge(names::PIPELINE_GEMM_THREADS))
+    {
+        let _ = writeln!(
+            out,
+            "\npipeline: depth={depth:.0} gemm_threads={threads:.0} overlap_ratio={:.3} \
+             occupancy={:.3}",
+            gauge(names::PIPELINE_OVERLAP_RATIO).unwrap_or(0.0),
+            gauge(names::PIPELINE_STAGE_OCCUPANCY).unwrap_or(0.0),
+        );
+    }
+    let epochs: Vec<&Json> = records
+        .iter()
+        .filter(|r| r.get("event").and_then(Json::as_str) == Some("epoch"))
+        .collect();
+    if !epochs.is_empty() {
+        let _ = writeln!(out, "\nepoch timeline");
+        let _ = writeln!(
+            out,
+            "  {:<6} {:>12} {:>8} {:>10}",
+            "epoch", "sim_secs", "auc", "occupancy"
+        );
+        for e in &epochs {
+            let _ = writeln!(
+                out,
+                "  {:<6} {:>12.4} {:>8.4} {:>10.3}",
+                e.get("epoch").and_then(Json::as_u64).unwrap_or(0),
+                e.get("sim_time_secs").and_then(Json::as_f64).unwrap_or(0.0),
+                e.get("auc").and_then(Json::as_f64).unwrap_or(0.0),
+                e.get("stage_occupancy").and_then(Json::as_f64).unwrap_or(0.0),
+            );
+        }
+    }
+
+    // ---- Wall-clock sections (nondeterministic; opt-in) ------------------
+    if wall {
+        let _ = writeln!(out, "\nwall-clock (nondeterministic)");
+        if let Some(v) = gauge(names::HOTPATH_SAMPLES_PER_SEC) {
+            let _ = writeln!(out, "  hotpath.samples_per_sec    {v:.0}");
+        }
+        if let Some(v) = gauge(names::TELEMETRY_OVERHEAD_SECS) {
+            let _ = writeln!(out, "  telemetry.overhead_secs    {v:.6}");
+        }
+        if let Some(v) = gauge(names::PIPELINE_STALL_SECS) {
+            let _ = writeln!(out, "  pipeline.stall_secs        {v:.6}");
+        }
+        let any_wall = names::PIPELINE_STAGES.iter().any(|s| stage_hist(s, "wall").is_some());
+        if any_wall {
+            let _ = writeln!(out, "  per-stage wall histograms (per batch):");
+            for stage in names::PIPELINE_STAGES {
+                if let Some((count, sum, p95)) = stage_hist(stage, "wall") {
+                    let _ = writeln!(
+                        out,
+                        "    {stage:<12} batches={count:<8.0} total={sum:<10.4}s p95={p95:.6}s"
+                    );
+                }
+            }
+        }
+    }
+
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetgmp_telemetry::RunManifest;
+
+    fn sample_log() -> String {
+        let m = RunManifest::new(7, RunManifest::digest_of("cfg"), 4, 2, 1);
+        format!(
+            "{}\n{}\n{}\n",
+            m.to_record().render(),
+            r#"{"event":"epoch","epoch":1,"sim_time_secs":2.5,"auc":0.71,"stage_occupancy":0.96,"stall_secs":0.001}"#,
+            concat!(
+                r#"{"event":"final","system":"HET-GMP(s=100)","auc":0.72,"#,
+                r#""counters":{"traffic.bytes.embed_data":600,"traffic.bytes.keys_clocks":100,"#,
+                r#""traffic.bytes.allreduce":300,"traffic.messages.embed_data":6},"#,
+                r#""gauges":{"time.compute_secs":1.0,"time.embed_comm_secs":0.5,"#,
+                r#""pipeline.depth":2.0,"pipeline.gemm_threads":1.0,"#,
+                r#""pipeline.overlap_ratio":0.9,"pipeline.stage.occupancy":0.96,"#,
+                r#""telemetry.overhead_secs":0.002},"#,
+                r#""histograms":{"pipeline.stage.fetch.sim_secs":"#,
+                r#"{"count":10,"sum":0.5,"min":0.04,"max":0.06,"mean":0.05,"#,
+                r#""p50":0.05,"p95":0.06,"p99":0.06}}}"#,
+            ),
+        )
+    }
+
+    #[test]
+    fn report_contains_fig8_and_timeline_sections() {
+        let a = Artifact::parse(&sample_log()).unwrap();
+        let r = render_report(&a, false).unwrap();
+        assert!(r.contains("traffic breakdown (Fig. 8)"), "{r}");
+        assert!(r.contains("embed_data"), "{r}");
+        assert!(r.contains("60.0%"), "embed_data share: {r}");
+        assert!(r.contains("simulated time breakdown"), "{r}");
+        assert!(r.contains("epoch timeline"), "{r}");
+        assert!(r.contains("manifest: seed=7"), "{r}");
+        // Deterministic by default: no wall-clock section.
+        assert!(!r.contains("wall-clock"), "{r}");
+
+        let with_wall = render_report(&a, true).unwrap();
+        assert!(with_wall.contains("telemetry.overhead_secs"), "{with_wall}");
+    }
+
+    #[test]
+    fn report_rejects_documents_and_finalless_logs() {
+        let doc = Artifact::parse("{\"samples_per_sec\": 10}").unwrap();
+        assert!(render_report(&doc, false).is_err());
+        let log = Artifact::parse("{\"event\":\"epoch\",\"epoch\":1}\n{\"event\":\"epoch\",\"epoch\":2}\n")
+            .unwrap();
+        assert!(render_report(&log, false).is_err());
+    }
+}

@@ -1,0 +1,19 @@
+//! Stamps the git revision into the build so [`RunManifest`]s can record
+//! which tree produced an artifact. Falls back to "unknown" outside a git
+//! checkout (e.g. a source tarball) — the build must never fail on this.
+
+use std::process::Command;
+
+fn main() {
+    let rev = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=HETGMP_GIT_REV={rev}");
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+}

@@ -32,6 +32,7 @@ pub mod audit;
 pub mod error;
 pub mod export;
 pub mod json;
+pub mod manifest;
 pub mod memory;
 pub mod recorder;
 pub mod registry;
@@ -42,6 +43,7 @@ pub use audit::{AuditMode, AuditSummary, ProtocolAuditor};
 pub use error::HetGmpError;
 pub use export::JsonlWriter;
 pub use json::Json;
+pub use manifest::RunManifest;
 pub use memory::MemoryRecorder;
 pub use recorder::{NoopRecorder, Recorder, SimTimeCell, SpanGuard};
 pub use registry::MetricsRegistry;
@@ -229,6 +231,23 @@ pub mod names {
     /// Trace track: one span per prefetched batch on the companion fetch
     /// thread (wall-clock duration of the background `read_batch`).
     pub const TRACE_PIPELINE_PREFETCH: &str = "trace.pipeline.prefetch";
+
+    /// Per-stage attribution histograms, suffixed
+    /// `<stage>.wall_secs` / `<stage>.sim_secs` where `<stage>` is one of
+    /// [`PIPELINE_STAGES`]: wall-clock and simulated seconds one batch
+    /// spent in that pipeline stage.
+    pub const PIPELINE_STAGE_PREFIX: &str = "pipeline.stage.";
+    /// The stage labels of the batch pipeline, in execution order:
+    /// embedding fetch, dense compute, gradient write-back, dense sync.
+    pub const PIPELINE_STAGES: [&str; 4] = ["fetch", "compute", "write_back", "sync"];
+    /// Gauge (seconds): wall time the telemetry/profiling machinery itself
+    /// consumed on the hot path (stage timestamps + histogram folds),
+    /// summed over workers. The bench asserts this stays under 2% of the
+    /// hot-path wall time.
+    pub const TELEMETRY_OVERHEAD_SECS: &str = "telemetry.overhead_secs";
+    /// Trace spans: per-stage sub-spans of a batch on the worker timeline
+    /// (sync trace level only), suffixed by the [`PIPELINE_STAGES`] label.
+    pub const TRACE_STAGE_PREFIX: &str = "trace.stage.";
 }
 
 #[cfg(test)]

@@ -87,6 +87,19 @@ impl Recorder for MemoryRecorder {
             }
         }
     }
+
+    fn histogram_merge(&self, name: &str, summary: &HistogramSummary) {
+        if summary.count == 0 {
+            return;
+        }
+        let mut histograms = self.histograms.lock();
+        match histograms.get_mut(name) {
+            Some(h) => h.merge(summary),
+            None => {
+                histograms.insert(name.to_string(), *summary);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -138,6 +151,23 @@ mod tests {
             }
         });
         assert_eq!(r.counter("hits"), 8000);
+    }
+
+    #[test]
+    fn histogram_merge_matches_individual_observations() {
+        let merged = MemoryRecorder::new();
+        let observed = MemoryRecorder::new();
+        let mut local = HistogramSummary::empty();
+        for v in [0.5, 1.5, 9.0] {
+            local.observe(v);
+            observed.histogram_observe("h", v);
+        }
+        merged.histogram_merge("h", &local);
+        assert_eq!(merged.snapshot().histogram("h"), observed.snapshot().histogram("h"));
+
+        // Merging an empty summary must not materialise an empty histogram.
+        merged.histogram_merge("untouched", &HistogramSummary::empty());
+        assert!(!merged.snapshot().histograms.contains_key("untouched"));
     }
 
     #[test]

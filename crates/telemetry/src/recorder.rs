@@ -6,6 +6,7 @@
 //! telemetry is off; [`crate::MemoryRecorder`] aggregates in memory for
 //! snapshots and export.
 
+use crate::snapshot::HistogramSummary;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -49,6 +50,15 @@ pub trait Recorder: Send + Sync {
 
     /// Records one observation of `value` into the named histogram.
     fn histogram_observe(&self, name: &str, value: f64);
+
+    /// Folds a whole pre-aggregated histogram into the named histogram, as
+    /// if every observation behind `summary` had been recorded here. Lets
+    /// hot loops accumulate into a local [`HistogramSummary`] and pay the
+    /// recorder exactly once per epoch. Recorders that do not aggregate
+    /// (the no-op) ignore it.
+    fn histogram_merge(&self, name: &str, summary: &HistogramSummary) {
+        let _ = (name, summary);
+    }
 
     /// Starts a wall-clock span; its duration in seconds is recorded into
     /// the histogram `name` when the returned guard drops.
@@ -149,6 +159,9 @@ impl<R: Recorder + ?Sized> Recorder for Arc<R> {
     fn histogram_observe(&self, name: &str, value: f64) {
         (**self).histogram_observe(name, value);
     }
+    fn histogram_merge(&self, name: &str, summary: &HistogramSummary) {
+        (**self).histogram_merge(name, summary);
+    }
 }
 
 impl<R: Recorder + ?Sized> Recorder for &R {
@@ -160,6 +173,9 @@ impl<R: Recorder + ?Sized> Recorder for &R {
     }
     fn histogram_observe(&self, name: &str, value: f64) {
         (**self).histogram_observe(name, value);
+    }
+    fn histogram_merge(&self, name: &str, summary: &HistogramSummary) {
+        (**self).histogram_merge(name, summary);
     }
 }
 

@@ -98,21 +98,35 @@ impl HistogramSummary {
         }
     }
 
-    /// Estimated `q`-quantile (`0.0..=1.0`) from the log-spaced bins,
-    /// clamped to the exact observed `[min, max]`. 0.0 when empty.
-    pub fn quantile(&self, q: f64) -> f64 {
+    /// Estimated `q`-quantile (`0.0..=1.0`), or `None` when no value has
+    /// been observed. Single-sample and constant streams report the exact
+    /// observed value; everything else is a log-bin estimate clamped to
+    /// the exact `[min, max]`.
+    pub fn try_quantile(&self, q: f64) -> Option<f64> {
         if self.count == 0 {
-            return 0.0;
+            return None;
+        }
+        // Degenerate distributions have an exact answer — never report a
+        // bin midpoint for them.
+        if self.count == 1 || self.min == self.max {
+            return Some(self.min);
         }
         let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut cumulative = 0u64;
         for (i, n) in self.bins.iter().enumerate() {
             cumulative += n;
             if cumulative >= target {
-                return self.bin_value(i).clamp(self.min, self.max);
+                return Some(self.bin_value(i).clamp(self.min, self.max));
             }
         }
-        self.max
+        Some(self.max)
+    }
+
+    /// Estimated `q`-quantile as a plain `f64`; 0.0 when empty. Prefer
+    /// [`Self::try_quantile`] where "no data" must stay distinguishable
+    /// from "observed zero" (the JSON exporter renders empties as `null`).
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.try_quantile(q).unwrap_or(0.0)
     }
 
     /// Estimated median.
@@ -217,17 +231,21 @@ impl TelemetrySnapshot {
             self.histograms
                 .iter()
                 .map(|(k, h)| {
+                    // An empty histogram has no min/mean/percentiles; null
+                    // keeps "no data" distinguishable from "observed 0.0".
+                    let stat = |v: Option<f64>| v.map_or(Json::Null, Json::F64);
+                    let nonempty = h.count > 0;
                     (
                         k.clone(),
                         Json::obj([
                             ("count", Json::U64(h.count)),
                             ("sum", Json::F64(h.sum)),
-                            ("min", Json::F64(if h.count == 0 { 0.0 } else { h.min })),
-                            ("max", Json::F64(if h.count == 0 { 0.0 } else { h.max })),
-                            ("mean", Json::F64(h.mean())),
-                            ("p50", Json::F64(h.p50())),
-                            ("p95", Json::F64(h.p95())),
-                            ("p99", Json::F64(h.p99())),
+                            ("min", stat(nonempty.then_some(h.min))),
+                            ("max", stat(nonempty.then_some(h.max))),
+                            ("mean", stat(nonempty.then(|| h.mean()))),
+                            ("p50", stat(h.try_quantile(0.50))),
+                            ("p95", stat(h.try_quantile(0.95))),
+                            ("p99", stat(h.try_quantile(0.99))),
                         ]),
                     )
                 })
@@ -323,28 +341,47 @@ mod tests {
 
     #[test]
     fn quantiles_are_bin_accurate() {
-        let mut h = HistogramSummary::empty();
-        for i in 1..=1000 {
-            h.observe(i as f64 * 1e-3); // 0.001 .. 1.000
-        }
-        // One log-spaced bin is a factor of 10^(1/4) ≈ 1.78 wide; accept
-        // up to one bin of relative error on each side.
-        let tol = 10f64.powf(0.25);
-        for (q, exact) in [(0.50, 0.5), (0.95, 0.95), (0.99, 0.99)] {
-            let est = h.quantile(q);
-            assert!(
-                est >= exact / tol && est <= exact * tol,
-                "q={q}: estimate {est} too far from {exact}"
-            );
+        // One log-spaced bin is a factor of 10^(1/4) ≈ 1.78 wide; the
+        // estimate must land within one bin width of the exact quantile on
+        // each side, across distributions spanning several decades.
+        let tol = 10f64.powf(1.0 / 4.0);
+        let uniform: Vec<f64> = (1..=1000).map(|i| i as f64 * 1e-3).collect();
+        let geometric: Vec<f64> = (0..600).map(|i| 1e-6 * 1.05f64.powi(i)).collect();
+        for values in [uniform, geometric] {
+            let mut sorted = values.clone();
+            sorted.sort_by(f64::total_cmp);
+            let mut h = HistogramSummary::empty();
+            for v in &values {
+                h.observe(*v);
+            }
+            for q in [0.50, 0.95, 0.99] {
+                let exact = sorted[((q * sorted.len() as f64).ceil() as usize - 1).min(sorted.len() - 1)];
+                let est = h.quantile(q);
+                assert!(
+                    est >= exact / tol && est <= exact * tol,
+                    "q={q}: estimate {est} off by more than one bin from {exact}"
+                );
+            }
         }
     }
 
     #[test]
     fn quantiles_clamp_to_observed_range_and_handle_edges() {
+        // A single sample is exact, not a bin midpoint — even at a value
+        // far from any bin center.
         let mut single = HistogramSummary::empty();
         single.observe(3.0);
         assert_eq!(single.p50(), 3.0);
         assert_eq!(single.p99(), 3.0);
+        assert_eq!(single.try_quantile(0.5), Some(3.0));
+
+        // Constant streams are exact too (min == max short-circuit).
+        let mut constant = HistogramSummary::empty();
+        for _ in 0..10 {
+            constant.observe(7.3);
+        }
+        assert_eq!(constant.p50(), 7.3);
+        assert_eq!(constant.p95(), 7.3);
 
         let mut zeros = HistogramSummary::empty();
         zeros.observe(0.0);
@@ -352,6 +389,8 @@ mod tests {
         assert_eq!(zeros.p50(), 0.0);
         assert_eq!(zeros.p99(), 0.0);
 
+        // Empty: no data, not "observed zero".
+        assert_eq!(HistogramSummary::empty().try_quantile(0.95), None);
         assert_eq!(HistogramSummary::empty().p95(), 0.0);
 
         let mut merged = HistogramSummary::empty();
@@ -365,6 +404,19 @@ mod tests {
         merged.merge(&tail);
         assert!(merged.p50() < 2.0, "median near 1: {}", merged.p50());
         assert!(merged.p99() > 50.0, "p99 near the tail: {}", merged.p99());
+    }
+
+    #[test]
+    fn empty_histogram_exports_null_statistics() {
+        let mut s = TelemetrySnapshot::default();
+        s.histograms.insert("empty.hist".into(), HistogramSummary::empty());
+        let rendered = s.to_json().render();
+        assert!(
+            rendered.contains(
+                r#""empty.hist":{"count":0,"sum":0.0,"min":null,"max":null,"mean":null,"p50":null,"p95":null,"p99":null}"#
+            ),
+            "{rendered}"
+        );
     }
 
     #[test]

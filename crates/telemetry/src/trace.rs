@@ -18,6 +18,7 @@
 use crate::error::HetGmpError;
 use crate::export::JsonlWriter;
 use crate::json::Json;
+use crate::manifest::RunManifest;
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -124,6 +125,7 @@ pub struct TraceCollector {
     worker_now_us: Vec<AtomicU64>,
     links: Mutex<BTreeMap<String, Ring>>,
     driver: Mutex<Ring>,
+    manifest: Mutex<Option<RunManifest>>,
 }
 
 impl TraceCollector {
@@ -146,7 +148,20 @@ impl TraceCollector {
             worker_now_us: (0..num_workers).map(|_| AtomicU64::new(0)).collect(),
             links: Mutex::new(BTreeMap::new()),
             driver: Mutex::new(Ring::new(capacity)),
+            manifest: Mutex::new(None),
         }
+    }
+
+    /// Attaches the run manifest stamped into the exported trace's
+    /// `otherData.manifest`. The trainer calls this at run start; the last
+    /// attached manifest wins.
+    pub fn attach_manifest(&self, manifest: RunManifest) {
+        *self.manifest.lock() = Some(manifest);
+    }
+
+    /// The attached run manifest, if any.
+    pub fn manifest(&self) -> Option<RunManifest> {
+        self.manifest.lock().clone()
     }
 
     /// The collector's detail level.
@@ -318,6 +333,12 @@ impl TraceCollector {
     /// thread per link class (sorted by label), `pid 2` the driver.
     /// `ts`/`dur` are simulated microseconds (wall-clock for the driver);
     /// each event also carries `wall_us` in its args.
+    ///
+    /// With zero recorded events the output is still a valid, loadable
+    /// trace — metadata-only: the workers `process_name`, one
+    /// `thread_name` per configured worker (all `ph:"M"`), plus
+    /// `displayTimeUnit` and `otherData`. Link and driver tracks appear
+    /// only once they hold events.
     pub fn to_chrome_json(&self) -> Json {
         const PID_WORKERS: u64 = 0;
         const PID_LINKS: u64 = 1;
@@ -395,17 +416,19 @@ impl TraceCollector {
         drop(driver);
         drop(links);
 
+        let mut other_data = vec![
+            ("tool".to_string(), Json::from("het-gmp")),
+            ("trace_level".to_string(), Json::from(self.level.label())),
+            ("dropped_events".to_string(), Json::U64(self.dropped())),
+        ];
+        if let Some(m) = self.manifest.lock().as_ref() {
+            other_data.push(("manifest".to_string(), m.to_json()));
+        }
+
         Json::obj([
             ("traceEvents", Json::Arr(events)),
             ("displayTimeUnit", Json::from("ms")),
-            (
-                "otherData",
-                Json::obj([
-                    ("tool", Json::from("het-gmp")),
-                    ("trace_level", Json::from(self.level.label())),
-                    ("dropped_events", Json::U64(self.dropped())),
-                ]),
-            ),
+            ("otherData", Json::Obj(other_data)),
         ])
     }
 
@@ -498,6 +521,38 @@ mod tests {
         ] {
             assert!(doc.contains(needle), "missing {needle} in:\n{doc}");
         }
+    }
+
+    #[test]
+    fn empty_trace_is_valid_and_metadata_only() {
+        let c = TraceCollector::new(2, TraceLevel::Batch);
+        let doc = Json::parse(&c.to_chrome_json().render()).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // Pinned shape: workers process_name + one thread_name per worker,
+        // nothing else — and every entry is metadata.
+        assert_eq!(events.len(), 3, "{doc:?}");
+        for e in events {
+            assert_eq!(e.get("ph").unwrap().as_str(), Some("M"));
+        }
+        assert_eq!(doc.get("displayTimeUnit").unwrap().as_str(), Some("ms"));
+        let other = doc.get("otherData").unwrap();
+        assert_eq!(other.get("tool").unwrap().as_str(), Some("het-gmp"));
+        assert_eq!(other.get("dropped_events").unwrap().as_u64(), Some(0));
+        // No manifest attached -> no manifest key.
+        assert!(other.get("manifest").is_none());
+    }
+
+    #[test]
+    fn attached_manifest_lands_in_other_data() {
+        let c = TraceCollector::new(1, TraceLevel::Batch);
+        let m = RunManifest::new(7, RunManifest::digest_of("cfg"), 4, 2, 1);
+        c.attach_manifest(m.clone());
+        assert_eq!(c.manifest(), Some(m.clone()));
+        let doc = Json::parse(&c.to_chrome_json().render()).unwrap();
+        let back =
+            RunManifest::from_json(doc.get("otherData").unwrap().get("manifest").unwrap())
+                .unwrap();
+        assert_eq!(back, m);
     }
 
     #[test]

@@ -51,7 +51,7 @@ case $FILE in
 
     for depth in 1 2 4; do
         for key in samples_per_sec samples_per_cpu_sec stall_pct \
-            overlap_ratio final_auc; do
+            overlap_ratio overhead_pct final_auc; do
             require "\"depth\":$depth,[^]]*\"$key\":[0-9-]" \
                 "\"depths[depth=$depth].$key\""
         done
@@ -63,6 +63,16 @@ case $FILE in
     done
 
     [ "$fail" -eq 0 ] || exit 1
+
+    # Profiler-overhead budget: the stage profiler's self-measured cost must
+    # stay under 2% of wall at every depth (the bench asserts this too; the
+    # schema check catches a stale committed file).
+    for pct in $(grep -oE '"overhead_pct":[0-9.eE+-]+' "$FILE" | sed 's/.*://'); do
+        if ! awk -v p="$pct" 'BEGIN { exit !(p < 2.0) }'; then
+            echo "check_bench_schema: overhead_pct $pct >= 2% budget in $FILE" >&2
+            exit 1
+        fi
+    done
 
     # Sanity: every depth trained at a positive rate.
     if grep -qE '"samples_per_sec":0[,}]' "$FILE"; then
@@ -163,14 +173,26 @@ case $FILE in
     ;;
 esac
 
+# ---- run-manifest stamp --------------------------------------------------
+# Every bench artifact carries the manifest identifying the run that
+# produced it (seed, config digest, build); `inspect diff` keys its
+# mismatch warning off these fields.
+require '"manifest":\{' 'top-level "manifest"'
+for key in schema seed config_digest workers pipeline_depth gemm_threads \
+    git_rev build_profile; do
+    require "\"manifest\":\{[^}]*\"$key\":" "\"manifest.$key\""
+done
+[ "$fail" -eq 0 ] || exit 1
+
 # ---- doc-drift check -----------------------------------------------------
 # Every "NN.Nk samples/s" figure quoted in the tracking docs must match a
 # samples_per_sec actually recorded in a committed BENCH_*.json (to 0.1k,
 # i.e. the quoting precision). This is what catches a doc still citing a
-# baseline from an older machine or run.
+# baseline from an older machine or run. TELEMETRY.md / README.md are in
+# the list because their copy-pasteable `inspect` examples quote figures.
 actuals=$(cat BENCH_hotpath.json BENCH_dense.json BENCH_pipeline.json 2>/dev/null |
     grep -oE '"(dense_)?samples_per_sec":[0-9.]+' | sed 's/.*://')
-for doc in ROADMAP.md CHANGES.md; do
+for doc in ROADMAP.md CHANGES.md TELEMETRY.md README.md; do
     [ -f "$doc" ] || continue
     for quote in $(grep -ohE '[0-9]+(\.[0-9]+)?k samples/s' "$doc" |
         sed 's/k samples.*//' | sort -u); do

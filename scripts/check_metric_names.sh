@@ -1,10 +1,14 @@
 #!/usr/bin/env sh
-# Lints metric-name hygiene:
+# Lints metric-name hygiene, in both directions:
 #
 #   1. every dotted metric/trace name used as a string literal in Rust code
 #      must be (or extend a prefix) defined in `hetgmp_telemetry::names`;
 #   2. every constant in `hetgmp_telemetry::names` must be documented in
-#      TELEMETRY.md.
+#      TELEMETRY.md;
+#   3. every name the runtime *composes* at format! time (the per-stage
+#      profiler histograms, the trace stage spans) and every run-manifest
+#      field must be documented in TELEMETRY.md too — grep can't see these
+#      as literals, so they are enumerated here.
 #
 # Run from the repo root (make verify does). POSIX sh + grep/sed/awk only.
 set -eu
@@ -21,7 +25,7 @@ consts=$(awk '/^pub mod names \{/,/^\}/' "$NAMES_RS" |
 
 # Every dotted string literal in the workspace that looks like a metric
 # name (leading segment is one of our taxonomy roots).
-used=$(grep -rhoE '"(traffic|time|embedding|partition|train|clock|protocol|trace|fault|checkpoint|hotpath|dense|pipeline)\.[A-Za-z0-9_.]*"' \
+used=$(grep -rhoE '"(traffic|time|embedding|partition|train|clock|protocol|trace|fault|checkpoint|hotpath|dense|pipeline|telemetry)\.[A-Za-z0-9_.]*"' \
         --include='*.rs' crates src tests examples 2>/dev/null |
     sed 's/"//g' | sort -u)
 
@@ -56,6 +60,27 @@ for c in $consts; do
     probe=${c%.}
     if ! grep -qF "$probe" "$DOC"; then
         echo "check_metric_names: \"$c\" is not documented in $DOC" >&2
+        fail=1
+    fi
+done
+
+# Names emitted via format! composition (invisible to the literal scan) and
+# the run-manifest fields every artifact is stamped with. Each must appear
+# in TELEMETRY.md verbatim.
+emitted="
+pipeline.stage.<stage>.wall_secs
+pipeline.stage.<stage>.sim_secs
+telemetry.overhead_secs
+trace.stage.<stage>
+config_digest
+pipeline_depth
+gemm_threads
+git_rev
+build_profile
+"
+for name in $emitted; do
+    if ! grep -qF "$name" "$DOC"; then
+        echo "check_metric_names: emitted name \"$name\" is not documented in $DOC" >&2
         fail=1
     fi
 done

@@ -19,6 +19,7 @@ pub use hetgmp_comms as comms;
 pub use hetgmp_core as core;
 pub use hetgmp_data as data;
 pub use hetgmp_embedding as embedding;
+pub use hetgmp_inspect as inspect;
 pub use hetgmp_partition as partition;
 pub use hetgmp_telemetry as telemetry;
 pub use hetgmp_tensor as tensor;

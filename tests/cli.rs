@@ -99,13 +99,15 @@ fn train_telemetry_flag_writes_parseable_jsonl() {
 
     let text = std::fs::read_to_string(&tele).unwrap();
     let lines: Vec<&str> = text.lines().collect();
-    // One record per epoch evaluation plus the final snapshot.
-    assert!(lines.len() >= 2, "{text}");
+    // The run manifest, one record per epoch evaluation, the final snapshot.
+    assert!(lines.len() >= 3, "{text}");
     for line in &lines {
         assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
         assert_eq!(line.matches('{').count(), line.matches('}').count(), "{line}");
     }
-    assert!(lines[0].contains(r#""event":"epoch""#), "{}", lines[0]);
+    assert!(lines[0].contains(r#""event":"manifest""#), "{}", lines[0]);
+    assert!(lines[0].contains(r#""config_digest":"#), "{}", lines[0]);
+    assert!(lines[1].contains(r#""event":"epoch""#), "{}", lines[1]);
     let last = lines.last().unwrap();
     assert!(last.contains(r#""event":"final""#), "{last}");
     assert!(last.contains(r#""traffic.bytes.embed_data":"#), "{last}");

@@ -240,3 +240,33 @@ fn experiment_table2_jsonl_event_shapes() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// A collector that recorded no spans still exports a *valid* Chrome
+/// trace: the traceEvents array holds only process/thread metadata (no
+/// "X" events), otherData carries the attached manifest, and the inspect
+/// gantt renderer recognises the metadata-only shape rather than erroring.
+#[test]
+fn empty_trace_export_is_valid_metadata_only_chrome_json() {
+    use het_gmp::inspect::{render_gantt, Artifact};
+    use het_gmp::telemetry::{RunManifest, TraceCollector, TraceLevel};
+
+    let dir = scratch_dir("empty-trace");
+    let path = dir.join("empty.trace.json");
+
+    let collector = TraceCollector::new(2, TraceLevel::Batch);
+    collector.attach_manifest(RunManifest::new(5, RunManifest::digest_of("x"), 2, 1, 1));
+    collector.write_chrome_trace(path.to_str().unwrap()).unwrap();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.contains(r#""traceEvents""#), "{text}");
+    assert_eq!(text.matches('{').count(), text.matches('}').count(), "{text}");
+    assert!(text.contains(r#""ph":"M""#), "metadata events missing: {text}");
+    assert!(!text.contains(r#""ph":"X""#), "span events in an empty trace: {text}");
+
+    let artifact = Artifact::load(&path).unwrap();
+    assert_eq!(artifact.manifest().map(|m| m.seed), Some(5));
+    let gantt = render_gantt(&artifact).unwrap();
+    assert!(gantt.contains("metadata-only"), "{gantt}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
