@@ -5,7 +5,8 @@ CARGO ?= cargo
 
 .PHONY: build test clippy lint-metrics fault-matrix inspect-smoke verify \
 	bench bench-baseline bench-smoke bench-dense bench-dense-smoke \
-	bench-pipeline bench-pipeline-smoke bench-schema clean
+	bench-pipeline bench-pipeline-smoke bench-comms bench-comms-smoke \
+	bench-schema clean
 
 build:
 	$(CARGO) build --release --offline --workspace
@@ -74,18 +75,32 @@ bench-pipeline: build
 bench-pipeline-smoke: build
 	$(CARGO) run --release --offline -p hetgmp-bench --bin bench_pipeline -- --smoke
 
-# Schema gate for all three perf baselines: runs the smoke benches (which
+# The compressed-communication baseline: one fixed-seed workload swept over
+# the sync wire formats (f32/f16/bf16/int8), writing BENCH_comms.json
+# (bytes charged per format, quant counters, final AUC; asserts int8 moves
+# ≥ 3.5x fewer embedding bytes with AUC within 0.5% of f32).
+bench-comms: build
+	$(CARGO) run --release --offline -p hetgmp-bench --bin bench_comms
+	sh scripts/check_bench_schema.sh BENCH_comms.json
+
+# Shrunk format sweep: same schema, written to BENCH_comms.smoke.json.
+bench-comms-smoke: build
+	$(CARGO) run --release --offline -p hetgmp-bench --bin bench_comms -- --smoke
+
+# Schema gate for all four committed baselines: runs the smoke benches (which
 # write *.smoke.json siblings, never touching the committed full-run files)
 # and validates both the fresh smoke output and the committed baselines —
 # including the doc-drift check that every "NN.Nk samples/s" figure quoted
 # in ROADMAP.md/CHANGES.md still matches a committed BENCH_*.json.
-bench-schema: bench-smoke bench-dense-smoke bench-pipeline-smoke
+bench-schema: bench-smoke bench-dense-smoke bench-pipeline-smoke bench-comms-smoke
 	sh scripts/check_bench_schema.sh BENCH_hotpath.smoke.json
 	sh scripts/check_bench_schema.sh BENCH_dense.smoke.json
 	sh scripts/check_bench_schema.sh BENCH_pipeline.smoke.json
+	sh scripts/check_bench_schema.sh BENCH_comms.smoke.json
 	sh scripts/check_bench_schema.sh
 	sh scripts/check_bench_schema.sh BENCH_dense.json
 	sh scripts/check_bench_schema.sh BENCH_pipeline.json
+	sh scripts/check_bench_schema.sh BENCH_comms.json
 
 clean:
 	$(CARGO) clean

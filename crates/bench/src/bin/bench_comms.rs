@@ -1,0 +1,170 @@
+//! Compressed-communication baseline: a Table-2-style AUC-vs-bytes sweep
+//! over every [`SyncFormat`] on one fixed-seed training workload.
+//!
+//! Each format trains the identical run (same data, seed, staleness,
+//! topology) with only the wire encoding changed, and reports the bytes
+//! the traffic ledger charged (`traffic.bytes.embed_data`, the class
+//! Figure 8 shows dominating), the `comms.quant.*` counters, and final
+//! AUC. Emits `BENCH_comms.json` (schema checked by
+//! `scripts/check_bench_schema.sh BENCH_comms.json`):
+//!
+//! ```text
+//! { "config": {...}, "manifest": {...},
+//!   "formats": [ { "format", "embed_data_bytes", "allreduce_bytes",
+//!                  "quant_rows", "quant_bytes_saved", "bytes_reduction",
+//!                  "final_auc", "auc_delta_pct", "sim_time_secs" }, ... ],
+//!   "int8_reduction": f32.embed_data_bytes / int8.embed_data_bytes }
+//! ```
+//!
+//! Two contracts are asserted as part of the benchmark (dim 32, where
+//! int8's per-row wire size is `32 + 4` against f32's `128`):
+//!
+//! * **bytes** — int8 moves at least 3.5x fewer embedding-payload bytes
+//!   than f32;
+//! * **accuracy** — int8's (the lossiest format's) final AUC stays within
+//!   0.5% of f32's (error feedback on, the default). f16/bf16 deltas are
+//!   recorded but not gated: on a run this small the stochastic wobble of
+//!   *any* perturbation — even a beneficial one — can exceed the band.
+//!
+//! `--smoke` shrinks the workload for CI schema checks and writes
+//! `BENCH_comms.smoke.json` instead (contracts still hold: the byte ratio
+//! is structural, and the AUC band is wide enough for the short run).
+
+use hetgmp_cluster::Topology;
+use hetgmp_comms::SyncFormat;
+use hetgmp_core::strategy::StrategyConfig;
+use hetgmp_core::trainer::{Trainer, TrainerConfig};
+use hetgmp_data::{generate, CtrDataset, DatasetSpec};
+use hetgmp_telemetry::{names, Json, RunManifest};
+
+struct FormatRun {
+    format: SyncFormat,
+    embed_data_bytes: u64,
+    allreduce_bytes: u64,
+    quant_rows: u64,
+    quant_bytes_saved: u64,
+    auc: f64,
+    sim_time: f64,
+    manifest: RunManifest,
+}
+
+fn run_once(data: &CtrDataset, format: SyncFormat, epochs: usize) -> FormatRun {
+    let r = Trainer::new(
+        data,
+        Topology::pcie_island(4),
+        StrategyConfig::het_gmp(100),
+        TrainerConfig {
+            epochs,
+            dim: 32, // int8 row wire = 36 bytes vs f32's 128: 3.56x
+            batch_size: 256,
+            hidden: vec![32, 16],
+            seed: 0xC0111, // fixed: formats must differ only in transport
+            sync_format: format,
+            ..Default::default()
+        },
+    )
+    .run();
+    FormatRun {
+        format,
+        embed_data_bytes: r.telemetry.counter("traffic.bytes.embed_data"),
+        allreduce_bytes: r.telemetry.counter("traffic.bytes.allreduce"),
+        quant_rows: r.telemetry.counter(names::COMMS_QUANT_ROWS),
+        quant_bytes_saved: r.telemetry.counter(names::COMMS_QUANT_BYTES_SAVED),
+        auc: r.final_auc,
+        sim_time: r.sim_time,
+        manifest: r.manifest,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke" || a == "smoke");
+    let scale = if smoke { 0.02 } else { 0.08 };
+    let mut spec = DatasetSpec::avazu_like(scale);
+    spec.cluster_affinity = 0.9;
+    let data = generate(&spec);
+    let epochs = if smoke { 1 } else { 6 };
+    eprintln!(
+        "sync-format sweep {:?} over {} samples{}",
+        SyncFormat::ALL.map(SyncFormat::name),
+        data.num_samples(),
+        if smoke { " [smoke]" } else { "" },
+    );
+
+    let runs: Vec<FormatRun> =
+        SyncFormat::ALL.iter().map(|&f| run_once(&data, f, epochs)).collect();
+    let f32_run = &runs[0];
+    assert!(f32_run.format.is_lossless(), "ALL starts at f32");
+    assert_eq!(
+        f32_run.quant_rows, 0,
+        "the f32 identity transport must not meter quantized rows"
+    );
+
+    let rows: Vec<Json> = runs
+        .iter()
+        .map(|r| {
+            let reduction = f32_run.embed_data_bytes as f64 / r.embed_data_bytes.max(1) as f64;
+            let delta_pct = (r.auc - f32_run.auc) / f32_run.auc * 100.0;
+            eprintln!(
+                "{:>4}: embed_data {:>12} B ({reduction:.2}x), allreduce {:>12} B, \
+                 AUC {:.6} ({delta_pct:+.3}%), sim {:.2}s",
+                r.format.name(),
+                r.embed_data_bytes,
+                r.allreduce_bytes,
+                r.auc,
+                r.sim_time,
+            );
+            Json::obj([
+                ("format", Json::from(r.format.name())),
+                ("embed_data_bytes", Json::U64(r.embed_data_bytes)),
+                ("allreduce_bytes", Json::U64(r.allreduce_bytes)),
+                ("quant_rows", Json::U64(r.quant_rows)),
+                ("quant_bytes_saved", Json::U64(r.quant_bytes_saved)),
+                ("bytes_reduction", Json::F64(reduction)),
+                ("final_auc", Json::F64(r.auc)),
+                ("auc_delta_pct", Json::F64(delta_pct)),
+                ("sim_time_secs", Json::F64(r.sim_time)),
+            ])
+        })
+        .collect();
+
+    // The two contracts the compressed path exists for.
+    let int8 = runs.iter().find(|r| r.format == SyncFormat::Int8).expect("int8 in ALL");
+    let int8_reduction = f32_run.embed_data_bytes as f64 / int8.embed_data_bytes.max(1) as f64;
+    assert!(
+        int8_reduction >= 3.5,
+        "int8 embedding traffic reduction {int8_reduction:.3}x below the 3.5x contract"
+    );
+    let int8_delta = ((int8.auc - f32_run.auc) / f32_run.auc).abs() * 100.0;
+    assert!(
+        int8_delta <= 0.5,
+        "int8 final AUC {:.6} drifts {int8_delta:.3}% from f32's {:.6} (> 0.5% band)",
+        int8.auc,
+        f32_run.auc
+    );
+
+    let doc = Json::obj([
+        (
+            "config",
+            Json::obj([
+                ("preset", Json::from("avazu_like")),
+                ("scale", Json::F64(scale)),
+                ("workers", Json::U64(4)),
+                ("system", Json::from("het_gmp(100)")),
+                ("epochs", Json::U64(epochs as u64)),
+                ("batch", Json::U64(256)),
+                ("dim", Json::U64(32)),
+                ("seed", Json::U64(0xC0111)),
+                ("error_feedback", Json::Bool(true)),
+                ("smoke", Json::Bool(smoke)),
+            ]),
+        ),
+        // The f32 run's manifest identifies the baseline configuration the
+        // sweep shares (only sync_format varies across rows).
+        ("manifest", f32_run.manifest.to_json()),
+        ("formats", Json::Arr(rows)),
+        ("int8_reduction", Json::F64(int8_reduction)),
+    ]);
+    let path = if smoke { "BENCH_comms.smoke.json" } else { "BENCH_comms.json" };
+    std::fs::write(path, doc.render() + "\n").expect("write BENCH_comms json");
+    println!("wrote {path} (int8 moves {int8_reduction:.2}x fewer embedding bytes than f32)");
+}

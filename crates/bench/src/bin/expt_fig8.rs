@@ -7,9 +7,12 @@
 fn main() {
     let scale = hetgmp_bench::scale_arg(0.15);
     let (pipeline_depth, gemm_threads) = hetgmp_bench::pipeline_flags();
+    let (sync_format, sync_error_feedback) = hetgmp_bench::sync_format_flags();
     let hooks = hetgmp_core::experiments::Hooks {
         pipeline_depth,
         gemm_threads,
+        sync_format,
+        sync_error_feedback,
         ..Default::default()
     };
     println!(

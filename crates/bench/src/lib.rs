@@ -42,6 +42,44 @@ pub fn pipeline_flags() -> (Option<usize>, Option<usize>) {
     parse_pipeline_flags(std::env::args().skip(1))
 }
 
+/// Parses the optional `--sync-format F` / `--sync-feedback on|off` flags
+/// (also `--flag=V`) from argv, returning `(sync_format, error_feedback)`.
+/// The training experiment binaries thread these into
+/// [`hetgmp_core::experiments::Hooks`] so one flag applies a single wire
+/// format to every trainer run in the experiment. Unknown format spellings
+/// fall back to `None` (the f32 default) rather than aborting.
+pub fn sync_format_flags() -> (Option<hetgmp_comms::SyncFormat>, Option<bool>) {
+    parse_sync_format_flags(std::env::args().skip(1))
+}
+
+fn parse_sync_format_flags(
+    args: impl Iterator<Item = String>,
+) -> (Option<hetgmp_comms::SyncFormat>, Option<bool>) {
+    let mut format = None;
+    let mut feedback = None;
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        if let Some(v) = a.strip_prefix("--sync-format=") {
+            format = hetgmp_comms::SyncFormat::parse(v).ok();
+        } else if a == "--sync-format" {
+            format = args.peek().and_then(|v| hetgmp_comms::SyncFormat::parse(v).ok());
+        } else if let Some(v) = a.strip_prefix("--sync-feedback=") {
+            feedback = match v {
+                "on" => Some(true),
+                "off" => Some(false),
+                _ => None,
+            };
+        } else if a == "--sync-feedback" {
+            feedback = match args.peek().map(String::as_str) {
+                Some("on") => Some(true),
+                Some("off") => Some(false),
+                _ => None,
+            };
+        }
+    }
+    (format, feedback)
+}
+
 fn parse_pipeline_flags(args: impl Iterator<Item = String>) -> (Option<usize>, Option<usize>) {
     let mut depth = None;
     let mut threads = None;
@@ -92,6 +130,32 @@ mod tests {
         // Malformed values fall back to None rather than panicking.
         assert_eq!(
             parse_pipeline_flags(argv(&["--pipeline-depth", "xyz"]).into_iter()),
+            (None, None)
+        );
+    }
+
+    #[test]
+    fn sync_format_flags_parse_both_forms() {
+        use hetgmp_comms::SyncFormat;
+        let argv = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            parse_sync_format_flags(argv(&["0.2", "--sync-format", "int8"]).into_iter()),
+            (Some(SyncFormat::Int8), None)
+        );
+        assert_eq!(
+            parse_sync_format_flags(
+                argv(&["--sync-format=bf16", "--sync-feedback=off"]).into_iter()
+            ),
+            (Some(SyncFormat::Bf16), Some(false))
+        );
+        assert_eq!(
+            parse_sync_format_flags(argv(&["--sync-feedback", "on"]).into_iter()),
+            (None, Some(true))
+        );
+        assert_eq!(parse_sync_format_flags(argv(&["0.2"]).into_iter()), (None, None));
+        // Malformed values fall back to None rather than panicking.
+        assert_eq!(
+            parse_sync_format_flags(argv(&["--sync-format", "f64"]).into_iter()),
             (None, None)
         );
     }

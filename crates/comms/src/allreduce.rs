@@ -4,6 +4,12 @@
 //! contributes a same-length f32 vector and receives the element-wise sum.
 //! Implementation is a two-phase generation barrier (contribute → collect)
 //! so the group can be reused every iteration without re-allocation races.
+//!
+//! The group reduces whatever bits it is handed; under a lossy
+//! `--sync-format` the *contribution* is what crosses the wire, so the
+//! trainer runs each local gradient through [`crate::DenseQuantizer`]
+//! before contributing (identically at every pipeline depth) and charges
+//! the collective at [`crate::SyncFormat::dense_wire_bytes`].
 
 use parking_lot::{Condvar, Mutex};
 

@@ -21,7 +21,9 @@
 pub mod allreduce;
 pub mod ledger;
 pub mod mailbox;
+pub mod quant;
 
 pub use allreduce::AllReduceGroup;
 pub use ledger::{TrafficClass, TrafficLedger};
-pub use mailbox::{Mailbox, P2pNetwork};
+pub use mailbox::{Mailbox, P2pNetwork, RecvState};
+pub use quant::{DenseQuantizer, ErrorFeedback, SyncFormat, DENSE_CHUNK};

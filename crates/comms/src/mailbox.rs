@@ -6,10 +6,38 @@
 //! accounting), but the mailbox network is used by protocols that need
 //! actual message passing — e.g. the decentralized index/clock gossip in the
 //! examples and failure-injection tests.
+//!
+//! A peer's mailbox can disappear at runtime — the fault injector drops a
+//! crashed worker's endpoint — so [`Mailbox::send`] and [`Mailbox::recv`]
+//! surface disconnection as a [`HetGmpError`] instead of panicking, and
+//! [`Mailbox::try_recv`] reports [`RecvState::Disconnected`] distinctly
+//! from [`RecvState::Empty`] (a gossip loop must tell "nothing yet" from
+//! "nothing ever again" or it spins forever on a dead network).
 
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
-use hetgmp_telemetry::{names, Json, TraceCollector};
+use hetgmp_telemetry::{names, HetGmpError, Json, TraceCollector};
 use std::sync::Arc;
+
+/// Outcome of a non-blocking receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvState<T> {
+    /// A message arrived: `(source_worker, message)`.
+    Msg(usize, T),
+    /// No message queued right now; senders are still alive.
+    Empty,
+    /// Every sender is gone — no message can ever arrive again.
+    Disconnected,
+}
+
+impl<T> RecvState<T> {
+    /// The message, if one arrived (`Empty`/`Disconnected` → `None`).
+    pub fn msg(self) -> Option<(usize, T)> {
+        match self {
+            RecvState::Msg(src, m) => Some((src, m)),
+            _ => None,
+        }
+    }
+}
 
 /// One worker's endpoint: senders to every peer + its own receiver.
 pub struct Mailbox<T> {
@@ -38,12 +66,20 @@ impl<T> Mailbox<T> {
 
     /// Sends `msg` to `dst` (tagged with this worker as the source).
     ///
+    /// # Errors
+    /// [`HetGmpError::Comms`] when `dst`'s mailbox has been dropped (e.g.
+    /// the fault injector took the peer down).
+    ///
     /// # Panics
-    /// Panics if `dst` is out of range or the network is shut down.
-    pub fn send(&self, dst: usize, msg: T) {
-        self.senders[dst]
-            .send((self.worker, msg))
-            .expect("peer mailbox dropped");
+    /// Panics if `dst` is out of range — that is a caller bug, not a
+    /// runtime condition.
+    pub fn send(&self, dst: usize, msg: T) -> Result<(), HetGmpError> {
+        self.senders[dst].send((self.worker, msg)).map_err(|_| {
+            HetGmpError::comms(format!(
+                "worker {} cannot send to worker {dst}: peer mailbox dropped",
+                self.worker
+            ))
+        })?;
         if let Some(t) = &self.tracer {
             t.worker_instant(
                 self.worker,
@@ -51,19 +87,31 @@ impl<T> Mailbox<T> {
                 &[("dst", Json::U64(dst as u64))],
             );
         }
+        Ok(())
     }
 
     /// Blocking receive; returns `(source_worker, message)`.
-    pub fn recv(&self) -> (usize, T) {
-        self.receiver.recv().expect("all senders dropped")
+    ///
+    /// # Errors
+    /// [`HetGmpError::Comms`] when every sender has been dropped — the
+    /// network is shut down and no message can ever arrive.
+    pub fn recv(&self) -> Result<(usize, T), HetGmpError> {
+        self.receiver.recv().map_err(|_| {
+            HetGmpError::comms(format!(
+                "worker {} receive failed: all senders dropped",
+                self.worker
+            ))
+        })
     }
 
-    /// Non-blocking receive.
-    pub fn try_recv(&self) -> Option<(usize, T)> {
+    /// Non-blocking receive, distinguishing "nothing queued yet"
+    /// ([`RecvState::Empty`]) from "network shut down"
+    /// ([`RecvState::Disconnected`]).
+    pub fn try_recv(&self) -> RecvState<T> {
         match self.receiver.try_recv() {
-            Ok(m) => Some(m),
-            Err(TryRecvError::Empty) => None,
-            Err(TryRecvError::Disconnected) => None,
+            Ok((src, m)) => RecvState::Msg(src, m),
+            Err(TryRecvError::Empty) => RecvState::Empty,
+            Err(TryRecvError::Disconnected) => RecvState::Disconnected,
         }
     }
 }
@@ -104,8 +152,8 @@ mod tests {
         let mut boxes = P2pNetwork::create::<u32>(3);
         let b2 = boxes.remove(2);
         let b0 = boxes.remove(0);
-        b0.send(2, 42);
-        let (src, msg) = b2.recv();
+        b0.send(2, 42).unwrap();
+        let (src, msg) = b2.recv().unwrap();
         assert_eq!(src, 0);
         assert_eq!(msg, 42);
     }
@@ -113,16 +161,50 @@ mod tests {
     #[test]
     fn self_send_allowed() {
         let boxes = P2pNetwork::create::<&'static str>(1);
-        boxes[0].send(0, "loopback");
-        assert_eq!(boxes[0].recv(), (0, "loopback"));
+        boxes[0].send(0, "loopback").unwrap();
+        assert_eq!(boxes[0].recv().unwrap(), (0, "loopback"));
     }
 
     #[test]
-    fn try_recv_empty() {
+    fn try_recv_empty_vs_message() {
         let boxes = P2pNetwork::create::<u8>(2);
-        assert!(boxes[0].try_recv().is_none());
-        boxes[1].send(0, 7);
-        assert_eq!(boxes[0].try_recv(), Some((1, 7)));
+        assert_eq!(boxes[0].try_recv(), RecvState::Empty);
+        boxes[1].send(0, 7).unwrap();
+        assert_eq!(boxes[0].try_recv(), RecvState::Msg(1, 7));
+        assert_eq!(boxes[0].try_recv().msg(), None);
+    }
+
+    #[test]
+    fn send_to_dropped_peer_is_an_error_not_a_panic() {
+        let mut boxes = P2pNetwork::create::<u32>(2);
+        // Worker 1 crashes: its mailbox (receiver + its sender clones)
+        // goes away entirely.
+        drop(boxes.remove(1));
+        let b0 = boxes.remove(0);
+        let err = b0.send(1, 5).unwrap_err();
+        assert!(matches!(err, HetGmpError::Comms { .. }), "{err}");
+        assert!(err.to_string().contains("peer mailbox dropped"), "{err}");
+        // Self-sends still work: worker 0's own endpoint is alive.
+        b0.send(0, 9).unwrap();
+        assert_eq!(b0.recv().unwrap(), (0, 9));
+    }
+
+    #[test]
+    fn recv_after_network_shutdown_is_an_error() {
+        let mut boxes = P2pNetwork::create::<u8>(2);
+        let b1 = boxes.remove(1);
+        // Keep a buffered message in flight, then drop every sender.
+        b1.send(1, 3).unwrap();
+        drop(boxes); // worker 0's endpoint (and its sender clones) gone
+        let (rx_only_senders, receiver, worker) = (b1.senders, b1.receiver, b1.worker);
+        drop(rx_only_senders); // b1's own sender clones too
+        let b1 = Mailbox { worker, senders: Vec::new(), receiver, tracer: None };
+        // The buffered message still drains...
+        assert_eq!(b1.recv().unwrap(), (1, 3));
+        // ...then recv reports disconnection instead of panicking.
+        let err = b1.recv().unwrap_err();
+        assert!(matches!(err, HetGmpError::Comms { .. }), "{err}");
+        assert_eq!(b1.try_recv(), RecvState::Disconnected);
     }
 
     #[test]
@@ -131,12 +213,12 @@ mod tests {
         let b1 = boxes.remove(1);
         let b0 = boxes.remove(0);
         let t = std::thread::spawn(move || {
-            let (src, v) = b1.recv();
+            let (src, v) = b1.recv().unwrap();
             assert_eq!(src, 0);
-            b1.send(0, v.iter().map(|x| x * 2.0).collect());
+            b1.send(0, v.iter().map(|x| x * 2.0).collect()).unwrap();
         });
-        b0.send(1, vec![1.0, 2.0]);
-        let (_, doubled) = b0.recv();
+        b0.send(1, vec![1.0, 2.0]).unwrap();
+        let (_, doubled) = b0.recv().unwrap();
         assert_eq!(doubled, vec![2.0, 4.0]);
         t.join().unwrap();
     }
@@ -153,8 +235,8 @@ mod tests {
         let mut boxes = P2pNetwork::create::<u8>(2);
         let tracer = Arc::new(TraceCollector::new(2, TraceLevel::Sync));
         boxes[0].attach_tracer(Arc::clone(&tracer));
-        boxes[0].send(1, 9);
-        assert_eq!(boxes[1].recv(), (0, 9));
+        boxes[0].send(1, 9).unwrap();
+        assert_eq!(boxes[1].recv().unwrap(), (0, 9));
         let events = tracer.events();
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].track, TraceTrack::Worker(0));

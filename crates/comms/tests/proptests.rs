@@ -87,15 +87,60 @@ proptest! {
         let boxes = P2pNetwork::create::<u32>(3);
         let mut expected_per_dst = [0usize; 3];
         for &(src, dst, value) in &msgs {
-            boxes[src].send(dst, value);
+            boxes[src].send(dst, value).expect("all peers alive");
             expected_per_dst[dst] += 1;
         }
         for (dst, mailbox) in boxes.iter().enumerate() {
             let mut received = 0;
-            while mailbox.try_recv().is_some() {
+            while mailbox.try_recv().msg().is_some() {
                 received += 1;
             }
             prop_assert_eq!(received, expected_per_dst[dst]);
+        }
+    }
+
+    #[test]
+    fn quant_round_trip_error_bounded(
+        row in prop::collection::vec(-10.0f32..10.0, 1..64)
+    ) {
+        use hetgmp_comms::SyncFormat;
+        let max_abs = row.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        for format in SyncFormat::ALL {
+            let mut v = row.clone();
+            format.transport(&mut v);
+            // Per-format worst-case absolute error on this row.
+            let bound = match format {
+                // Identity.
+                SyncFormat::F32 => 0.0,
+                // Half an ulp at 11 bits of significand, plus slack for
+                // subnormal granularity near zero.
+                SyncFormat::F16 => max_abs * 2.0f32.powi(-11) + 2.0f32.powi(-24),
+                // Half an ulp at 8 bits of significand.
+                SyncFormat::Bf16 => max_abs * 2.0f32.powi(-8) + 1e-41,
+                // Half a quantization step.
+                SyncFormat::Int8 => max_abs / 127.0 / 2.0 + 1e-6,
+            };
+            for (a, b) in v.iter().zip(row.iter()) {
+                prop_assert!(
+                    (a - b).abs() <= bound,
+                    "{format}: |{a} - {b}| > {bound}"
+                );
+            }
+            // Determinism: a second transport of the same input is
+            // bit-identical, and transporting already-transported data
+            // is a fixed point (decode(encode(x)) is representable).
+            let mut again = row.clone();
+            format.transport(&mut again);
+            let mut twice = v.clone();
+            format.transport(&mut twice);
+            for ((a, b), c) in v.iter().zip(again.iter()).zip(twice.iter()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+                if !matches!(format, SyncFormat::Int8) {
+                    // int8 re-transport may re-derive a different scale;
+                    // the float formats are idempotent bit-for-bit.
+                    prop_assert_eq!(a.to_bits(), c.to_bits());
+                }
+            }
         }
     }
 }

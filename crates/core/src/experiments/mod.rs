@@ -63,6 +63,12 @@ pub struct Hooks {
     /// Worker threads per dense GEMM applied to every trainer run (`None`
     /// keeps each runner's default of 1, sequential kernels).
     pub gemm_threads: Option<usize>,
+    /// Wire format for embedding and dense-gradient payloads applied to
+    /// every trainer run (`None` keeps each runner's default of f32).
+    pub sync_format: Option<hetgmp_comms::SyncFormat>,
+    /// Error feedback on lossy gradient pushes (`None` keeps the default
+    /// of enabled; irrelevant under f32).
+    pub sync_error_feedback: Option<bool>,
 }
 
 impl Hooks {
@@ -72,6 +78,7 @@ impl Hooks {
             trainer = trainer.with_tracer(Arc::clone(t));
         }
         trainer = trainer.with_pipeline(self.pipeline_depth, self.gemm_threads);
+        trainer = trainer.with_sync_format(self.sync_format, self.sync_error_feedback);
         trainer.with_audit(self.audit)
     }
 

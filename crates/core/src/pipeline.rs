@@ -76,7 +76,7 @@ use std::time::Instant;
 use hetgmp_cluster::{
     CostModel, FaultSchedule, LinkClass, SimClock, TimeCategory, Topology, WorkerFaultKind,
 };
-use hetgmp_comms::{AllReduceGroup, TrafficClass, TrafficLedger};
+use hetgmp_comms::{AllReduceGroup, DenseQuantizer, TrafficClass, TrafficLedger};
 use hetgmp_data::CtrDataset;
 use hetgmp_embedding::{EmbeddingWorker, ReadReport, ShardedTable, UpdateReport};
 use hetgmp_partition::Partition;
@@ -615,12 +615,17 @@ fn run_epoch_sequential(ctx: WorkerEpoch<'_, '_, '_>) {
     // Stateless SGD on the replicated dense parameters (slot-keyed so a
     // momentum variant could slot in without touching the loop).
     let mut sgd = Sgd::new(cfg.dense_lr);
+    // Dense-gradient wire transport. Per-epoch so its error-feedback
+    // residuals reset at the same barrier replica resync does — a
+    // checkpoint-resumed run bit-matches an uninterrupted one.
+    let mut dense_quant = DenseQuantizer::new(cfg.sync_format, cfg.sync_error_feedback);
+    let row_bytes = cfg.sync_format.row_wire_bytes(dim);
 
     for _ in 0..iters {
         // ---- Injected faults (iteration boundary). -------------------------
         process_due_faults(
             w, faults, fstate, clock, &recorder, tracer, image.as_deref(), table, partition,
-            emb, cost,
+            emb, cost, row_bytes,
         );
 
         // Phase fence: a crash rollback must be fully visible before any
@@ -693,7 +698,8 @@ fn run_epoch_sequential(ctx: WorkerEpoch<'_, '_, '_>) {
             // ---- Charge simulated time. ------------------------------------
             charge_batch(
                 w, actual, fields, compute_scale, flops_per_sample, strategy, cost, clock,
-                ledger, tracer, samples, &slot.read_report, up_report, 0.0, false, profiler,
+                ledger, tracer, samples, &slot.read_report, up_report, row_bytes, 0.0, false,
+                profiler,
             );
         }
 
@@ -701,8 +707,8 @@ fn run_epoch_sequential(ctx: WorkerEpoch<'_, '_, '_>) {
         slot.advance_to(BatchStage::Sync);
         let t_sync = profiler.start();
         let sync_t = sync_dense(
-            w, model, &mut dense_grads, &mut sgd, cfg.grad_clip, strategy, topology, cost,
-            group, ledger, clock, tracer, dense_bytes, is_bsp, false,
+            w, model, &mut dense_grads, &mut dense_quant, &mut sgd, cfg.grad_clip, strategy,
+            topology, cost, group, ledger, clock, tracer, dense_bytes, is_bsp, false,
         );
         profiler.wall(BatchStage::Sync, t_sync);
         profiler.sim(BatchStage::Sync, sync_t);
@@ -803,6 +809,10 @@ fn run_epoch_pipelined(ctx: WorkerEpoch<'_, '_, '_>) {
     let mut sample_slices: Vec<&[u32]> = Vec::with_capacity(batch_size);
     let mut dense_grads: Vec<f32> = Vec::new();
     let mut sgd = Sgd::new(cfg.dense_lr);
+    // Dense-gradient wire transport; per-epoch, exactly as in the
+    // sequential schedule, so depths bit-match each other.
+    let mut dense_quant = DenseQuantizer::new(cfg.sync_format, cfg.sync_error_feedback);
+    let row_bytes = cfg.sync_format.row_wire_bytes(dim);
     // The previous iteration's dense-sync seconds: the window a prefetched
     // embedding read can hide behind on the simulated clock (the fetch
     // genuinely ran during that sync on the wall clock).
@@ -968,8 +978,8 @@ fn run_epoch_pipelined(ctx: WorkerEpoch<'_, '_, '_>) {
                 let extra = if slot.prefetched { prev_sync_t } else { 0.0 };
                 charge_batch(
                     w, actual, fields, compute_scale, flops_per_sample, strategy, cost,
-                    clock, ledger, tracer, samples, &slot.read_report, up_report, extra,
-                    slot.prefetched, profiler,
+                    clock, ledger, tracer, samples, &slot.read_report, up_report, row_bytes,
+                    extra, slot.prefetched, profiler,
                 );
             }
 
@@ -978,6 +988,7 @@ fn run_epoch_pipelined(ctx: WorkerEpoch<'_, '_, '_>) {
                 process_due_faults(
                     w, faults, fstate, clock, &recorder, tracer, image.as_deref(), table,
                     partition, emb_slot.as_deref_mut().expect("emb handle present"), cost,
+                    row_bytes,
                 );
                 // Rollback-visibility fence: no peer may prefetch (below)
                 // until every rollback is complete.
@@ -1019,8 +1030,9 @@ fn run_epoch_pipelined(ctx: WorkerEpoch<'_, '_, '_>) {
             slot.advance_to(BatchStage::Sync);
             let t_sync = profiler.start();
             prev_sync_t = sync_dense(
-                w, model, &mut dense_grads, &mut sgd, cfg.grad_clip, strategy, topology,
-                cost, group, ledger, clock, tracer, dense_bytes, is_bsp, is_bsp,
+                w, model, &mut dense_grads, &mut dense_quant, &mut sgd, cfg.grad_clip,
+                strategy, topology, cost, group, ledger, clock, tracer, dense_bytes, is_bsp,
+                is_bsp,
             );
             profiler.wall(BatchStage::Sync, t_sync);
             profiler.sim(BatchStage::Sync, prev_sync_t);
@@ -1156,6 +1168,7 @@ fn charge_batch(
     samples: &AtomicU64,
     read_report: &ReadReport,
     up_report: &UpdateReport,
+    row_bytes: u64,
     extra_overlap: f64,
     prefetched: bool,
     profiler: &mut StageProfiler,
@@ -1177,8 +1190,9 @@ fn charge_batch(
         compute_t,
     );
 
-    let comm =
-        charge_embedding_comm(w, strategy, cost, read_report, up_report, tracer, clock.now());
+    let comm = charge_embedding_comm(
+        w, strategy, cost, read_report, up_report, row_bytes, tracer, clock.now(),
+    );
     let embed_t = comm.read + comm.write_back;
     let meta_t = comm.meta;
     profiler.sim(BatchStage::Fetch, comm.read);
@@ -1223,6 +1237,7 @@ fn sync_dense(
     w: usize,
     model: &mut CtrModel,
     dense_grads: &mut Vec<f32>,
+    quant: &mut DenseQuantizer,
     sgd: &mut Sgd,
     grad_clip: Option<f32>,
     strategy: &StrategyConfig,
@@ -1237,6 +1252,10 @@ fn sync_dense(
     fused: bool,
 ) -> f64 {
     model.flatten_grads_into(dense_grads);
+    // The local gradient crosses the wire once per collective; transporting
+    // it before the reduction (identical in the fused and plain paths)
+    // keeps losses depth-invariant under every format.
+    quant.transport(dense_grads);
     if fused {
         debug_assert!(is_bsp, "the fused collective is a BSP barrier");
         let t = cost.allreduce_time_at(dense_bytes, clock.now());
@@ -1363,6 +1382,7 @@ fn process_due_faults(
     partition: &Partition,
     emb: &mut dyn EmbeddingWorker,
     cost: &CostModel,
+    row_bytes: u64,
 ) {
     while let Some(f) = faults.worker_faults(w).get(fstate.next) {
         if f.at > clock.now() {
@@ -1438,7 +1458,7 @@ fn process_due_faults(
                 let restore_t = cost
                     .link_transfer_time(LinkClass::HostPcie, image.bytes / n_workers.max(1));
                 let refresh_t =
-                    mean_link_time(w, cost, refreshed.saturating_mul((dim * 4) as u64));
+                    mean_link_time(w, cost, refreshed.saturating_mul(row_bytes));
                 let replay_t = (crash_time - image.sim_times[w]).max(0.0);
                 let recovery_t = faults.restart_overhead() + restore_t + refresh_t + replay_t;
                 clock.advance(TimeCategory::Fault, recovery_t);
@@ -1498,6 +1518,7 @@ pub(crate) fn charge_embedding_comm(
     cost: &CostModel,
     read: &ReadReport,
     up: &UpdateReport,
+    row_bytes: u64,
     tracer: Option<&TraceCollector>,
     start_secs: f64,
 ) -> EmbedCommTimes {
@@ -1515,8 +1536,8 @@ pub(crate) fn charge_embedding_comm(
             let dim_bytes = if lookups + updates > 0 {
                 // data_bytes only counts remote rows; reconstruct full rows
                 // from counts via bytes-per-row of the remote ones, falling
-                // back to a dim-16 default when everything was local.
-                estimate_row_bytes(read, up)
+                // back to the configured wire size when everything was local.
+                estimate_row_bytes(read, up, row_bytes)
             } else {
                 0
             };
@@ -1637,12 +1658,13 @@ fn trace_stage_spans(tracer: &TraceCollector, w: usize, batch_start: f64, sim: [
     }
 }
 
-/// Bytes per embedding row, estimated from whichever report carried data.
-fn estimate_row_bytes(read: &ReadReport, up: &UpdateReport) -> u64 {
+/// Bytes per embedding row, estimated from whichever report carried data;
+/// `fallback` (the configured per-row wire size) covers all-local batches.
+fn estimate_row_bytes(read: &ReadReport, up: &UpdateReport, fallback: u64) -> u64 {
     let remote_rows = read.remote_total() + up.remote_writebacks;
     match (read.data_bytes + up.data_bytes).checked_div(remote_rows) {
         Some(b) if remote_rows > 0 => b,
-        _ => 64, // dim-16 f32 default when no remote sample exists
+        _ => fallback,
     }
 }
 

@@ -32,7 +32,7 @@ use hetgmp_bigraph::Bigraph;
 use hetgmp_cluster::{
     CostModel, FaultSchedule, LinkClass, SimClock, TimeBreakdown, TimeCategory, Topology,
 };
-use hetgmp_comms::{AllReduceGroup, TrafficClass, TrafficLedger};
+use hetgmp_comms::{AllReduceGroup, SyncFormat, TrafficClass, TrafficLedger};
 use hetgmp_data::CtrDataset;
 use hetgmp_embedding::{
     load_run, run_encoded_len, save_run, CachedWorkerEmbedding, EmbeddingWorker, RunState,
@@ -115,6 +115,14 @@ pub struct TrainerConfig {
     /// large GEMMs into row panels; panel splits are bit-identical to the
     /// sequential kernels by construction.
     pub gemm_threads: usize,
+    /// Wire format for inter-worker embedding payloads and the dense
+    /// AllReduce (`f32` default = bit-exact identity transport). Lossy
+    /// formats decode-on-arrival, so replicas hold exactly what a real
+    /// receiver would; the ledger and cost model charge compressed bytes.
+    pub sync_format: SyncFormat,
+    /// Per-row error feedback on lossy gradient pushes (EF-SGD style).
+    /// Ignored under `f32`; on by default.
+    pub sync_error_feedback: bool,
 }
 
 impl Default for TrainerConfig {
@@ -139,6 +147,8 @@ impl Default for TrainerConfig {
             resume_from: None,
             pipeline_depth: 1,
             gemm_threads: 1,
+            sync_format: SyncFormat::F32,
+            sync_error_feedback: true,
         }
     }
 }
@@ -279,6 +289,19 @@ impl TrainerConfigBuilder {
         self
     }
 
+    /// Wire format for inter-worker embedding payloads and the dense
+    /// AllReduce. `f32` (the default) is the bit-exact identity transport.
+    pub fn sync_format(mut self, format: SyncFormat) -> Self {
+        self.cfg.sync_format = format;
+        self
+    }
+
+    /// Enables/disables per-row error feedback on lossy gradient pushes.
+    pub fn sync_error_feedback(mut self, on: bool) -> Self {
+        self.cfg.sync_error_feedback = on;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<TrainerConfig, HetGmpError> {
         let c = &self.cfg;
@@ -407,7 +430,8 @@ pub struct TrainResult {
 fn config_digest_text(strategy: &StrategyConfig, cfg: &TrainerConfig) -> String {
     format!(
         "{strategy:?}|model={:?}|dim={}|hidden={:?}|batch={}|epochs={}|opt={:?}|lr={}|test={}|\
-         eval={}|target={:?}|clip={:?}|scales={:?}|hetero={}|ckpt_every={}|depth={}|threads={}",
+         eval={}|target={:?}|clip={:?}|scales={:?}|hetero={}|ckpt_every={}|depth={}|threads={}|\
+         sync_format={}|sync_ef={}",
         cfg.model,
         cfg.dim,
         cfg.hidden,
@@ -424,6 +448,8 @@ fn config_digest_text(strategy: &StrategyConfig, cfg: &TrainerConfig) -> String 
         cfg.checkpoint_every,
         cfg.pipeline_depth,
         cfg.gemm_threads,
+        cfg.sync_format,
+        cfg.sync_error_feedback,
     )
 }
 
@@ -484,6 +510,25 @@ impl<'d> Trainer<'d> {
         }
         if let Some(t) = gemm_threads {
             self.config.gemm_threads = t;
+        }
+        self
+    }
+
+    /// Overrides the wire format for embedding and dense-gradient payloads
+    /// ([`TrainerConfig::sync_format`]) and lossy-push error feedback
+    /// ([`TrainerConfig::sync_error_feedback`]). `None` keeps the config's
+    /// value. This is the experiment runners' hook path, so one CLI flag
+    /// applies a single wire format to every run in an experiment.
+    pub fn with_sync_format(
+        mut self,
+        format: Option<SyncFormat>,
+        error_feedback: Option<bool>,
+    ) -> Self {
+        if let Some(f) = format {
+            self.config.sync_format = f;
+        }
+        if let Some(ef) = error_feedback {
+            self.config.sync_error_feedback = ef;
         }
         self
     }
@@ -665,6 +710,11 @@ impl<'d> Trainer<'d> {
             })
             .collect();
         for (w, emb) in embeddings.iter_mut().enumerate() {
+            // Select the wire format before attaching telemetry: the
+            // replica re-prime that a lossy format triggers is initial
+            // placement, not steady-state traffic, so it stays uncharged
+            // and unmetered like construction-time placement does.
+            emb.set_sync_format(cfg.sync_format, cfg.sync_error_feedback);
             emb.attach_recorder(registry.worker(w));
             if let Some(a) = &auditor {
                 emb.attach_auditor(Arc::clone(a));
@@ -709,7 +759,7 @@ impl<'d> Trainer<'d> {
         let gemm_pools: Vec<Option<Arc<GemmPool>>> = (0..n)
             .map(|_| (cfg.gemm_threads > 1).then(|| GemmPool::new(cfg.gemm_threads)))
             .collect();
-        let dense_bytes = (models[0].num_dense_params() * 4) as u64;
+        let dense_bytes = cfg.sync_format.dense_wire_bytes(models[0].num_dense_params());
         let flops_per_sample = models[0].flops_per_sample();
         // Per-worker compute scales and (optionally) speed-proportional
         // batch sizes so a straggler's BSP iteration takes as long as its
@@ -921,7 +971,7 @@ impl<'d> Trainer<'d> {
             for (w, (emb, clock)) in embeddings.iter_mut().zip(clocks.iter_mut()).enumerate() {
                 let refreshed = emb.sync_replicas();
                 if refreshed > 0 {
-                    let bytes = refreshed.saturating_mul((cfg.dim * 4) as u64);
+                    let bytes = refreshed.saturating_mul(cfg.sync_format.row_wire_bytes(cfg.dim));
                     clock.advance(TimeCategory::EmbedComm, mean_link_time(w, &cost, bytes));
                     ledger.record(w, TrafficClass::EmbedData, bytes, refreshed);
                 }

@@ -13,6 +13,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use hetgmp_comms::{ErrorFeedback, SyncFormat};
 use hetgmp_partition::Partition;
 use hetgmp_telemetry::{names, Json, ProtocolAuditor, Recorder, TraceCollector};
 
@@ -45,6 +46,14 @@ pub struct CachedWorkerEmbedding<'a> {
     scratch: HotScratch,
     /// Per-fetch cache action, aligned with `scratch.fetch_ids`.
     fill_actions: Vec<FillAction>,
+    /// Wire format for inter-worker embedding payloads.
+    format: SyncFormat,
+    /// Whether lossy gradient pushes carry error feedback.
+    feedback_on: bool,
+    /// Per-row quantization residuals (push direction only).
+    feedback: ErrorFeedback,
+    /// Cached `format.row_wire_bytes(dim)`.
+    row_bytes: u64,
     recorder: Option<Arc<dyn Recorder>>,
     auditor: Option<Arc<ProtocolAuditor>>,
     tracer: Option<Arc<TraceCollector>>,
@@ -77,9 +86,42 @@ impl<'a> CachedWorkerEmbedding<'a> {
                 ..HotScratch::default()
             },
             fill_actions: Vec::new(),
+            format: SyncFormat::F32,
+            feedback_on: true,
+            feedback: ErrorFeedback::new(),
+            row_bytes: SyncFormat::F32.row_wire_bytes(table.dim()),
             recorder: None,
             auditor: None,
             tracer: None,
+        }
+    }
+
+    /// Selects the wire format for inter-worker embedding payloads (see
+    /// `WorkerEmbedding::set_sync_format`). Re-primes any already-cached
+    /// rows through the new format.
+    pub fn set_sync_format(&mut self, format: SyncFormat, error_feedback: bool) {
+        self.format = format;
+        self.feedback_on = error_feedback;
+        self.feedback.clear();
+        self.row_bytes = format.row_wire_bytes(self.table.dim());
+        if !format.is_lossless() {
+            self.recover_from_crash();
+        }
+    }
+
+    /// Counts `rows` quantized payload rows into the `comms.quant.*`
+    /// metrics (no-op for lossless formats).
+    fn note_quant(&self, rows: u64) {
+        if rows == 0 || self.format.is_lossless() {
+            return;
+        }
+        if let Some(r) = &self.recorder {
+            let raw = (self.table.dim() * 4) as u64;
+            r.counter_add(names::COMMS_QUANT_ROWS, rows);
+            r.counter_add(
+                names::COMMS_QUANT_BYTES_SAVED,
+                rows * raw.saturating_sub(self.row_bytes),
+            );
         }
     }
 
@@ -116,8 +158,12 @@ impl<'a> CachedWorkerEmbedding<'a> {
         let ids = self.cache.cached_ids();
         for &e in &ids {
             let clock = self.table.read_row(e, &mut buf);
+            self.format.transport(&mut buf);
             self.cache.refresh(e, &buf, clock);
         }
+        // A full re-prime supersedes any error-feedback residuals.
+        self.feedback.clear();
+        self.note_quant(ids.len() as u64);
         ids.len() as u64
     }
 
@@ -218,10 +264,10 @@ impl<'a> CachedWorkerEmbedding<'a> {
                         self.scratch.fetch_slots.push(slot);
                         self.fill_actions.push(FillAction::Refresh);
                         report.intra_syncs += 1;
-                        report.data_bytes += (dim * 4) as u64;
+                        report.data_bytes += self.row_bytes;
                         report.add_src_bytes(
                             self.part.primary_of(e),
-                            (dim * 4) as u64,
+                            self.row_bytes,
                             self.part.num_partitions(),
                         );
                         report.messages += 1;
@@ -231,10 +277,10 @@ impl<'a> CachedWorkerEmbedding<'a> {
                     self.scratch.fetch_slots.push(slot);
                     self.fill_actions.push(FillAction::Admit);
                     report.remote_fetches += 1;
-                    report.data_bytes += (dim * 4) as u64;
+                    report.data_bytes += self.row_bytes;
                     report.add_src_bytes(
                         self.part.primary_of(e),
-                        (dim * 4) as u64,
+                        self.row_bytes,
                         self.part.num_partitions(),
                     );
                     report.meta_bytes += META_ENTRY_BYTES;
@@ -258,6 +304,7 @@ impl<'a> CachedWorkerEmbedding<'a> {
         let nfetch = self.scratch.fetch_ids.len();
         if nfetch > 0 {
             let table = self.table;
+            let format = self.format;
             let HotScratch {
                 batch,
                 fetch_ids,
@@ -273,7 +320,12 @@ impl<'a> CachedWorkerEmbedding<'a> {
             table.read_rows(fetch_ids, fetch_buf, fetch_clocks, batch);
             for k in 0..nfetch {
                 let slot = fetch_slots[k];
-                let row = &fetch_buf[k * dim..(k + 1) * dim];
+                let row = &mut fetch_buf[k * dim..(k + 1) * dim];
+                // Refresh/Admit rows crossed the interconnect; local
+                // primaries (None) stay exact.
+                if self.fill_actions[k] != FillAction::None {
+                    format.transport(row);
+                }
                 self.scratch_rows[slot..slot + dim].copy_from_slice(row);
                 match self.fill_actions[k] {
                     FillAction::None => {}
@@ -294,6 +346,7 @@ impl<'a> CachedWorkerEmbedding<'a> {
         if let Some(r) = &self.recorder {
             r.counter_add(names::HOTPATH_BATCH_READ_ROWS, nfetch as u64);
         }
+        self.note_quant(report.intra_syncs + report.remote_fetches);
 
         let mut cursor = 0usize;
         for sample in samples {
@@ -398,9 +451,23 @@ impl<'a> CachedWorkerEmbedding<'a> {
         reduce_ids.extend(reduce_slots.keys().copied());
         reduce_ids.sort_unstable();
         apply_buf.clear();
+        let mut wire_rows = 0u64;
         for &e in reduce_ids.iter() {
             let slot = reduce_slots[&e];
+            let start = apply_buf.len();
             apply_buf.extend_from_slice(&reduce_buf[slot..slot + dim]);
+            // Remote-primary gradients cross the wire: transport them (with
+            // error feedback when enabled) before they reach the primary.
+            // Local-primary rows apply exactly.
+            if self.part.primary_of(e) != self.worker && !self.format.is_lossless() {
+                let wire = &mut apply_buf[start..];
+                if self.feedback_on {
+                    self.feedback.compensate_and_transport(self.format, e, wire);
+                } else {
+                    self.format.transport(wire);
+                }
+                wire_rows += 1;
+            }
         }
         apply_clocks.clear();
         apply_clocks.resize(reduce_ids.len(), 0);
@@ -408,17 +475,18 @@ impl<'a> CachedWorkerEmbedding<'a> {
             .apply_grads(reduce_ids, apply_buf, opt, apply_clocks, batch);
         let lr = opt.learning_rate();
         let delta = &mut self.scratch.row_buf;
-        for &e in self.scratch.reduce_ids.iter() {
-            let slot = self.scratch.reduce_slots[&e];
-            let g = &self.scratch.reduce_buf[slot..slot + dim];
+        for (k, &e) in self.scratch.reduce_ids.iter().enumerate() {
+            // The mirror applies the transported gradient (what the primary
+            // actually received), read back out of the apply staging.
+            let g = &self.scratch.apply_buf[k * dim..(k + 1) * dim];
             if self.part.primary_of(e) == self.worker {
                 report.local_updates += 1;
             } else {
                 report.remote_writebacks += 1;
-                report.data_bytes += (dim * 4) as u64;
+                report.data_bytes += self.row_bytes;
                 report.add_dst_bytes(
                     self.part.primary_of(e),
-                    (dim * 4) as u64,
+                    self.row_bytes,
                     self.part.num_partitions(),
                 );
                 report.meta_bytes += META_ENTRY_BYTES;
@@ -431,6 +499,7 @@ impl<'a> CachedWorkerEmbedding<'a> {
                 self.cache.apply_local_delta(e, delta);
             }
         }
+        self.note_quant(wire_rows);
         if let Some(r) = &self.recorder {
             // HET-style eager write-back: nothing is deferred.
             r.counter_add(

@@ -56,6 +56,8 @@ pub use sparse_optim::SparseOpt;
 pub use table::{BatchScratch, ShardedTable};
 pub use worker::{StalenessBound, WorkerEmbedding};
 
+pub use hetgmp_comms::SyncFormat;
+
 /// A worker-side embedding interface: batch reads under some consistency
 /// discipline plus gradient application. Implemented by the statically
 /// replicated [`WorkerEmbedding`] (HET-GMP) and the dynamically cached
@@ -121,6 +123,14 @@ pub trait EmbeddingWorker: Send {
     fn hooks_attached(&self) -> (bool, bool, bool) {
         (false, false, false)
     }
+    /// Selects the wire format for inter-worker embedding payloads and
+    /// whether lossy gradient pushes carry per-row error feedback. Call
+    /// before training (right after construction) so warm-loaded replicas
+    /// go through the same format as steady-state fetches. Default is a
+    /// no-op for implementations that move no embedding bytes.
+    fn set_sync_format(&mut self, format: SyncFormat, error_feedback: bool) {
+        let _ = (format, error_feedback);
+    }
 }
 
 impl EmbeddingWorker for WorkerEmbedding<'_> {
@@ -158,6 +168,9 @@ impl EmbeddingWorker for WorkerEmbedding<'_> {
     }
     fn hooks_attached(&self) -> (bool, bool, bool) {
         WorkerEmbedding::hooks_attached(self)
+    }
+    fn set_sync_format(&mut self, format: SyncFormat, error_feedback: bool) {
+        WorkerEmbedding::set_sync_format(self, format, error_feedback)
     }
 }
 
@@ -199,5 +212,8 @@ impl EmbeddingWorker for CachedWorkerEmbedding<'_> {
     }
     fn hooks_attached(&self) -> (bool, bool, bool) {
         CachedWorkerEmbedding::hooks_attached(self)
+    }
+    fn set_sync_format(&mut self, format: SyncFormat, error_feedback: bool) {
+        CachedWorkerEmbedding::set_sync_format(self, format, error_feedback)
     }
 }

@@ -5,6 +5,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use hetgmp_comms::{ErrorFeedback, SyncFormat};
 use hetgmp_partition::Partition;
 use hetgmp_telemetry::{names, Json, ProtocolAuditor, Recorder, TraceCollector};
 
@@ -26,6 +27,9 @@ pub(crate) struct HotScratch {
     pub fetch_slots: Vec<usize>,
     /// Whether each fetched row must be (re-)installed into the cache.
     pub fetch_install: Vec<bool>,
+    /// Whether each fetched row crosses the interconnect (and therefore
+    /// goes through the wire format). Local-primary reads stay exact.
+    pub fetch_wire: Vec<bool>,
     /// Contiguous staging for batched reads (fetch-order, `dim` per row).
     pub fetch_buf: Vec<f32>,
     /// Clocks observed by the batched read, fetch-order.
@@ -101,6 +105,15 @@ pub struct WorkerEmbedding<'a> {
     scratch: HotScratch,
     /// Rows currently holding a deferred (pending) gradient.
     pending_rows: usize,
+    /// Wire format for inter-worker embedding payloads ([`SyncFormat::F32`]
+    /// reproduces the uncompressed protocol bit-for-bit).
+    format: SyncFormat,
+    /// Whether lossy gradient pushes carry error feedback.
+    feedback_on: bool,
+    /// Per-row quantization residuals (push direction only).
+    feedback: ErrorFeedback,
+    /// Cached `format.row_wire_bytes(dim)`.
+    row_bytes: u64,
     recorder: Option<Arc<dyn Recorder>>,
     auditor: Option<Arc<ProtocolAuditor>>,
     tracer: Option<Arc<TraceCollector>>,
@@ -151,9 +164,45 @@ impl<'a> WorkerEmbedding<'a> {
                 ..HotScratch::default()
             },
             pending_rows: 0,
+            format: SyncFormat::F32,
+            feedback_on: true,
+            feedback: ErrorFeedback::new(),
+            row_bytes: SyncFormat::F32.row_wire_bytes(table.dim()),
             recorder: None,
             auditor: None,
             tracer: None,
+        }
+    }
+
+    /// Selects the wire format for inter-worker embedding payloads, and
+    /// whether per-row error feedback compensates lossy quantization on the
+    /// gradient-push direction. Re-primes every secondary replica through
+    /// the new format so cached state matches what a fresh fetch delivers.
+    /// Call before training; checkpoint-resumed runs reconstruct the same
+    /// state because residuals are cleared at every full sync.
+    pub fn set_sync_format(&mut self, format: SyncFormat, error_feedback: bool) {
+        self.format = format;
+        self.feedback_on = error_feedback;
+        self.feedback.clear();
+        self.row_bytes = format.row_wire_bytes(self.table.dim());
+        if !format.is_lossless() {
+            self.sync_all();
+        }
+    }
+
+    /// Counts `rows` quantized payload rows into the `comms.quant.*`
+    /// metrics (no-op for lossless formats).
+    fn note_quant(&self, rows: u64) {
+        if rows == 0 || self.format.is_lossless() {
+            return;
+        }
+        if let Some(r) = &self.recorder {
+            let raw = (self.table.dim() * 4) as u64;
+            r.counter_add(names::COMMS_QUANT_ROWS, rows);
+            r.counter_add(
+                names::COMMS_QUANT_BYTES_SAVED,
+                rows * raw.saturating_sub(self.row_bytes),
+            );
         }
     }
 
@@ -202,6 +251,7 @@ impl<'a> WorkerEmbedding<'a> {
         s.fetch_ids.reserve(rows);
         s.fetch_slots.reserve(rows);
         s.fetch_install.reserve(rows);
+        s.fetch_wire.reserve(rows);
         s.fetch_buf.reserve(rows * dim);
         s.fetch_clocks.reserve(rows);
         s.reduce_slots.reserve(rows);
@@ -237,6 +287,7 @@ impl<'a> WorkerEmbedding<'a> {
         self.scratch.fetch_ids.clear();
         self.scratch.fetch_slots.clear();
         self.scratch.fetch_install.clear();
+        self.scratch.fetch_wire.clear();
         for sample in samples {
             for &e in *sample {
                 if self.scratch_ids.contains_key(&e) {
@@ -248,6 +299,7 @@ impl<'a> WorkerEmbedding<'a> {
                     self.scratch.fetch_ids.push(e);
                     self.scratch.fetch_slots.push(slot);
                     self.scratch.fetch_install.push(false);
+                    self.scratch.fetch_wire.push(false);
                     report.local_primary += 1;
                 } else if self.cache.contains(e) {
                     match self.bound {
@@ -293,11 +345,12 @@ impl<'a> WorkerEmbedding<'a> {
                                 self.scratch.fetch_ids.push(e);
                                 self.scratch.fetch_slots.push(slot);
                                 self.scratch.fetch_install.push(true);
+                                self.scratch.fetch_wire.push(true);
                                 report.intra_syncs += 1;
-                                report.data_bytes += (dim * 4) as u64;
+                                report.data_bytes += self.row_bytes;
                                 report.add_src_bytes(
                                     self.part.primary_of(e),
-                                    (dim * 4) as u64,
+                                    self.row_bytes,
                                     self.part.num_partitions(),
                                 );
                                 report.messages += 1;
@@ -309,11 +362,12 @@ impl<'a> WorkerEmbedding<'a> {
                     self.scratch.fetch_ids.push(e);
                     self.scratch.fetch_slots.push(slot);
                     self.scratch.fetch_install.push(false);
+                    self.scratch.fetch_wire.push(true);
                     report.remote_fetches += 1;
-                    report.data_bytes += (dim * 4) as u64;
+                    report.data_bytes += self.row_bytes;
                     report.add_src_bytes(
                         self.part.primary_of(e),
-                        (dim * 4) as u64,
+                        self.row_bytes,
                         self.part.num_partitions(),
                     );
                     report.meta_bytes += META_ENTRY_BYTES;
@@ -331,11 +385,13 @@ impl<'a> WorkerEmbedding<'a> {
         let nfetch = self.scratch.fetch_ids.len();
         if nfetch > 0 {
             let table = self.table;
+            let format = self.format;
             let HotScratch {
                 batch,
                 fetch_ids,
                 fetch_slots,
                 fetch_install,
+                fetch_wire,
                 fetch_buf,
                 fetch_clocks,
                 ..
@@ -347,7 +403,10 @@ impl<'a> WorkerEmbedding<'a> {
             table.read_rows(fetch_ids, fetch_buf, fetch_clocks, batch);
             for k in 0..nfetch {
                 let slot = fetch_slots[k];
-                let row = &fetch_buf[k * dim..(k + 1) * dim];
+                let row = &mut fetch_buf[k * dim..(k + 1) * dim];
+                if fetch_wire[k] {
+                    format.transport(row);
+                }
                 self.scratch_rows[slot..slot + dim].copy_from_slice(row);
                 if fetch_install[k] {
                     self.cache.install(fetch_ids[k], row, fetch_clocks[k]);
@@ -411,12 +470,13 @@ impl<'a> WorkerEmbedding<'a> {
                             let slot = self.scratch_ids[&victim];
                             let buf = &mut self.scratch_rows[slot..slot + dim];
                             let clock = self.table.read_row(victim, buf);
+                            self.format.transport(buf);
                             self.cache.install(victim, buf, clock);
                             report.inter_syncs += 1;
-                            report.data_bytes += (dim * 4) as u64;
+                            report.data_bytes += self.row_bytes;
                             report.add_src_bytes(
                                 self.part.primary_of(victim),
-                                (dim * 4) as u64,
+                                self.row_bytes,
                                 self.part.num_partitions(),
                             );
                             report.meta_bytes += META_ENTRY_BYTES;
@@ -437,6 +497,7 @@ impl<'a> WorkerEmbedding<'a> {
                 cursor += dim;
             }
         }
+        self.note_quant(report.intra_syncs + report.inter_syncs + report.remote_fetches);
         if let Some(r) = &self.recorder {
             r.counter_add(names::EMBED_READ_LOCAL_PRIMARY, report.local_primary);
             r.counter_add(names::EMBED_READ_LOCAL_FRESH, report.local_fresh);
@@ -561,6 +622,7 @@ impl<'a> WorkerEmbedding<'a> {
         // inline when they hit their budget. Rows are distinct after
         // reduction, so collecting commutes with the old per-row interleave
         // bit-for-bit.
+        let mut wire_rows = 0u64;
         for &e in &ids {
             let slot = reduce_slots[&e];
             let g = &reduce_buf[slot..slot + dim];
@@ -588,25 +650,40 @@ impl<'a> WorkerEmbedding<'a> {
                 }
                 continue;
             }
-            // Immediate write-back (no replica, or s = 0).
+            // Immediate write-back (no replica, or s = 0). The gradient is
+            // transported through the wire format (with error feedback when
+            // enabled) *before* it reaches the primary; the local mirror
+            // applies the transported value so it tracks what the primary
+            // actually received.
             apply_ids.push(e);
+            let start = apply_buf.len();
             apply_buf.extend_from_slice(g);
+            if !self.format.is_lossless() {
+                let wire = &mut apply_buf[start..];
+                if self.feedback_on {
+                    self.feedback.compensate_and_transport(self.format, e, wire);
+                } else {
+                    self.format.transport(wire);
+                }
+                wire_rows += 1;
+            }
             report.remote_writebacks += 1;
-            report.data_bytes += (dim * 4) as u64;
+            report.data_bytes += self.row_bytes;
             report.add_dst_bytes(
                 self.part.primary_of(e),
-                (dim * 4) as u64,
+                self.row_bytes,
                 self.part.num_partitions(),
             );
             report.meta_bytes += META_ENTRY_BYTES;
             report.messages += 1;
             if self.cache.contains(e) {
-                for (d, &x) in delta.iter_mut().zip(g) {
+                for (d, &x) in delta.iter_mut().zip(&apply_buf[start..]) {
                     *d = -lr * x;
                 }
                 self.cache.apply_local_delta(e, &delta);
             }
         }
+        self.note_quant(wire_rows);
         if !apply_ids.is_empty() {
             let HotScratch {
                 batch, apply_clocks, ..
@@ -651,20 +728,27 @@ impl<'a> WorkerEmbedding<'a> {
     /// Flushes one row's pending gradient to its primary; accounts the
     /// write-back into `report`.
     fn flush_row(&mut self, e: u32, opt: &SparseOpt, report: &mut UpdateReport) {
-        let dim = self.table.dim();
         let buf = &mut self.scratch.row_buf;
         if self.cache.take_pending(e, buf) {
+            if !self.format.is_lossless() {
+                if self.feedback_on {
+                    self.feedback.compensate_and_transport(self.format, e, buf);
+                } else {
+                    self.format.transport(buf);
+                }
+            }
             self.table.apply_grad(e, buf, opt);
             self.cache.note_flush(e);
             self.pending_rows = self.pending_rows.saturating_sub(1);
             if let Some(r) = &self.recorder {
                 r.counter_add(names::EMBED_FLUSH_ROWS, 1);
             }
+            self.note_quant(1);
             report.remote_writebacks += 1;
-            report.data_bytes += (dim * 4) as u64;
+            report.data_bytes += self.row_bytes;
             report.add_dst_bytes(
                 self.part.primary_of(e),
-                (dim * 4) as u64,
+                self.row_bytes,
                 self.part.num_partitions(),
             );
             report.meta_bytes += META_ENTRY_BYTES;
@@ -675,9 +759,15 @@ impl<'a> WorkerEmbedding<'a> {
     /// Flushes a row's pending gradient during a read-path sync; bytes are
     /// accounted into the read report. Returns true if anything was flushed.
     fn flush_pending_into_read(&mut self, e: u32, report: &mut ReadReport) -> bool {
-        let dim = self.table.dim();
         let buf = &mut self.scratch.row_buf;
         if self.cache.take_pending(e, buf) {
+            if !self.format.is_lossless() {
+                if self.feedback_on {
+                    self.feedback.compensate_and_transport(self.format, e, buf);
+                } else {
+                    self.format.transport(buf);
+                }
+            }
             let opt = self.flush_opt;
             self.table.apply_grad(e, buf, &opt);
             self.cache.note_flush(e);
@@ -685,10 +775,11 @@ impl<'a> WorkerEmbedding<'a> {
             if let Some(r) = &self.recorder {
                 r.counter_add(names::EMBED_FLUSH_ROWS, 1);
             }
-            report.data_bytes += (dim * 4) as u64;
+            self.note_quant(1);
+            report.data_bytes += self.row_bytes;
             report.add_src_bytes(
                 self.part.primary_of(e),
-                (dim * 4) as u64,
+                self.row_bytes,
                 self.part.num_partitions(),
             );
             report.meta_bytes += META_ENTRY_BYTES;
@@ -717,6 +808,7 @@ impl<'a> WorkerEmbedding<'a> {
     pub fn sync_all(&mut self) -> usize {
         let dim = self.table.dim();
         let table = self.table;
+        let format = self.format;
         let HotScratch {
             batch,
             fetch_ids,
@@ -733,9 +825,16 @@ impl<'a> WorkerEmbedding<'a> {
         fetch_clocks.resize(n, 0);
         table.read_rows(fetch_ids, fetch_buf, fetch_clocks, batch);
         for k in 0..n {
-            self.cache
-                .install(fetch_ids[k], &fetch_buf[k * dim..(k + 1) * dim], fetch_clocks[k]);
+            let row = &mut fetch_buf[k * dim..(k + 1) * dim];
+            format.transport(row);
+            self.cache.install(fetch_ids[k], row, fetch_clocks[k]);
         }
+        // A full refresh is a sync point: error-feedback residuals are
+        // superseded by the re-prime, and clearing them here makes a
+        // checkpoint-resumed run (fresh residuals) bit-match an
+        // uninterrupted one.
+        self.feedback.clear();
+        self.note_quant(n as u64);
         n
     }
 
@@ -1105,6 +1204,60 @@ mod tests {
             hetgmp_telemetry::AuditMode::Count,
         )));
         assert_eq!(w0.hooks_attached(), (false, true, false));
+    }
+
+    #[test]
+    fn sync_format_changes_wire_accounting() {
+        let table = ShardedTable::new(4, 2, 0.0, 1);
+        let part = setup(&table);
+        let freq = freq4();
+        let mut w0 = WorkerEmbedding::new(0, &table, &part, &freq, StalenessBound::Bounded(10));
+        w0.set_sync_format(SyncFormat::Int8, true);
+        let samples: Vec<&[u32]> = vec![&[3]];
+        let mut out = vec![0.0; 2];
+        let r = w0.read_batch(&samples, &mut out);
+        assert_eq!(r.remote_fetches, 1);
+        assert_eq!(r.data_bytes, 2 + 4, "dim int8 payload + one f32 scale");
+    }
+
+    #[test]
+    fn lossy_mirror_tracks_transported_writeback() {
+        // s = 0 → immediate write-backs; the mirror applies the
+        // *transported* gradient, so it matches the primary bit-for-bit
+        // even under int8 with error feedback.
+        let table = ShardedTable::new(4, 2, 0.0, 1);
+        let part = setup(&table);
+        let freq = freq4();
+        let mut w0 = WorkerEmbedding::new(0, &table, &part, &freq, StalenessBound::Bounded(0));
+        w0.set_sync_format(SyncFormat::Int8, true);
+        let samples: Vec<&[u32]> = vec![&[2]];
+        let grads = vec![0.37, -1.21];
+        for _ in 0..5 {
+            w0.apply_gradients(&samples, &grads, &SparseOpt::sgd(0.1));
+        }
+        let mut out = vec![0.0; 2];
+        let r = w0.read_batch(&samples, &mut out);
+        assert_eq!(r.intra_syncs, 0, "{r:?}");
+        let mut primary = vec![0.0; 2];
+        table.read_row(2, &mut primary);
+        assert_eq!(out, primary);
+    }
+
+    #[test]
+    fn error_feedback_preserves_tiny_gradients() {
+        // A gradient far below one int8 step still lands eventually when
+        // feedback accumulates residuals; without feedback every push
+        // quantizes to zero... unless the row's own max sets the scale.
+        // Use a row whose second component pins the scale.
+        use hetgmp_comms::ErrorFeedback;
+        let mut fb = ErrorFeedback::new();
+        let mut acc = 0.0f64;
+        for _ in 0..200 {
+            let mut g = vec![0.001f32, 1.0];
+            fb.compensate_and_transport(SyncFormat::Int8, 7, &mut g);
+            acc += g[0] as f64;
+        }
+        assert!((acc - 0.2).abs() < 0.01, "accumulated {acc}");
     }
 
     #[test]

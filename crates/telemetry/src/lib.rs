@@ -86,6 +86,11 @@ pub mod names {
     /// Rows currently waiting in the pending buffer (gauge).
     pub const EMBED_PENDING_ROWS: &str = "embedding.pending_rows";
 
+    /// Embedding payload rows sent through a lossy wire format.
+    pub const COMMS_QUANT_ROWS: &str = "comms.quant.rows";
+    /// Interconnect bytes saved by quantization vs raw f32 rows.
+    pub const COMMS_QUANT_BYTES_SAVED: &str = "comms.quant.bytes_saved";
+
     /// Partitioner refinement rounds executed.
     pub const PARTITION_ROUNDS: &str = "partition.rounds";
     /// Vertices moved across all refinement rounds.

@@ -6,7 +6,9 @@
 #   BENCH_dense.json    (make bench-dense / bench-dense-smoke) — blocked vs
 #   naive GEMM kernels + the allocation-free tape path's end-to-end run;
 #   BENCH_pipeline.json (make bench-pipeline[-smoke]) — the same end-to-end
-#   workload swept over software-pipeline depths {1,2,4}.
+#   workload swept over software-pipeline depths {1,2,4};
+#   BENCH_comms.json    (make bench-comms[-smoke]) — the AUC-vs-bytes sweep
+#   over the sync wire formats (f32/f16/bf16/int8 + error feedback).
 #
 # The schema is picked from the file name (*.smoke.json siblings share the
 # full-run schema). The top-level sections and every numeric field the perf
@@ -136,6 +138,54 @@ case $FILE in
         exit 1
     fi
     ;;
+*comms*)
+    # ---- BENCH_comms.json ------------------------------------------------
+    require '"config":\{' 'section "config"'
+    require '"formats":\[' 'array "formats"'
+    require '"int8_reduction":[0-9]' 'top-level "int8_reduction"'
+
+    for fmt in f32 f16 bf16 int8; do
+        for key in embed_data_bytes allreduce_bytes quant_rows \
+            quant_bytes_saved bytes_reduction final_auc auc_delta_pct \
+            sim_time_secs; do
+            require "\"format\":\"$fmt\",[^}]*\"$key\":[0-9-]" \
+                "\"formats[format=$fmt].$key\""
+        done
+    done
+
+    for key in preset scale workers system epochs batch dim seed \
+        error_feedback smoke; do
+        require "\"config\":\{[^}]*\"$key\":" "\"config.$key\""
+    done
+
+    [ "$fail" -eq 0 ] || exit 1
+
+    # The identity transport must not meter quantized rows — a non-zero
+    # count means the f32 path stopped being a no-op.
+    if ! grep -qE '"format":"f32",[^}]*"quant_rows":0[,}]' "$FILE"; then
+        echo "check_bench_schema: f32 row metered quantized rows in $FILE" >&2
+        exit 1
+    fi
+
+    # The bytes contract: int8 must move at least 3.5x fewer embedding
+    # bytes than f32 (structural — dim 32 wires 36 bytes vs 128).
+    red=$(sed -n 's/.*"int8_reduction":\([0-9.eE+-]*\).*/\1/p' "$FILE")
+    if ! awk -v r="$red" 'BEGIN { exit !(r >= 3.5) }'; then
+        echo "check_bench_schema: int8_reduction $red below the 3.5x contract in $FILE" >&2
+        exit 1
+    fi
+
+    # The accuracy contract on the committed baseline: int8's final AUC
+    # within 0.5% of f32's. Smoke runs re-assert this inside the bench
+    # binary; the schema gate exists to catch a stale committed file.
+    if grep -qE '"smoke":false' "$FILE"; then
+        delta=$(sed -n 's/.*"format":"int8",[^}]*"auc_delta_pct":\([0-9.eE+-]*\).*/\1/p' "$FILE")
+        if ! awk -v d="$delta" 'BEGIN { a = d < 0 ? -d : d; exit !(a <= 0.5) }'; then
+            echo "check_bench_schema: int8 auc_delta_pct $delta outside the 0.5% band in $FILE" >&2
+            exit 1
+        fi
+    fi
+    ;;
 *)
     # ---- BENCH_hotpath.json ----------------------------------------------
     for section in config per_row batched end_to_end; do
@@ -207,5 +257,7 @@ for doc in ROADMAP.md CHANGES.md TELEMETRY.md README.md; do
     done
 done
 
+# The comms sweep reports a byte-reduction ratio instead of a speedup.
 speedup=$(sed -n 's/.*"speedup":\([0-9.eE+-]*\).*/\1/p' "$FILE")
+[ -n "$speedup" ] || speedup=$(sed -n 's/.*"int8_reduction":\([0-9.eE+-]*\).*/\1/p' "$FILE")
 echo "check_bench_schema: OK ($FILE; speedup ${speedup}x)"

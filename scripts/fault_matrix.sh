@@ -55,4 +55,16 @@ grep -q '1 stall' "$TMP/stall.log" || {
 # 3. Link degradation: the 0-1 link runs 8x slower for a window.
 run_case degrade --faults 'degrade@0-1:0.0:0.01:8'
 
-echo "fault_matrix: OK (crash, stall, degrade all recovered under strict audit)"
+# 4. Crash under the compressed wire: same crash + restore with the int8
+#    transport (error feedback on by default); the re-primed replicas and
+#    every subsequent sync must keep the strict audit clean.
+run_case crash-int8 \
+    --faults 'crash@1:0.000001' --sync-format int8 \
+    --checkpoint-every 1 --checkpoint-dir "$TMP/ckpts-int8"
+grep -q 'faults: 1 crash' "$TMP/crash-int8.log" || {
+    echo "fault_matrix: int8 crash run reported no crash" >&2
+    cat "$TMP/crash-int8.log" >&2
+    exit 1
+}
+
+echo "fault_matrix: OK (crash, stall, degrade, int8-crash all recovered under strict audit)"

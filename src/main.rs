@@ -20,6 +20,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use het_gmp::cluster::{FaultSchedule, Topology};
+use het_gmp::comms::SyncFormat;
 use het_gmp::core::experiments;
 use het_gmp::core::models::ModelKind;
 use het_gmp::core::strategy::StrategyConfig;
@@ -46,10 +47,11 @@ const USAGE: &str = "usage: het-gmp <gen|partition|train|capacity|experiment|ins
              [--telemetry FILE.jsonl] [--trace FILE.trace.json] [--trace-level batch|sync]
              [--audit[=count|strict]] [--faults SPEC] [--checkpoint-every N --checkpoint-dir DIR]
              [--resume FILE.hgmr] [--pipeline-depth N] [--gemm-threads N]
+             [--sync-format f32|f16|bf16|int8] [--sync-feedback on|off]
   capacity   --workers N --mem-gb G --dim D [--replication F]
   experiment fig1|fig3|fig7|fig8|fig9|fig10|table2|table3|ablation|all [--scale F] [--telemetry FILE.jsonl]
              [--trace FILE.trace.json] [--trace-level batch|sync] [--audit[=count|strict]]
-             [--pipeline-depth N] [--gemm-threads N]
+             [--pipeline-depth N] [--gemm-threads N] [--sync-format F] [--sync-feedback on|off]
   inspect    report FILE.jsonl [--wall]
              pipeline FILE.trace.json
              diff BASELINE CANDIDATE [--threshold PCT]
@@ -76,6 +78,16 @@ const USAGE: &str = "usage: het-gmp <gen|partition|train|capacity|experiment|ins
   into row panels. Both are bit-identical to the sequential schedule on
   fault-free runs. On 'experiment' they apply to every fig8/table2/
   ablation training run.
+
+  --sync-format picks the wire encoding for inter-worker embedding rows
+  and the dense AllReduce payload: f32 (default, bit-exact), f16, bf16,
+  or int8 (per-row scale + 1 byte/element, ~3.6x fewer embedding bytes at
+  dim 32). Traffic ledgers and the cost model charge the compressed wire
+  size; checkpoints stay f32 and any format bit-matches itself across
+  pipeline depths and checkpoint resume. --sync-feedback off disables the
+  per-row error-feedback accumulator on lossy gradient pushes (on by
+  default; no effect under f32). On 'experiment' both apply to every
+  fig8/table2/ablation training run.
 
   'inspect' analyses the artifacts those runs leave behind. 'report'
   renders the Fig. 8 traffic/time breakdown and the per-epoch pipeline
@@ -207,6 +219,24 @@ fn parse_flag_usize(args: &Args, key: &str) -> Result<Option<usize>, HetGmpError
     }
 }
 
+/// Parses `--sync-format f32|f16|bf16|int8` (`None` when absent).
+fn sync_format_flag(args: &Args) -> Result<Option<SyncFormat>, HetGmpError> {
+    args.get("sync-format").map(SyncFormat::parse).transpose()
+}
+
+/// Parses `--sync-feedback on|off` (`None` when absent; the trainer
+/// defaults to on). A bare `--sync-feedback` means on.
+fn sync_feedback_flag(args: &Args) -> Result<Option<bool>, HetGmpError> {
+    match args.get("sync-feedback") {
+        None => Ok(None),
+        Some("on") | Some("") => Ok(Some(true)),
+        Some("off") => Ok(Some(false)),
+        Some(v) => Err(HetGmpError::usage(format!(
+            "--sync-feedback expects on|off, got {v:?}"
+        ))),
+    }
+}
+
 /// Parses `--audit[=count|strict|off]`; a bare `--audit` means count.
 fn audit_mode(args: &Args) -> Result<AuditMode, HetGmpError> {
     match args.get("audit") {
@@ -335,6 +365,8 @@ fn cmd_train(args: &Args) -> Result<(), HetGmpError> {
         .resume_from(args.get("resume").map(std::path::PathBuf::from))
         .pipeline_depth(parse_flag_usize(args, "pipeline-depth")?.unwrap_or(1))
         .gemm_threads(parse_flag_usize(args, "gemm-threads")?.unwrap_or(1))
+        .sync_format(sync_format_flag(args)?.unwrap_or(SyncFormat::F32))
+        .sync_error_feedback(sync_feedback_flag(args)?.unwrap_or(true))
         .build()?;
     let faults = match args.get("faults") {
         None => None,
@@ -442,6 +474,8 @@ fn cmd_experiment(args: &Args) -> Result<(), HetGmpError> {
         audit: audit_mode(args)?,
         pipeline_depth: parse_flag_usize(args, "pipeline-depth")?,
         gemm_threads: parse_flag_usize(args, "gemm-threads")?,
+        sync_format: sync_format_flag(args)?,
+        sync_error_feedback: sync_feedback_flag(args)?,
     };
     match which {
         "fig1" => println!("{}", experiments::overhead::run(scale)),

@@ -135,6 +135,14 @@ const GOLDENS: &[Golden] = &[
 ];
 
 fn golden_run(strategy: &str, seed: u64) -> het_gmp::core::trainer::TrainResult {
+    golden_run_with(strategy, seed, None)
+}
+
+fn golden_run_with(
+    strategy: &str,
+    seed: u64,
+    sync_format: Option<het_gmp::comms::SyncFormat>,
+) -> het_gmp::core::trainer::TrainResult {
     let mut spec = DatasetSpec::avazu_like(0.03);
     spec.cluster_affinity = 0.9;
     let data = generate(&spec);
@@ -158,7 +166,26 @@ fn golden_run(strategy: &str, seed: u64) -> het_gmp::core::trainer::TrainResult 
         },
     )
     .with_audit(AuditMode::Count)
+    .with_sync_format(sync_format, None)
     .run()
+}
+
+/// `--sync-format f32` is the identity transport: selecting it explicitly
+/// must reproduce the default-path goldens to the last bit — any drift
+/// means the wire encoding touched values it promised to pass through.
+#[test]
+fn explicit_f32_sync_format_matches_goldens() {
+    for strategy in ["bsp", "ssp", "asp"] {
+        let g = GOLDENS
+            .iter()
+            .find(|g| g.strategy == strategy && g.seed == 42)
+            .expect("golden row");
+        let r = golden_run_with(strategy, 42, Some(het_gmp::comms::SyncFormat::F32));
+        let loss = r.curve.last().expect("curve").train_loss;
+        assert_eq!(r.final_auc, g.final_auc, "{strategy}: explicit f32 moved the AUC");
+        assert_eq!(loss, g.train_loss, "{strategy}: explicit f32 moved the loss");
+        assert_eq!(r.samples_processed, g.samples, "{strategy}: sample count moved");
+    }
 }
 
 /// Golden regression over 3 seeds × {BSP (s=0), SSP (s=100), ASP}: final

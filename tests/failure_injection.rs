@@ -333,3 +333,67 @@ fn fault_trace_and_metrics_surface_through_result() {
         .iter()
         .any(|e| e.track == TraceTrack::Worker(1) && e.name == names::TRACE_FAULT_RECOVERY));
 }
+
+#[test]
+fn crashed_peer_mailbox_degrades_to_errors_not_panics() {
+    // Regression: the fault injector drops a crashed worker's p2p endpoint
+    // mid-run. Survivors gossiping over the network used to panic on the
+    // poisoned channel; they must instead get a typed comms error on sends
+    // to the dead peer, keep exchanging among themselves, and be able to
+    // tell "nothing queued" from "peer gone forever".
+    use het_gmp::comms::{P2pNetwork, RecvState};
+    use het_gmp::telemetry::HetGmpError;
+
+    let n = 3;
+    let faults = Arc::new(FaultSchedule::parse("crash@*:0.5", n, 7).unwrap());
+    assert!(faults.has_crashes());
+    let victim = (0..n)
+        .find(|&w| !faults.worker_faults(w).is_empty())
+        .expect("the schedule picked a victim");
+    let mut boxes: Vec<Option<_>> =
+        P2pNetwork::create::<u64>(n).into_iter().map(Some).collect();
+
+    // Pre-crash: a full gossip round works, victim included.
+    for (src, slot) in boxes.iter().enumerate() {
+        let b = slot.as_ref().unwrap();
+        for dst in 0..n {
+            b.send(dst, (src * 10 + dst) as u64).unwrap();
+        }
+    }
+    for b in boxes.iter().flatten() {
+        for _ in 0..n {
+            b.recv().unwrap();
+        }
+    }
+
+    // The crash fires: the victim's endpoint (receiver + sender clones) is
+    // dropped, exactly what the injector does to a dead worker.
+    boxes[victim] = None;
+
+    for (src, slot) in boxes.iter().enumerate() {
+        let Some(b) = slot.as_ref() else { continue };
+        // Sends to the dead peer fail with a typed error, not a panic.
+        let err = b.send(victim, 99).unwrap_err();
+        assert!(matches!(err, HetGmpError::Comms { .. }), "{err}");
+        // Gossip among survivors still flows.
+        for dst in (0..n).filter(|&d| d != victim) {
+            b.send(dst, (src * 10 + dst) as u64).unwrap();
+        }
+    }
+    for b in boxes.iter().flatten() {
+        let mut got = 0;
+        loop {
+            match b.try_recv() {
+                RecvState::Msg(src, _) => {
+                    assert_ne!(src, victim, "a dead worker spoke");
+                    got += 1;
+                }
+                // Survivors hold live senders, so a drained mailbox reads
+                // Empty — Disconnected would wrongly end the gossip loop.
+                RecvState::Empty => break,
+                RecvState::Disconnected => panic!("survivor network reported shut down"),
+            }
+        }
+        assert_eq!(got, n - 1, "a survivor missed peer messages");
+    }
+}
